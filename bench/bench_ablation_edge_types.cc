@@ -1,0 +1,58 @@
+// Design-choice ablation (paper §VII-G "we do not discuss the contribution
+// and importance of each type of features embedded in a graph"): measures
+// the contribution of each edge type by building the graph with
+//   i)   D-D similarity edges only,
+//   ii)  D-D + M-D transferability edges,
+//   iii) D-D + M-D training-performance edges,
+//   iv)  all three (the paper's full graph),
+// and evaluating TG:LR,N2V,all on the image targets.
+#include "bench_common.h"
+
+namespace tg::bench {
+namespace {
+
+void Run(zoo::ModelZoo* zoo) {
+  core::Pipeline pipeline(zoo, zoo::Modality::kImage);
+
+  struct Setting {
+    const char* name;
+    bool accuracy_edges;
+    bool transferability_edges;
+  };
+  const Setting settings[] = {
+      {"D-D only", false, false},
+      {"D-D + transferability", false, true},
+      {"D-D + training performance", true, false},
+      {"all edge types", true, true},
+  };
+
+  PrintSectionHeader(
+      "Ablation: contribution of each edge type (image, TG:LR,N2V,all)");
+  std::vector<core::StrategySummary> summaries;
+  for (const Setting& setting : settings) {
+    core::PipelineConfig config = DefaultPipelineConfig();
+    config.strategy = MakeStrategy(core::PredictorKind::kLinearRegression,
+                                   core::GraphLearner::kNode2Vec,
+                                   core::FeatureSet::kAll);
+    config.graph.include_accuracy_edges = setting.accuracy_edges;
+    config.graph.include_transferability_edges =
+        setting.transferability_edges;
+    core::StrategySummary summary = core::EvaluateStrategy(&pipeline, config);
+    summary.name = setting.name;
+    summaries.push_back(std::move(summary));
+  }
+  TablePrinter table(SummaryHeader(summaries[0]));
+  for (const auto& summary : summaries) AddSummaryRow(&table, summary);
+  table.Print();
+  WriteSummariesCsv("ablation_edge_types_image.csv", summaries);
+}
+
+}  // namespace
+}  // namespace tg::bench
+
+int main() {
+  tg::SetLogLevel(tg::LogLevel::kWarning);
+  auto zoo = tg::bench::MakePaperScaleZoo();
+  tg::bench::Run(zoo.get());
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Design-choice ablation (paper §VII-G "Graph construction ... simple
+// threshold-based edge pruning"): sweep the positive-edge pruning threshold
+// and measure both the resulting graph density and the selection quality of
+// TG:LR,N2V,all on the image targets. Not a figure in the paper -- it
+// motivates the 0.5 heuristic the paper fixes in Table II.
+#include "bench_common.h"
+
+#include "graph/graph_stats.h"
+
+namespace tg::bench {
+namespace {
+
+void Run(zoo::ModelZoo* zoo) {
+  core::Pipeline pipeline(zoo, zoo::Modality::kImage);
+
+  PrintSectionHeader(
+      "Ablation: positive-edge pruning threshold (image, TG:LR,N2V,all)");
+  TablePrinter table({"threshold", "acc edges", "transf edges",
+                      "neg pairs", "avg pearson"});
+
+  for (double threshold : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    core::PipelineConfig config = DefaultPipelineConfig();
+    config.strategy = MakeStrategy(core::PredictorKind::kLinearRegression,
+                                   core::GraphLearner::kNode2Vec,
+                                   core::FeatureSet::kAll);
+    config.graph.accuracy_threshold = threshold;
+    config.graph.transferability_threshold = threshold;
+    config.graph.negative_threshold = threshold;
+
+    // Density of the full (non-LOO) graph at this threshold.
+    core::BuiltGraph built =
+        core::BuildModelZooGraph(zoo, zoo::Modality::kImage, config.graph);
+    GraphStats stats = ComputeGraphStats(built.graph);
+
+    core::StrategySummary summary = core::EvaluateStrategy(&pipeline, config);
+    table.AddRow({FormatDouble(threshold, 1),
+                  std::to_string(stats.model_dataset_accuracy_edges),
+                  std::to_string(stats.model_dataset_transferability_edges),
+                  std::to_string(built.negative_edges.size()),
+                  FormatDouble(summary.mean_pearson, 3)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace tg::bench
+
+int main() {
+  tg::SetLogLevel(tg::LogLevel::kWarning);
+  auto zoo = tg::bench::MakePaperScaleZoo();
+  tg::bench::Run(zoo.get());
+  return 0;
+}

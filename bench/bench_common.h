@@ -1,0 +1,125 @@
+// Shared setup for the benchmark harness: the full paper-scale model zoo
+// (185 image / 163 text models, 73 image / 24 text datasets) and the default
+// pipeline configuration used across the table/figure reproductions.
+#ifndef TG_BENCH_BENCH_COMMON_H_
+#define TG_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/baselines.h"
+#include "core/evaluation.h"
+#include "core/pipeline.h"
+#include "core/recommender.h"
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "zoo/model_zoo.h"
+
+namespace tg::bench {
+
+inline std::unique_ptr<zoo::ModelZoo> MakePaperScaleZoo() {
+  zoo::ModelZooConfig config;  // paper-scale defaults
+  return std::make_unique<zoo::ModelZoo>(config);
+}
+
+// Full-scale defaults: 128-d embeddings (paper §VI-B), 500-tree XGBoost and
+// 100-tree RF (paper §VI-C).
+inline core::PipelineConfig DefaultPipelineConfig() {
+  core::PipelineConfig config;
+  config.node2vec.walk.walks_per_node = 8;
+  config.node2vec.walk.walk_length = 40;
+  // At p=q=1 the Node2Vec and Node2Vec+ walk laws coincide; a DFS-leaning
+  // q < 1 puts the benches in the regime where the + variant's weighted
+  // in/out rule actually changes the walks.
+  config.node2vec.walk.p = 1.0;
+  config.node2vec.walk.q = 0.5;
+  config.node2vec.skipgram.dim = 128;
+  config.node2vec.skipgram.window = 5;
+  config.node2vec.skipgram.epochs = 3;
+  config.sage.hidden_dim = 64;
+  config.sage.output_dim = 128;
+  config.gat.hidden_dim = 64;
+  config.gat.output_dim = 128;
+  config.gat.num_heads = 2;
+  config.link_prediction.epochs = 100;
+  return config;
+}
+
+inline core::Strategy MakeStrategy(core::PredictorKind predictor,
+                                   core::GraphLearner learner,
+                                   core::FeatureSet features) {
+  core::Strategy s;
+  s.predictor = predictor;
+  s.learner = learner;
+  s.features = features;
+  return s;
+}
+
+// Renders one summary row: name, per-target Pearson values, and the mean.
+inline void AddSummaryRow(TablePrinter* table,
+                          const core::StrategySummary& summary) {
+  std::vector<std::string> row = {summary.name};
+  for (double tau : summary.per_target_pearson) {
+    row.push_back(FormatDouble(tau, 3));
+  }
+  row.push_back(FormatDouble(summary.mean_pearson, 3));
+  table->AddRow(std::move(row));
+}
+
+inline std::vector<std::string> SummaryHeader(
+    const core::StrategySummary& reference) {
+  std::vector<std::string> header = {"strategy"};
+  for (const std::string& name : reference.target_names) {
+    header.push_back(name);
+  }
+  header.push_back("avg");
+  return header;
+}
+
+// CSV artifacts go into ./bench_csv (created on demand) so the bench binary
+// directory stays runnable with `for b in build/bench/*; do $b; done`.
+inline std::string CsvPath(const std::string& filename) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_csv", ec);
+  return "bench_csv/" + filename;
+}
+
+// Writes summaries as CSV for plot regeneration.
+inline void WriteSummariesCsv(
+    const std::string& name,
+    const std::vector<core::StrategySummary>& summaries) {
+  if (summaries.empty()) return;
+  const std::string filename = CsvPath(name);
+  CsvWriter csv(filename);
+  if (!csv.ok()) {
+    TG_LOG(Warning) << "could not open " << filename;
+    return;
+  }
+  std::vector<std::string> header = {"strategy"};
+  for (const std::string& name : summaries[0].target_names) {
+    header.push_back(name);
+  }
+  header.push_back("avg");
+  csv.WriteRow(header);
+  for (const core::StrategySummary& s : summaries) {
+    std::vector<std::string> row = {s.name};
+    for (double tau : s.per_target_pearson) row.push_back(FormatDouble(tau, 4));
+    row.push_back(FormatDouble(s.mean_pearson, 4));
+    csv.WriteRow(row);
+  }
+  std::printf("[csv] wrote %s\n", filename.c_str());
+}
+
+inline void PrintSectionHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace tg::bench
+
+#endif  // TG_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,57 @@
+// Figure 10 reproduction: effect of the prediction model (LR, RF, XGB) with
+// Node2Vec graph features and the full feature set. Paper finding: no
+// dominant prediction model; feature selection matters more.
+#include "bench_common.h"
+
+namespace tg::bench {
+namespace {
+
+void Run(zoo::ModelZoo* zoo, zoo::Modality modality) {
+  core::Pipeline pipeline(zoo, modality);
+  const core::PipelineConfig base = DefaultPipelineConfig();
+
+  std::vector<core::StrategySummary> summaries;
+  for (core::PredictorKind predictor :
+       {core::PredictorKind::kLinearRegression,
+        core::PredictorKind::kRandomForest, core::PredictorKind::kXgboost}) {
+    core::PipelineConfig config = base;
+    config.strategy = MakeStrategy(predictor, core::GraphLearner::kNode2Vec,
+                                   core::FeatureSet::kAll);
+    summaries.push_back(core::EvaluateStrategy(&pipeline, config));
+  }
+
+  PrintSectionHeader(std::string("Figure 10 (") +
+                     zoo::ModalityName(modality) +
+                     "): effect of the prediction model (N2V features)");
+  TablePrinter table(SummaryHeader(summaries[0]));
+  for (const auto& summary : summaries) AddSummaryRow(&table, summary);
+  table.Print();
+
+  // Spread between best and worst prediction model per dataset.
+  double max_gap = 0.0;
+  for (size_t t = 0; t < summaries[0].per_target_pearson.size(); ++t) {
+    double lo = 2.0;
+    double hi = -2.0;
+    for (const auto& s : summaries) {
+      lo = std::min(lo, s.per_target_pearson[t]);
+      hi = std::max(hi, s.per_target_pearson[t]);
+    }
+    max_gap = std::max(max_gap, hi - lo);
+  }
+  std::printf("max per-dataset gap between prediction models: %.3f\n",
+              max_gap);
+  WriteSummariesCsv(std::string("fig10_") + zoo::ModalityName(modality) +
+                        ".csv",
+                    summaries);
+}
+
+}  // namespace
+}  // namespace tg::bench
+
+int main() {
+  tg::SetLogLevel(tg::LogLevel::kWarning);
+  auto zoo = tg::bench::MakePaperScaleZoo();
+  tg::bench::Run(zoo.get(), tg::zoo::Modality::kImage);
+  tg::bench::Run(zoo.get(), tg::zoo::Modality::kText);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 12 (appendix A) reproduction: effect of the dataset representation
+// (Domain Similarity vs Task2Vec) on TG:XGB,GraphSAGE,all and
+// TG:XGB,N2V+,all over the image datasets. For Node2Vec+ the representation
+// only enters through the dataset-distance edges; for GraphSAGE it also
+// provides the node features.
+#include "bench_common.h"
+
+namespace tg::bench {
+namespace {
+
+void Run(zoo::ModelZoo* zoo) {
+  core::Pipeline pipeline(zoo, zoo::Modality::kImage);
+
+  std::vector<core::StrategySummary> summaries;
+  for (core::GraphLearner learner :
+       {core::GraphLearner::kGraphSage, core::GraphLearner::kNode2VecPlus}) {
+    for (zoo::DatasetRepresentation repr :
+         {zoo::DatasetRepresentation::kDomainSimilarity,
+          zoo::DatasetRepresentation::kTask2Vec}) {
+      core::PipelineConfig config = DefaultPipelineConfig();
+      config.strategy = MakeStrategy(core::PredictorKind::kXgboost, learner,
+                                     core::FeatureSet::kAll);
+      config.graph.representation = repr;
+      Stopwatch timer;
+      core::StrategySummary summary =
+          core::EvaluateStrategy(&pipeline, config);
+      summary.name += repr == zoo::DatasetRepresentation::kTask2Vec
+                          ? " [Task2Vec]"
+                          : " [DomainSim]";
+      std::printf("[timing] %-36s %5.1fs\n", summary.name.c_str(),
+                  timer.ElapsedSeconds());
+      summaries.push_back(std::move(summary));
+    }
+  }
+
+  PrintSectionHeader(
+      "Figure 12 (image): effect of the dataset representation");
+  TablePrinter table(SummaryHeader(summaries[0]));
+  for (const auto& summary : summaries) AddSummaryRow(&table, summary);
+  table.Print();
+  WriteSummariesCsv("fig12_image.csv", summaries);
+}
+
+}  // namespace
+}  // namespace tg::bench
+
+int main() {
+  tg::SetLogLevel(tg::LogLevel::kWarning);
+  auto zoo = tg::bench::MakePaperScaleZoo();
+  tg::bench::Run(zoo.get());
+  return 0;
+}

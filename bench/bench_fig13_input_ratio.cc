@@ -1,0 +1,56 @@
+// Figure 13 (appendix B) reproduction: effect of the training-history input
+// ratio {0.3, 0.5, 0.7, 1.0} on LR{all,LogME} (no graph features) vs
+// TG:LR,N2V+,all. Paper finding: the metadata strategy is robust to scarce
+// history while the graph strategy degrades sharply at ratio 0.3 (sparse,
+// fragmented graph).
+#include "bench_common.h"
+
+namespace tg::bench {
+namespace {
+
+void Run(zoo::ModelZoo* zoo) {
+  core::Pipeline pipeline(zoo, zoo::Modality::kImage);
+  const std::vector<double> ratios = {0.3, 0.5, 0.7, 1.0};
+
+  const std::vector<core::Strategy> strategies = {
+      MakeStrategy(core::PredictorKind::kLinearRegression,
+                   core::GraphLearner::kNone,
+                   core::FeatureSet::kAllWithLogMe),
+      MakeStrategy(core::PredictorKind::kLinearRegression,
+                   core::GraphLearner::kNode2VecPlus, core::FeatureSet::kAll),
+  };
+
+  PrintSectionHeader(
+      "Figure 13 (image): effect of the training-history input ratio");
+  TablePrinter table({"strategy", "ratio=0.3", "ratio=0.5", "ratio=0.7",
+                      "ratio=1.0"});
+  CsvWriter csv(CsvPath("fig13_image.csv"));
+  csv.WriteRow({"strategy", "ratio", "avg_pearson"});
+
+  for (const core::Strategy& strategy : strategies) {
+    std::vector<std::string> row = {strategy.DisplayName()};
+    for (double ratio : ratios) {
+      core::PipelineConfig config = DefaultPipelineConfig();
+      config.strategy = strategy;
+      config.graph.history_ratio = ratio;
+      core::StrategySummary summary =
+          core::EvaluateStrategy(&pipeline, config);
+      row.push_back(FormatDouble(summary.mean_pearson, 3));
+      csv.WriteRow({strategy.DisplayName(), FormatDouble(ratio, 1),
+                    FormatDouble(summary.mean_pearson, 4)});
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("[csv] wrote fig13_image.csv\n");
+}
+
+}  // namespace
+}  // namespace tg::bench
+
+int main() {
+  tg::SetLogLevel(tg::LogLevel::kWarning);
+  auto zoo = tg::bench::MakePaperScaleZoo();
+  tg::bench::Run(zoo.get());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 6 reproduction: distribution of fine-tuning accuracy of all models
+// over each public dataset, sorted by standard deviation. Low-variance
+// datasets (e.g. eurosat, paper: std 0.005) are excluded from evaluation.
+#include <algorithm>
+
+#include "bench_common.h"
+
+#include "numeric/stats.h"
+
+namespace tg::bench {
+namespace {
+
+void Run(zoo::ModelZoo* zoo, zoo::Modality modality) {
+  struct Row {
+    std::string name;
+    bool evaluated;
+    double mean, stddev, min, q25, median, q75, max;
+  };
+  std::vector<Row> rows;
+  for (size_t d : zoo->PublicDatasets(modality)) {
+    std::vector<double> accs;
+    for (size_t m : zoo->ModelsOfModality(modality)) {
+      accs.push_back(zoo->FineTuneAccuracy(m, d));
+    }
+    Row row;
+    row.name = zoo->datasets()[d].name;
+    row.evaluated = zoo->datasets()[d].is_evaluation_target;
+    row.mean = Mean(accs);
+    row.stddev = StdDev(accs);
+    row.min = Min(accs);
+    row.q25 = Quantile(accs, 0.25);
+    row.median = Quantile(accs, 0.5);
+    row.q75 = Quantile(accs, 0.75);
+    row.max = Max(accs);
+    rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.stddev < b.stddev; });
+
+  PrintSectionHeader(std::string("Figure 6 (") + zoo::ModalityName(modality) +
+                     "): fine-tuning accuracy distribution, sorted by std");
+  TablePrinter table({"dataset", "std", "mean", "min", "q25", "median", "q75",
+                      "max", "evaluated"});
+  for (const Row& row : rows) {
+    table.AddRow({row.name, FormatDouble(row.stddev, 3),
+                  FormatDouble(row.mean, 3), FormatDouble(row.min, 3),
+                  FormatDouble(row.q25, 3), FormatDouble(row.median, 3),
+                  FormatDouble(row.q75, 3), FormatDouble(row.max, 3),
+                  row.evaluated ? "yes" : "no (low variance)"});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace tg::bench
+
+int main() {
+  tg::SetLogLevel(tg::LogLevel::kWarning);
+  auto zoo = tg::bench::MakePaperScaleZoo();
+  tg::bench::Run(zoo.get(), tg::zoo::Modality::kImage);
+  tg::bench::Run(zoo.get(), tg::zoo::Modality::kText);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Figure 7 reproduction: average Pearson correlation between predicted
+// scores and fine-tuning accuracy across the 8 image and 8 text evaluation
+// targets, comparing the feature-based baseline (LogME), learning-based
+// baselines (LR, LR{all,LogME}) and the graph-learning strategies
+// (TG:{LR,RF,XGB} with Node2Vec graph features + metadata + distance).
+#include "bench_common.h"
+
+namespace tg::bench {
+namespace {
+
+void RunModality(zoo::ModelZoo* zoo, zoo::Modality modality) {
+  core::Pipeline pipeline(zoo, modality);
+  const core::PipelineConfig base = DefaultPipelineConfig();
+
+  std::vector<core::StrategySummary> summaries;
+
+  // --- Feature-based baseline: LogME ---
+  {
+    std::vector<core::TargetEvaluation> evals;
+    for (size_t target : zoo->EvaluationTargets(modality)) {
+      evals.push_back(core::EvaluateEstimatorBaseline(
+          zoo, target, core::EstimatorBaseline::kLogMe));
+    }
+    summaries.push_back(core::Summarize("LogME", evals));
+  }
+
+  // --- Learning-based baselines and graph strategies ---
+  const std::vector<core::Strategy> strategies = {
+      MakeStrategy(core::PredictorKind::kLinearRegression,
+                   core::GraphLearner::kNone,
+                   core::FeatureSet::kMetadataOnly),
+      MakeStrategy(core::PredictorKind::kLinearRegression,
+                   core::GraphLearner::kNone,
+                   core::FeatureSet::kAllWithLogMe),
+      MakeStrategy(core::PredictorKind::kLinearRegression,
+                   core::GraphLearner::kNode2Vec, core::FeatureSet::kAll),
+      MakeStrategy(core::PredictorKind::kRandomForest,
+                   core::GraphLearner::kNode2Vec, core::FeatureSet::kAll),
+      MakeStrategy(core::PredictorKind::kXgboost,
+                   core::GraphLearner::kNode2Vec, core::FeatureSet::kAll),
+  };
+  for (const core::Strategy& strategy : strategies) {
+    core::PipelineConfig config = base;
+    config.strategy = strategy;
+    Stopwatch timer;
+    summaries.push_back(core::EvaluateStrategy(&pipeline, config));
+    std::printf("[timing] %-18s %5.1fs\n", strategy.DisplayName().c_str(),
+                timer.ElapsedSeconds());
+  }
+
+  PrintSectionHeader(std::string("Figure 7 (") + zoo::ModalityName(modality) +
+                     "): Pearson correlation per target dataset");
+  TablePrinter table(SummaryHeader(summaries[0]));
+  for (const auto& summary : summaries) AddSummaryRow(&table, summary);
+  table.Print();
+
+  // Paper-style headline: improvement of the best TG variant over the best
+  // baseline.
+  double best_tg = -2.0;
+  double best_baseline = -2.0;
+  for (const auto& s : summaries) {
+    if (StartsWith(s.name, "TG:")) {
+      best_tg = std::max(best_tg, s.mean_pearson);
+    } else {
+      best_baseline = std::max(best_baseline, s.mean_pearson);
+    }
+  }
+  std::printf("best TG avg=%.3f vs best baseline avg=%.3f (+%.0f%%)\n",
+              best_tg, best_baseline,
+              100.0 * (best_tg - best_baseline) / std::max(best_baseline,
+                                                           1e-9));
+
+  WriteSummariesCsv(std::string("fig7_") + zoo::ModalityName(modality) +
+                        ".csv",
+                    summaries);
+}
+
+}  // namespace
+}  // namespace tg::bench
+
+int main() {
+  tg::SetLogLevel(tg::LogLevel::kWarning);
+  auto zoo = tg::bench::MakePaperScaleZoo();
+  tg::bench::RunModality(zoo.get(), tg::zoo::Modality::kImage);
+  tg::bench::RunModality(zoo.get(), tg::zoo::Modality::kText);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 8 reproduction: feature ablation with a fixed LR prediction model:
+//   i)   metadata only                     (LR)
+//   ii)  metadata + similarity + LogME     (LR{all,LogME})
+//   iii) graph features only               (TG:LR,N2V)
+//   iv)  metadata + similarity + graph     (TG:LR,N2V,all)
+#include "bench_common.h"
+
+namespace tg::bench {
+namespace {
+
+void Run(zoo::ModelZoo* zoo, zoo::Modality modality) {
+  core::Pipeline pipeline(zoo, modality);
+  const core::PipelineConfig base = DefaultPipelineConfig();
+
+  const std::vector<core::Strategy> strategies = {
+      MakeStrategy(core::PredictorKind::kLinearRegression,
+                   core::GraphLearner::kNone,
+                   core::FeatureSet::kMetadataOnly),
+      MakeStrategy(core::PredictorKind::kLinearRegression,
+                   core::GraphLearner::kNone,
+                   core::FeatureSet::kAllWithLogMe),
+      MakeStrategy(core::PredictorKind::kLinearRegression,
+                   core::GraphLearner::kNode2Vec,
+                   core::FeatureSet::kGraphOnly),
+      MakeStrategy(core::PredictorKind::kLinearRegression,
+                   core::GraphLearner::kNode2Vec, core::FeatureSet::kAll),
+  };
+
+  std::vector<core::StrategySummary> summaries;
+  for (const core::Strategy& strategy : strategies) {
+    core::PipelineConfig config = base;
+    config.strategy = strategy;
+    summaries.push_back(core::EvaluateStrategy(&pipeline, config));
+  }
+
+  PrintSectionHeader(std::string("Figure 8 (") + zoo::ModalityName(modality) +
+                     "): feature ablation with the LR prediction model");
+  TablePrinter table(SummaryHeader(summaries[0]));
+  for (const auto& summary : summaries) AddSummaryRow(&table, summary);
+  table.Print();
+  WriteSummariesCsv(std::string("fig8_") + zoo::ModalityName(modality) +
+                        ".csv",
+                    summaries);
+}
+
+}  // namespace
+}  // namespace tg::bench
+
+int main() {
+  tg::SetLogLevel(tg::LogLevel::kWarning);
+  auto zoo = tg::bench::MakePaperScaleZoo();
+  tg::bench::Run(zoo.get(), tg::zoo::Modality::kImage);
+  tg::bench::Run(zoo.get(), tg::zoo::Modality::kText);
+  return 0;
+}

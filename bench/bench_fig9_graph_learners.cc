@@ -1,0 +1,52 @@
+// Figure 9 reproduction: effect of the graph learner (GraphSAGE, GAT,
+// Node2Vec+, Node2Vec), all with the LR prediction model and the full
+// feature set. Paper finding: the Node2Vec family outperforms the GNNs on
+// this small graph (265 nodes).
+#include "bench_common.h"
+
+namespace tg::bench {
+namespace {
+
+void Run(zoo::ModelZoo* zoo, zoo::Modality modality) {
+  core::Pipeline pipeline(zoo, modality);
+  const core::PipelineConfig base = DefaultPipelineConfig();
+
+  const std::vector<core::GraphLearner> learners = {
+      core::GraphLearner::kGraphSage,
+      core::GraphLearner::kGat,
+      core::GraphLearner::kNode2VecPlus,
+      core::GraphLearner::kNode2Vec,
+  };
+
+  std::vector<core::StrategySummary> summaries;
+  for (core::GraphLearner learner : learners) {
+    core::PipelineConfig config = base;
+    config.strategy = MakeStrategy(core::PredictorKind::kLinearRegression,
+                                   learner, core::FeatureSet::kAll);
+    Stopwatch timer;
+    summaries.push_back(core::EvaluateStrategy(&pipeline, config));
+    std::printf("[timing] %-20s %5.1fs\n",
+                config.strategy.DisplayName().c_str(),
+                timer.ElapsedSeconds());
+  }
+
+  PrintSectionHeader(std::string("Figure 9 (") + zoo::ModalityName(modality) +
+                     "): effect of the graph learner (LR predictor)");
+  TablePrinter table(SummaryHeader(summaries[0]));
+  for (const auto& summary : summaries) AddSummaryRow(&table, summary);
+  table.Print();
+  WriteSummariesCsv(std::string("fig9_") + zoo::ModalityName(modality) +
+                        ".csv",
+                    summaries);
+}
+
+}  // namespace
+}  // namespace tg::bench
+
+int main() {
+  tg::SetLogLevel(tg::LogLevel::kWarning);
+  auto zoo = tg::bench::MakePaperScaleZoo();
+  tg::bench::Run(zoo.get(), tg::zoo::Modality::kImage);
+  tg::bench::Run(zoo.get(), tg::zoo::Modality::kText);
+  return 0;
+}

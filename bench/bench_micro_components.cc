@@ -1,0 +1,180 @@
+// Component micro-benchmarks (google-benchmark): the building blocks whose
+// cost dominates the pipeline -- alias sampling, biased walks, skip-gram
+// training, LogME scoring, GBDT fitting, one GNN training epoch, and graph
+// construction.
+#include <benchmark/benchmark.h>
+
+#include "core/graph_builder.h"
+#include "embedding/node2vec.h"
+#include "gnn/link_prediction.h"
+#include "gnn/sage.h"
+#include "ml/gbdt.h"
+#include "ml/random_forest.h"
+#include "numeric/stats.h"
+#include "transferability/logme.h"
+#include "util/rng.h"
+#include "zoo/model_zoo.h"
+
+namespace tg {
+namespace {
+
+Graph MakeBenchmarkGraph(size_t num_nodes, size_t avg_degree) {
+  Graph g;
+  Rng rng(1);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    g.AddNode(i % 4 == 0 ? NodeType::kDataset : NodeType::kModel,
+              "n" + std::to_string(i));
+  }
+  const size_t num_edges = num_nodes * avg_degree / 2;
+  for (size_t e = 0; e < num_edges; ++e) {
+    NodeId a = static_cast<NodeId>(rng.NextBelow(num_nodes));
+    NodeId b = static_cast<NodeId>(rng.NextBelow(num_nodes));
+    if (a == b) continue;
+    g.AddUndirectedEdge(a, b, EdgeType::kDatasetDataset,
+                        0.1 + 0.9 * rng.NextDouble());
+  }
+  return g;
+}
+
+void BM_AliasTableSample(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<double> weights(1000);
+  for (double& w : weights) w = rng.NextDouble();
+  AliasTable table(weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Sample(&rng));
+  }
+}
+BENCHMARK(BM_AliasTableSample);
+
+void BM_BiasedRandomWalk(benchmark::State& state) {
+  Graph g = MakeBenchmarkGraph(260, 20);
+  WalkConfig config;
+  config.walk_length = static_cast<int>(state.range(0));
+  RandomWalkGenerator walker(g, config);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(walker.Walk(0, &rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BiasedRandomWalk)->Arg(20)->Arg(40)->Arg(80);
+
+void BM_Node2VecFull(benchmark::State& state) {
+  Graph g = MakeBenchmarkGraph(260, 20);
+  Node2VecConfig config;
+  config.walk.walks_per_node = 4;
+  config.walk.walk_length = 20;
+  config.skipgram.dim = static_cast<size_t>(state.range(0));
+  config.skipgram.epochs = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Node2VecEmbed(g, config, 7));
+  }
+}
+BENCHMARK(BM_Node2VecFull)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_LogMeScore(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  Matrix features = Matrix::Gaussian(n, 32, &rng);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) labels[i] = static_cast<int>(i % 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LogMeScore(features, labels, 10));
+  }
+}
+BENCHMARK(BM_LogMeScore)->Arg(200)->Arg(400)->Arg(800)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GbdtFit(benchmark::State& state) {
+  Rng rng(5);
+  const size_t n = 1000;
+  const size_t d = static_cast<size_t>(state.range(0));
+  ml::TabularDataset data;
+  data.x = Matrix::Gaussian(n, d, &rng);
+  data.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    data.y[i] = data.x(i, 0) + rng.NextGaussian(0.0, 0.1);
+  }
+  ml::GbdtConfig config;
+  config.num_trees = 50;
+  for (auto _ : state) {
+    ml::Gbdt model(config);
+    benchmark::DoNotOptimize(model.Fit(data));
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_GbdtFit)->Arg(32)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RandomForestFit(benchmark::State& state) {
+  Rng rng(6);
+  const size_t n = 1000;
+  ml::TabularDataset data;
+  data.x = Matrix::Gaussian(n, 64, &rng);
+  data.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    data.y[i] = data.x(i, 3) + rng.NextGaussian(0.0, 0.1);
+  }
+  ml::RandomForestConfig config;
+  config.num_trees = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ml::RandomForest model(config);
+    benchmark::DoNotOptimize(model.Fit(data));
+  }
+}
+BENCHMARK(BM_RandomForestFit)->Arg(10)->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GraphSageEpoch(benchmark::State& state) {
+  Graph g = MakeBenchmarkGraph(260, 20);
+  gnn::EdgeIndex edges = gnn::BuildEdgeIndex(g, true);
+  Rng rng(7);
+  gnn::SageConfig config;
+  config.hidden_dim = 64;
+  config.output_dim = 128;
+  gnn::GraphSage encoder(edges, 64, config, &rng);
+  Matrix features = Matrix::Gaussian(g.num_nodes(), 64, &rng);
+  gnn::LinkPredictionConfig lp;
+  lp.epochs = 1;
+  for (auto _ : state) {
+    Rng epoch_rng(8);
+    benchmark::DoNotOptimize(
+        gnn::TrainLinkPrediction(g, &encoder, features, {}, lp, &epoch_rng));
+  }
+}
+BENCHMARK(BM_GraphSageEpoch)->Unit(benchmark::kMillisecond);
+
+void BM_PearsonCorrelation(benchmark::State& state) {
+  Rng rng(9);
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.NextGaussian();
+    b[i] = rng.NextGaussian();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PearsonCorrelation(a, b));
+  }
+}
+BENCHMARK(BM_PearsonCorrelation)->Arg(185)->Arg(1000);
+
+void BM_GraphConstruction(benchmark::State& state) {
+  zoo::ModelZooConfig config;
+  config.catalog.num_image_models = 64;
+  config.world.max_samples_per_dataset = 100;
+  zoo::ModelZoo zoo(config);
+  core::GraphBuildOptions options;
+  // Warm the LogME cache so the benchmark isolates graph assembly.
+  core::BuildModelZooGraph(&zoo, zoo::Modality::kImage, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::BuildModelZooGraph(&zoo, zoo::Modality::kImage, options));
+  }
+}
+BENCHMARK(BM_GraphConstruction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tg
+
+BENCHMARK_MAIN();

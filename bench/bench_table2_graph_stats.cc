@@ -1,0 +1,72 @@
+// Table II reproduction: statistics of the constructed model-zoo graphs for
+// both modalities (thresholds, node counts, average degree, per-type edge
+// counts). Paper reference values: image graph 265 nodes / 5256 D-D edges /
+// 1753 accuracy edges / 916 transferability edges; text graph 188 nodes /
+// 550 D-D edges / 918 accuracy edges / 419 transferability edges.
+#include "bench_common.h"
+
+#include "core/graph_builder.h"
+#include "graph/graph_stats.h"
+
+namespace tg::bench {
+namespace {
+
+void Run(zoo::ModelZoo* zoo) {
+  core::GraphBuildOptions options;  // Table II thresholds (0.5 everywhere)
+
+  PrintSectionHeader("Table II: statistics of the graph properties");
+  TablePrinter table({"graph property", "image", "text"});
+
+  core::BuiltGraph image =
+      core::BuildModelZooGraph(zoo, zoo::Modality::kImage, options);
+  core::BuiltGraph text =
+      core::BuildModelZooGraph(zoo, zoo::Modality::kText, options);
+  GraphStats image_stats = ComputeGraphStats(image.graph);
+  GraphStats text_stats = ComputeGraphStats(text.graph);
+
+  auto row = [&](const std::string& name, auto image_value, auto text_value) {
+    table.AddRow({name, std::to_string(image_value),
+                  std::to_string(text_value)});
+  };
+  table.AddRow({"graph type", "homogenous", "homogenous"});
+  table.AddRow({"threshold on transferability score for edge pruning",
+                FormatDouble(options.transferability_threshold, 1),
+                FormatDouble(options.transferability_threshold, 1)});
+  table.AddRow({"threshold on accuracy for edge pruning",
+                FormatDouble(options.accuracy_threshold, 1),
+                FormatDouble(options.accuracy_threshold, 1)});
+  table.AddRow({"threshold of negative edge identification on accuracy",
+                FormatDouble(options.negative_threshold, 1),
+                FormatDouble(options.negative_threshold, 1)});
+  row("number of nodes", image_stats.num_nodes, text_stats.num_nodes);
+  table.AddRow({"average node degree",
+                FormatDouble(image_stats.average_degree, 1),
+                FormatDouble(text_stats.average_degree, 1)});
+  row("number of dataset-dataset edges", image_stats.dataset_dataset_edges,
+      text_stats.dataset_dataset_edges);
+  row("number of model-dataset edges with accuracy weight",
+      image_stats.model_dataset_accuracy_edges,
+      text_stats.model_dataset_accuracy_edges);
+  row("number of model-dataset edges with transferability weight",
+      image_stats.model_dataset_transferability_edges,
+      text_stats.model_dataset_transferability_edges);
+  row("number of labeled negative pairs", image.negative_edges.size(),
+      text.negative_edges.size());
+  row("connected components", image_stats.connected_components,
+      text_stats.connected_components);
+  table.Print();
+
+  std::printf(
+      "\npaper reference: image 265 nodes / 5256 D-D / 1753 acc / 916 "
+      "transf; text 188 nodes / 550 D-D / 918 acc / 419 transf\n");
+}
+
+}  // namespace
+}  // namespace tg::bench
+
+int main() {
+  tg::SetLogLevel(tg::LogLevel::kWarning);
+  auto zoo = tg::bench::MakePaperScaleZoo();
+  tg::bench::Run(zoo.get());
+  return 0;
+}

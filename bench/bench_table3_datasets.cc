@@ -1,0 +1,55 @@
+// Table III reproduction: properties (samples / classes) of the evaluation
+// target datasets, plus the roster sizes of the full collection (12 + 61
+// image, 8 + 16 text datasets; 185 + 163 models).
+#include "bench_common.h"
+
+namespace tg::bench {
+namespace {
+
+void Run(zoo::ModelZoo* zoo) {
+  for (zoo::Modality modality :
+       {zoo::Modality::kImage, zoo::Modality::kText}) {
+    PrintSectionHeader(std::string("Table III (") +
+                       zoo::ModalityName(modality) +
+                       "): target dataset properties");
+    TablePrinter table({"dataset", "samples", "classes", "domain group"});
+    for (size_t d : zoo->EvaluationTargets(modality)) {
+      const zoo::DatasetInfo& info = zoo->datasets()[d];
+      table.AddRow({info.name, std::to_string(info.num_samples),
+                    std::to_string(info.num_classes),
+                    std::to_string(info.domain)});
+    }
+    table.Print();
+  }
+
+  PrintSectionHeader("collection sizes");
+  TablePrinter sizes({"collection", "image", "text"});
+  auto count_datasets = [&](zoo::Modality modality, bool is_public) {
+    int count = 0;
+    for (const zoo::DatasetInfo& d : zoo->datasets()) {
+      if (d.modality == modality && d.is_public == is_public) ++count;
+    }
+    return count;
+  };
+  sizes.AddRow({"public datasets",
+                std::to_string(count_datasets(zoo::Modality::kImage, true)),
+                std::to_string(count_datasets(zoo::Modality::kText, true))});
+  sizes.AddRow({"source datasets",
+                std::to_string(count_datasets(zoo::Modality::kImage, false)),
+                std::to_string(count_datasets(zoo::Modality::kText, false))});
+  sizes.AddRow(
+      {"models",
+       std::to_string(zoo->ModelsOfModality(zoo::Modality::kImage).size()),
+       std::to_string(zoo->ModelsOfModality(zoo::Modality::kText).size())});
+  sizes.Print();
+}
+
+}  // namespace
+}  // namespace tg::bench
+
+int main() {
+  tg::SetLogLevel(tg::LogLevel::kWarning);
+  auto zoo = tg::bench::MakePaperScaleZoo();
+  tg::bench::Run(zoo.get());
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Image model selection across all eight evaluation targets: compares the
+// LogME baseline against the graph-learning strategy on every image target
+// (the workload behind the paper's Figure 7a) and reports per-dataset
+// correlations and top-5 accuracy.
+#include <cstdio>
+
+#include "core/baselines.h"
+#include "core/evaluation.h"
+#include "core/pipeline.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "zoo/model_zoo.h"
+
+int main() {
+  using namespace tg;  // NOLINT(build/namespaces)
+  SetLogLevel(LogLevel::kWarning);
+
+  zoo::ModelZooConfig zoo_config;
+  zoo_config.catalog.num_image_models = 100;
+  zoo::ModelZoo zoo(zoo_config);
+  core::Pipeline pipeline(&zoo, zoo::Modality::kImage);
+
+  core::PipelineConfig config;
+  config.strategy.predictor = core::PredictorKind::kLinearRegression;
+  config.strategy.learner = core::GraphLearner::kNode2Vec;
+  config.strategy.features = core::FeatureSet::kAll;
+  config.node2vec.skipgram.dim = 64;
+
+  TablePrinter table({"dataset", "LogME tau", "TG tau", "LogME top-5",
+                      "TG top-5"});
+  double logme_avg = 0.0;
+  double tg_avg = 0.0;
+  const auto targets = zoo.EvaluationTargets(zoo::Modality::kImage);
+  for (size_t target : targets) {
+    core::TargetEvaluation logme = core::EvaluateEstimatorBaseline(
+        &zoo, target, core::EstimatorBaseline::kLogMe);
+    core::TargetEvaluation tg = pipeline.EvaluateTarget(config, target);
+    logme_avg += logme.pearson;
+    tg_avg += tg.pearson;
+    table.AddRow({zoo.datasets()[target].name,
+                  FormatDouble(logme.pearson, 3), FormatDouble(tg.pearson, 3),
+                  FormatDouble(logme.TopKMeanAccuracy(5), 3),
+                  FormatDouble(tg.TopKMeanAccuracy(5), 3)});
+  }
+  table.AddRow({"average",
+                FormatDouble(logme_avg / targets.size(), 3),
+                FormatDouble(tg_avg / targets.size(), 3), "", ""});
+  table.Print();
+  return 0;
+}

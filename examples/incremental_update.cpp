@@ -1,0 +1,82 @@
+// Incremental zoo updates + explanation: the "a new checkpoint was just
+// uploaded" scenario from the paper's future-work discussion (§VII-G).
+//
+// Trains the graph learner and the prediction model once, then scores a
+// brand-new model -- approximating its node embedding inductively from the
+// datasets it connects to -- without retraining anything, and explains which
+// feature groups drive the predictor.
+#include <cstdio>
+
+#include "core/explain.h"
+#include "core/incremental.h"
+#include "util/logging.h"
+#include "zoo/model_zoo.h"
+
+int main() {
+  using namespace tg;  // NOLINT(build/namespaces)
+  SetLogLevel(LogLevel::kWarning);
+
+  zoo::ModelZooConfig zoo_config;
+  zoo_config.catalog.num_image_models = 64;
+  zoo::ModelZoo zoo(zoo_config);
+
+  core::PipelineConfig config;
+  config.strategy.predictor = core::PredictorKind::kXgboost;
+  config.strategy.learner = core::GraphLearner::kNode2Vec;
+  config.strategy.features = core::FeatureSet::kAll;
+  config.node2vec.skipgram.dim = 64;
+  config.predictor.gbdt.num_trees = 200;
+
+  std::printf("training the index once over the full zoo...\n");
+  core::IncrementalRecommender index(&zoo, zoo::Modality::kImage, config);
+
+  size_t target = 0;
+  for (size_t d : zoo.EvaluationTargets(zoo::Modality::kImage)) {
+    if (zoo.datasets()[d].name == "dtd") target = d;
+  }
+
+  // A new upload: metadata of a mid-sized ViT pre-trained on imagenet21k,
+  // with two observed fine-tuning results reported by its author.
+  zoo::ModelInfo upload;
+  upload.name = "vit-base-community-upload";
+  upload.modality = zoo::Modality::kImage;
+  upload.architecture = zoo::Architecture::kViT;
+  upload.num_parameters_millions = 86.6;
+  upload.memory_mb = 86.6 * 4.0;
+  upload.input_size = 224;
+  upload.pretrain_accuracy = 0.84;
+  for (size_t d = 0; d < zoo.num_datasets(); ++d) {
+    if (zoo.datasets()[d].name == "imagenet21k") upload.source_dataset = d;
+  }
+  std::vector<core::NewModelObservation> observations;
+  for (size_t d : zoo.PublicDatasets(zoo::Modality::kImage)) {
+    if (zoo.datasets()[d].name == "cifar100") {
+      observations.push_back(core::NewModelObservation{d, 0.78});
+    }
+    if (zoo.datasets()[d].name == "flowers") {
+      observations.push_back(core::NewModelObservation{d, 0.88});
+    }
+  }
+
+  const double score = index.ScoreNewModel(upload, observations, target);
+  std::printf(
+      "\nnew model '%s' scored %.3f on '%s' (no retraining performed)\n",
+      upload.name.c_str(), score, zoo.datasets()[target].name.c_str());
+
+  // How does it compare to the existing zoo?
+  int better_than = 0;
+  const auto models = zoo.ModelsOfModality(zoo::Modality::kImage);
+  for (size_t m : models) {
+    if (score > index.ScoreExisting(m, target)) ++better_than;
+  }
+  std::printf("predicted to beat %d of %zu existing models on this target\n",
+              better_than, models.size());
+
+  // Which feature groups does the trained predictor rely on?
+  std::printf("\npredictor feature attribution (top groups):\n%s",
+              core::RenderAttributions(core::ExplainPredictor(
+                                           index.predictor(),
+                                           index.feature_names(), 6))
+                  .c_str());
+  return 0;
+}

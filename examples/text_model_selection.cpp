@@ -1,0 +1,51 @@
+// Text model selection: ranks NLP checkpoints (BERT/RoBERTa/ELECTRA/...
+// families) for a tweet-classification target, comparing two fine-tuning
+// protocols -- full fine-tuning and LoRA -- as in the paper's §VII-F.
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "core/recommender.h"
+#include "util/logging.h"
+#include "zoo/model_zoo.h"
+
+int main() {
+  using namespace tg;  // NOLINT(build/namespaces)
+  SetLogLevel(LogLevel::kWarning);
+
+  zoo::ModelZooConfig zoo_config;
+  zoo_config.catalog.num_text_models = 80;
+  zoo::ModelZoo zoo(zoo_config);
+  core::Pipeline pipeline(&zoo, zoo::Modality::kText);
+
+  size_t target = 0;
+  for (size_t d : zoo.EvaluationTargets(zoo::Modality::kText)) {
+    if (zoo.datasets()[d].name == "tweet_eval/hate") target = d;
+  }
+  std::printf("target: %s\n\n", zoo.datasets()[target].name.c_str());
+
+  core::PipelineConfig config;
+  config.strategy.predictor = core::PredictorKind::kXgboost;
+  config.strategy.learner = core::GraphLearner::kNode2VecPlus;
+  config.strategy.features = core::FeatureSet::kAll;
+  config.node2vec.skipgram.dim = 64;
+  config.predictor.gbdt.num_trees = 200;
+
+  for (zoo::FineTuneMethod method :
+       {zoo::FineTuneMethod::kFullFineTune, zoo::FineTuneMethod::kLora}) {
+    core::PipelineConfig run = config;
+    run.graph.history_method = method;
+    run.evaluation_method = method;
+    core::TargetEvaluation evaluation =
+        pipeline.EvaluateTarget(run, target);
+    std::printf("--- fine-tuning method: %s (tau = %.3f) ---\n",
+                zoo::FineTuneMethodName(method), evaluation.pearson);
+    for (const core::Recommendation& rec :
+         core::TopModels(evaluation, zoo, 5)) {
+      std::printf("  %-26s predicted %.3f actual %.3f\n",
+                  rec.model_name.c_str(), rec.predicted_score,
+                  zoo.FineTuneAccuracy(rec.model_index, target, method));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

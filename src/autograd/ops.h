@@ -1,0 +1,68 @@
+// Differentiable operations over autograd Vars.
+//
+// Shape conventions follow the rest of the library: matrices are row-major,
+// a batch of node embeddings is (num_nodes x dim), an edge list op works on
+// (num_edges x dim) matrices produced by GatherRows.
+#ifndef TG_AUTOGRAD_OPS_H_
+#define TG_AUTOGRAD_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "autograd/tape.h"
+
+namespace tg::autograd {
+
+// --- Elementwise arithmetic (shapes must match) ---
+Var Add(const Var& a, const Var& b);
+Var Sub(const Var& a, const Var& b);
+Var Mul(const Var& a, const Var& b);  // Hadamard
+Var Scale(const Var& a, double s);
+
+// --- Linear algebra ---
+Var MatMul(const Var& a, const Var& b);
+// Adds a (1 x cols) bias row to every row of a.
+Var AddRowBroadcast(const Var& a, const Var& bias);
+// Multiplies row i of `a` by scalar col(i, 0); col is (rows x 1).
+Var MulColBroadcast(const Var& a, const Var& col);
+// Row-wise dot products of two same-shape matrices -> (rows x 1).
+Var RowsDot(const Var& a, const Var& b);
+// Horizontal concatenation [a | b].
+Var ConcatCols(const Var& a, const Var& b);
+
+// --- Activations ---
+Var Relu(const Var& a);
+Var LeakyRelu(const Var& a, double negative_slope = 0.2);
+Var Sigmoid(const Var& a);
+Var Tanh(const Var& a);
+Var Exp(const Var& a);
+// Natural log of max(a, eps) for numerical safety.
+Var Log(const Var& a, double eps = 1e-12);
+// Elu with alpha = 1 (GAT's output nonlinearity).
+Var Elu(const Var& a);
+
+// --- Reductions ---
+Var Sum(const Var& a);   // -> 1x1
+Var Mean(const Var& a);  // -> 1x1
+
+// --- Row indexing (graph message passing) ---
+// out[i] = a[indices[i]].
+Var GatherRows(const Var& a, std::vector<size_t> indices);
+// out has `num_rows` rows; out[indices[i]] += a[i].
+Var ScatterAddRows(const Var& a, std::vector<size_t> indices,
+                   size_t num_rows);
+
+// Softmax over groups of rows: scores is (n x 1); rows sharing a segment id
+// are normalized together (GAT attention over each node's incident edges).
+Var SegmentSoftmax(const Var& scores, std::vector<size_t> segments);
+
+// --- Losses (mean-reduced scalars) ---
+// Numerically stable binary cross entropy on raw logits; targets in {0,1}.
+Var BceWithLogits(const Var& logits, const Var& targets);
+Var MseLoss(const Var& pred, const Var& target);
+// 0.5 * ||a||_F^2, for weight decay.
+Var L2Penalty(const Var& a);
+
+}  // namespace tg::autograd
+
+#endif  // TG_AUTOGRAD_OPS_H_

@@ -1,0 +1,87 @@
+#include "core/budget_search.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace tg::core {
+
+double EstimateFineTuneCost(const zoo::ModelZoo& zoo, size_t model,
+                            size_t dataset, const BudgetOptions& options) {
+  const zoo::ModelInfo& m = zoo.models()[model];
+  const zoo::DatasetInfo& d = zoo.datasets()[dataset];
+  const double mparams = m.num_parameters_millions;
+  const double msamples =
+      static_cast<double>(d.num_samples) / 1e6;
+  return std::max(options.min_cost_gpu_hours,
+                  options.cost_per_mparam_msample * mparams * msamples);
+}
+
+double ExpectedBestOf(const std::vector<double>& means, double sigma) {
+  if (means.empty()) return 0.0;
+  if (sigma <= 0.0) {
+    return *std::max_element(means.begin(), means.end());
+  }
+  // Fixed-seed Monte Carlo; deterministic and accurate enough for planning.
+  Rng rng(0xBADCAB1Eu);
+  const int trials = 2000;
+  double total = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    double best = -1e300;
+    for (double mu : means) {
+      best = std::max(best, mu + sigma * rng.NextGaussian());
+    }
+    total += best;
+  }
+  return total / trials;
+}
+
+BudgetPlan PlanFineTuning(const zoo::ModelZoo& zoo,
+                          const TargetEvaluation& evaluation,
+                          const BudgetOptions& options) {
+  TG_CHECK_EQ(evaluation.predicted.size(), evaluation.model_indices.size());
+  const size_t n = evaluation.predicted.size();
+
+  // Candidates in descending predicted-score order.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return evaluation.predicted[a] > evaluation.predicted[b];
+  });
+
+  BudgetPlan plan;
+  std::vector<double> selected_means;
+  for (size_t rank = 0; rank < n; ++rank) {
+    if (plan.selected.size() >= options.max_models) break;
+    const size_t i = order[rank];
+    const size_t model = evaluation.model_indices[i];
+    const double cost = EstimateFineTuneCost(
+        zoo, model, evaluation.target_dataset, options);
+    if (plan.total_cost_gpu_hours + cost > options.budget_gpu_hours) {
+      continue;  // too expensive; cheaper lower-ranked models may still fit
+    }
+    // Keep the model only if it improves the expected best outcome.
+    std::vector<double> with = selected_means;
+    with.push_back(evaluation.predicted[i]);
+    const double gain = ExpectedBestOf(with, options.prediction_noise) -
+                        ExpectedBestOf(selected_means,
+                                       options.prediction_noise);
+    if (!plan.selected.empty() && gain <= 1e-4) continue;
+
+    selected_means = std::move(with);
+    BudgetPlanEntry entry;
+    entry.model_index = model;
+    entry.model_name = zoo.models()[model].name;
+    entry.predicted_score = evaluation.predicted[i];
+    entry.estimated_cost_gpu_hours = cost;
+    plan.total_cost_gpu_hours += cost;
+    plan.selected.push_back(std::move(entry));
+  }
+  plan.expected_best_accuracy =
+      ExpectedBestOf(selected_means, options.prediction_noise);
+  return plan;
+}
+
+}  // namespace tg::core

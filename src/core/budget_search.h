@@ -1,0 +1,68 @@
+// Budget-constrained fine-tuning portfolio selection, in the spirit of the
+// SHiFT search engine the paper cites (§II-A): given per-model predicted
+// scores and a fine-tuning budget in GPU-hours, choose which models to
+// actually fine-tune.
+//
+// Fine-tuning cost is estimated from metadata: cost grows linearly with
+// parameter count and with the target dataset's size (the quantities the
+// paper names when motivating why fine-tuning everything is infeasible --
+// 1178 GPU-hours for one dataset sweep).
+//
+// Selection maximizes the expected best outcome of the chosen set under a
+// Gaussian noise model on the predictions: a greedy sweep over candidates in
+// score order that keeps a model when its marginal gain per cost beats the
+// current best alternative use of the remaining budget.
+#ifndef TG_CORE_BUDGET_SEARCH_H_
+#define TG_CORE_BUDGET_SEARCH_H_
+
+#include <vector>
+
+#include "core/pipeline.h"
+#include "zoo/model_zoo.h"
+
+namespace tg::core {
+
+struct BudgetOptions {
+  double budget_gpu_hours = 40.0;
+  // GPU-hours per (million parameters * million samples); the default is
+  // calibrated to the paper's 1178 GPU-hours for 185 models on one dataset
+  // sweep (~6.4 h per fine-tuning run on average).
+  double cost_per_mparam_msample = 5.0;
+  double min_cost_gpu_hours = 0.25;  // floor per fine-tuning run
+  // Assumed std-dev of the predicted-accuracy error; drives the value of
+  // trying more than one model.
+  double prediction_noise = 0.05;
+  size_t max_models = 32;
+};
+
+struct BudgetPlanEntry {
+  size_t model_index = 0;
+  std::string model_name;
+  double predicted_score = 0.0;
+  double estimated_cost_gpu_hours = 0.0;
+};
+
+struct BudgetPlan {
+  std::vector<BudgetPlanEntry> selected;
+  double total_cost_gpu_hours = 0.0;
+  // Expected max accuracy of the selected set under the noise model.
+  double expected_best_accuracy = 0.0;
+};
+
+// Estimated cost of fine-tuning `model` on `dataset`.
+double EstimateFineTuneCost(const zoo::ModelZoo& zoo, size_t model,
+                            size_t dataset, const BudgetOptions& options);
+
+// Builds a portfolio from a completed evaluation (predicted scores for all
+// models on the target).
+BudgetPlan PlanFineTuning(const zoo::ModelZoo& zoo,
+                          const TargetEvaluation& evaluation,
+                          const BudgetOptions& options);
+
+// Expected value of max over k independent N(mu_i, sigma) draws, estimated
+// by quasi-Monte-Carlo; exposed for tests.
+double ExpectedBestOf(const std::vector<double>& means, double sigma);
+
+}  // namespace tg::core
+
+#endif  // TG_CORE_BUDGET_SEARCH_H_

@@ -1,0 +1,60 @@
+#include "core/explain.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace tg::core {
+namespace {
+
+std::string GroupOf(const std::string& feature) {
+  if (StartsWith(feature, "model_emb_")) return "graph: model embedding";
+  if (StartsWith(feature, "dataset_emb_")) return "graph: dataset embedding";
+  if (StartsWith(feature, "arch_")) return "metadata: architecture";
+  return feature;
+}
+
+}  // namespace
+
+std::vector<FeatureAttribution> ExplainPredictor(
+    const ml::Regressor& model,
+    const std::vector<std::string>& feature_names, size_t top_k) {
+  const std::vector<double> importances = model.FeatureImportances();
+  if (importances.empty()) return {};
+  TG_CHECK_EQ(importances.size(), feature_names.size());
+
+  std::map<std::string, double> grouped;
+  for (size_t f = 0; f < feature_names.size(); ++f) {
+    grouped[GroupOf(feature_names[f])] += importances[f];
+  }
+
+  std::vector<FeatureAttribution> out;
+  out.reserve(grouped.size());
+  for (const auto& [name, importance] : grouped) {
+    out.push_back(FeatureAttribution{name, importance});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FeatureAttribution& a, const FeatureAttribution& b) {
+              return a.importance > b.importance;
+            });
+  if (out.size() > top_k) out.resize(top_k);
+  return out;
+}
+
+std::string RenderAttributions(
+    const std::vector<FeatureAttribution>& attributions) {
+  size_t width = 0;
+  for (const auto& a : attributions) width = std::max(width, a.feature.size());
+  std::string text;
+  for (const auto& a : attributions) {
+    text += a.feature;
+    text.append(width - a.feature.size() + 2, ' ');
+    text += FormatDouble(a.importance, 4);
+    text += "\n";
+  }
+  return text;
+}
+
+}  // namespace tg::core

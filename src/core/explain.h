@@ -1,0 +1,35 @@
+// Interpretability helpers (paper §VII-G "future work ... interpret and
+// explain the graph learning process"): surfaces which supervised features
+// drive a prediction model's scores, with graph-embedding dimensions
+// aggregated into two groups (model embedding, dataset embedding) so the
+// report stays human-readable.
+#ifndef TG_CORE_EXPLAIN_H_
+#define TG_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/tabular.h"
+
+namespace tg::core {
+
+struct FeatureAttribution {
+  std::string feature;  // feature name or aggregated group name
+  double importance = 0.0;
+};
+
+// Aggregates the fitted model's per-feature importances against the feature
+// names, grouping "model_emb_*" / "dataset_emb_*" / "arch_*" columns, and
+// returns the top-k attributions sorted by importance. Empty when the model
+// exposes no importances.
+std::vector<FeatureAttribution> ExplainPredictor(
+    const ml::Regressor& model, const std::vector<std::string>& feature_names,
+    size_t top_k = 8);
+
+// Renders attributions as an aligned text block (one line per feature).
+std::string RenderAttributions(
+    const std::vector<FeatureAttribution>& attributions);
+
+}  // namespace tg::core
+
+#endif  // TG_CORE_EXPLAIN_H_

@@ -1,0 +1,70 @@
+// Supervised feature assembly (paper §VI-C): one row per (model, dataset)
+// pair, combining basic metadata, the source-target dataset distance, the
+// LogME score (for the LR{all,LogME} baseline), and the graph-learned node
+// embeddings of the model and dataset.
+#ifndef TG_CORE_FEATURE_TABLE_H_
+#define TG_CORE_FEATURE_TABLE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/graph_builder.h"
+#include "core/strategy.h"
+#include "ml/tabular.h"
+#include "numeric/matrix.h"
+#include "zoo/model_zoo.h"
+
+namespace tg::core {
+
+class FeatureAssembler {
+ public:
+  // `embeddings` (num graph nodes x dim, aligned with built.graph node ids)
+  // may be null when the feature set uses no graph features; `built` may be
+  // null in that case too. Pointers must outlive the assembler.
+  FeatureAssembler(zoo::ModelZoo* zoo, zoo::Modality modality,
+                   FeatureSet feature_set,
+                   zoo::DatasetRepresentation representation,
+                   const BuiltGraph* built, const Matrix* embeddings);
+
+  // Feature vector for a (model, dataset) pair.
+  std::vector<double> Row(size_t model, size_t dataset);
+
+  std::vector<std::string> FeatureNames() const;
+  size_t num_features() const { return FeatureNames().size(); }
+
+  // Builds the training table over the given pairs with fine-tuning
+  // accuracy labels of `method`.
+  ml::TabularDataset BuildTable(
+      const std::vector<std::pair<size_t, size_t>>& pairs,
+      zoo::FineTuneMethod method);
+
+  // Per-dataset min-max-normalized LogME score; used both as a feature
+  // (LR{all,LogME}) and as the pseudo-label in the cold-start scenario
+  // without training history (paper §VII-C).
+  double NormalizedLogMe(size_t model, size_t dataset);
+
+  // Feature row for a model that is NOT in the zoo (incremental updates):
+  // metadata comes from `info`, the graph part from the supplied embedding.
+  // Not supported for FeatureSet::kAllWithLogMe (no features to run LogME
+  // on for an external model).
+  std::vector<double> RowForExternalModel(
+      const zoo::ModelInfo& info, const std::vector<double>& model_embedding,
+      size_t dataset);
+
+ private:
+
+  zoo::ModelZoo* zoo_;
+  zoo::Modality modality_;
+  FeatureSet feature_set_;
+  zoo::DatasetRepresentation representation_;
+  const BuiltGraph* built_;
+  const Matrix* embeddings_;
+  // Per-dataset min-max-normalized LogME across same-modality models.
+  std::unordered_map<size_t, std::unordered_map<size_t, double>>
+      normalized_logme_;
+};
+
+}  // namespace tg::core
+
+#endif  // TG_CORE_FEATURE_TABLE_H_

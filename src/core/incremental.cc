@@ -1,0 +1,85 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tg::core {
+
+IncrementalRecommender::IncrementalRecommender(zoo::ModelZoo* zoo,
+                                               zoo::Modality modality,
+                                               const PipelineConfig& config)
+    : zoo_(zoo), modality_(modality), config_(config) {
+  TG_CHECK_MSG(config.strategy.features != FeatureSet::kAllWithLogMe,
+               "incremental mode does not support the LogME feature set");
+  config_.graph.exclude_target.reset();  // full graph, no leave-one-out
+
+  if (config_.strategy.UsesGraphFeatures()) {
+    built_ = BuildModelZooGraph(zoo_, modality_, config_.graph);
+    Pipeline pipeline(zoo_, modality_);
+    embeddings_ = pipeline.EmbeddingsFor(config_, built_);
+  }
+
+  assembler_ = std::make_unique<FeatureAssembler>(
+      zoo_, modality_, config_.strategy.features, config_.graph.representation,
+      config_.strategy.UsesGraphFeatures() ? &built_ : nullptr,
+      config_.strategy.UsesGraphFeatures() ? &embeddings_ : nullptr);
+
+  // Train the predictor once on the entire history.
+  std::vector<std::pair<size_t, size_t>> pairs;
+  for (size_t d : zoo_->PublicDatasets(modality_)) {
+    for (size_t m : zoo_->ModelsOfModality(modality_)) {
+      pairs.emplace_back(m, d);
+    }
+  }
+  ml::TabularDataset train =
+      assembler_->BuildTable(pairs, config_.graph.history_method);
+  predictor_ = MakePredictor(config_.strategy.predictor, config_.predictor);
+  Status fit = predictor_->Fit(train);
+  TG_CHECK_MSG(fit.ok(), fit.ToString().c_str());
+}
+
+double IncrementalRecommender::ScoreExisting(size_t model, size_t dataset) {
+  return predictor_->Predict(assembler_->Row(model, dataset));
+}
+
+std::vector<double> IncrementalRecommender::ApproximateEmbedding(
+    const zoo::ModelInfo& info,
+    const std::vector<NewModelObservation>& observations) const {
+  if (!config_.strategy.UsesGraphFeatures()) return {};
+  const size_t dim = embeddings_.cols();
+  std::vector<double> embedding(dim, 0.0);
+  double total_weight = 0.0;
+
+  auto add_dataset = [&](size_t dataset, double weight) {
+    auto it = built_.dataset_node.find(dataset);
+    TG_CHECK_MSG(it != built_.dataset_node.end(),
+                 "observation references a dataset outside the graph");
+    const double w = std::max(weight, 1e-6);
+    for (size_t c = 0; c < dim; ++c) {
+      embedding[c] += w * embeddings_(it->second, c);
+    }
+    total_weight += w;
+  };
+
+  // The edges the new model would have: pre-training source + history.
+  add_dataset(info.source_dataset, info.pretrain_accuracy);
+  for (const NewModelObservation& obs : observations) {
+    add_dataset(obs.dataset, obs.accuracy);
+  }
+  for (double& v : embedding) v /= total_weight;
+  return embedding;
+}
+
+double IncrementalRecommender::ScoreNewModel(
+    const zoo::ModelInfo& info,
+    const std::vector<NewModelObservation>& observations,
+    size_t target_dataset) {
+  TG_CHECK(info.modality == modality_);
+  const std::vector<double> embedding =
+      ApproximateEmbedding(info, observations);
+  return predictor_->Predict(
+      assembler_->RowForExternalModel(info, embedding, target_dataset));
+}
+
+}  // namespace tg::core

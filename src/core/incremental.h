@@ -1,0 +1,70 @@
+// Incremental model recommendation (paper §VII-G future work: "dynamic
+// graph learning ... timely update of the model recommendation").
+//
+// The graph learner and the prediction model are trained once over the full
+// zoo; when a new checkpoint is uploaded, its node embedding is approximated
+// *inductively* -- as the accuracy-weighted average of the embeddings of the
+// dataset nodes it would connect to (its pre-training source plus any
+// observed fine-tuning results) -- and the already-trained predictor scores
+// it immediately, without retraining anything.
+#ifndef TG_CORE_INCREMENTAL_H_
+#define TG_CORE_INCREMENTAL_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/feature_table.h"
+#include "core/pipeline.h"
+#include "zoo/model_zoo.h"
+
+namespace tg::core {
+
+// An observed fine-tuning result of a new model on a public dataset.
+struct NewModelObservation {
+  size_t dataset = 0;
+  double accuracy = 0.0;
+};
+
+class IncrementalRecommender {
+ public:
+  // Builds the full (non-leave-one-out) graph, trains the graph learner and
+  // the prediction model once. The config's feature set must not be
+  // kAllWithLogMe (external models have no features to run LogME on).
+  IncrementalRecommender(zoo::ModelZoo* zoo, zoo::Modality modality,
+                         const PipelineConfig& config);
+
+  // Predicted fine-tuning accuracy of an existing zoo model.
+  double ScoreExisting(size_t model, size_t dataset);
+
+  // Predicted fine-tuning accuracy of a model that is not in the zoo, given
+  // its metadata and (possibly empty) observed history. O(observations),
+  // no retraining.
+  double ScoreNewModel(const zoo::ModelInfo& info,
+                       const std::vector<NewModelObservation>& observations,
+                       size_t target_dataset);
+
+  // The inductive embedding a new model would receive.
+  std::vector<double> ApproximateEmbedding(
+      const zoo::ModelInfo& info,
+      const std::vector<NewModelObservation>& observations) const;
+
+  const Matrix& embeddings() const { return embeddings_; }
+  // The trained prediction model and its feature layout (for explanation).
+  const ml::Regressor& predictor() const { return *predictor_; }
+  std::vector<std::string> feature_names() const {
+    return assembler_->FeatureNames();
+  }
+
+ private:
+  zoo::ModelZoo* zoo_;
+  zoo::Modality modality_;
+  PipelineConfig config_;
+  BuiltGraph built_;
+  Matrix embeddings_;
+  std::unique_ptr<FeatureAssembler> assembler_;
+  std::unique_ptr<ml::Regressor> predictor_;
+};
+
+}  // namespace tg::core
+
+#endif  // TG_CORE_INCREMENTAL_H_

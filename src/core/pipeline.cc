@@ -1,0 +1,246 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "numeric/pca.h"
+#include "numeric/stats.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace tg::core {
+
+double TargetEvaluation::TopKMeanAccuracy(int k) const {
+  TG_CHECK_GT(k, 0);
+  TG_CHECK(!predicted.empty());
+  std::vector<size_t> order(predicted.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return predicted[a] > predicted[b];
+  });
+  const size_t take = std::min<size_t>(static_cast<size_t>(k), order.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < take; ++i) acc += actual[order[i]];
+  return acc / static_cast<double>(take);
+}
+
+Pipeline::Pipeline(zoo::ModelZoo* zoo, zoo::Modality modality)
+    : zoo_(zoo), modality_(modality) {}
+
+std::string Pipeline::EmbeddingCacheKey(const PipelineConfig& config) const {
+  const GraphBuildOptions& g = config.graph;
+  std::string key = GraphLearnerName(config.strategy.learner);
+  key += "|t=";
+  key += g.exclude_target.has_value() ? std::to_string(*g.exclude_target)
+                                      : "none";
+  key += "|acc=" + std::to_string(g.accuracy_threshold);
+  key += "|tr=" + std::to_string(g.transferability_threshold);
+  key += "|ia=" + std::to_string(g.include_accuracy_edges);
+  key += "|it=" + std::to_string(g.include_transferability_edges);
+  key += "|hr=" + std::to_string(g.history_ratio);
+  key += "|hm=" + std::string(zoo::FineTuneMethodName(g.history_method));
+  key += "|rep=" + std::to_string(static_cast<int>(g.representation));
+  key += "|gseed=" + std::to_string(g.seed);
+  key += "|seed=" + std::to_string(config.seed);
+  key += "|dim=" + std::to_string(config.node2vec.skipgram.dim);
+  key += "|pca=" + std::to_string(config.node_feature_pca_dim);
+  return key;
+}
+
+Matrix Pipeline::BuildNodeFeatures(const PipelineConfig& config,
+                                   const BuiltGraph& built) {
+  // Feature layout: [type(2) | dataset representation | model metadata].
+  // Collect the dataset representations (optionally PCA-reduced).
+  std::vector<size_t> dataset_ids;
+  dataset_ids.reserve(built.dataset_node.size());
+  for (const auto& [dataset, node] : built.dataset_node) {
+    (void)node;
+    dataset_ids.push_back(dataset);
+  }
+  const size_t raw_dim =
+      zoo_->DatasetEmbedding(dataset_ids.front(), config.graph.representation)
+          .size();
+  Matrix representations(dataset_ids.size(), raw_dim);
+  for (size_t i = 0; i < dataset_ids.size(); ++i) {
+    representations.SetRow(
+        i, zoo_->DatasetEmbedding(dataset_ids[i],
+                                  config.graph.representation));
+  }
+  if (config.node_feature_pca_dim > 0 &&
+      config.node_feature_pca_dim < raw_dim) {
+    Pca pca;
+    Status fit = pca.Fit(representations, config.node_feature_pca_dim);
+    TG_CHECK_MSG(fit.ok(), fit.ToString().c_str());
+    representations = pca.Transform(representations);
+  }
+  const size_t repr_dim = representations.cols();
+
+  const size_t meta_dim = static_cast<size_t>(zoo::kNumArchitectures) + 4;
+  const size_t dim = 2 + repr_dim + meta_dim;
+  Matrix features(built.graph.num_nodes(), dim);
+
+  for (size_t i = 0; i < dataset_ids.size(); ++i) {
+    const NodeId node = built.dataset_node.at(dataset_ids[i]);
+    features(node, 0) = 1.0;
+    for (size_t c = 0; c < repr_dim; ++c) {
+      features(node, 2 + c) = representations(i, c);
+    }
+  }
+  for (const auto& [model, node] : built.model_node) {
+    features(node, 1) = 1.0;
+    const zoo::ModelInfo& m = zoo_->models()[model];
+    const size_t base = 2 + repr_dim;
+    features(node, base + static_cast<size_t>(m.architecture)) = 1.0;
+    features(node, base + zoo::kNumArchitectures + 0) =
+        std::log10(m.num_parameters_millions) / 3.0;
+    features(node, base + zoo::kNumArchitectures + 1) =
+        static_cast<double>(m.input_size) / 1000.0;
+    features(node, base + zoo::kNumArchitectures + 2) = m.pretrain_accuracy;
+    features(node, base + zoo::kNumArchitectures + 3) =
+        std::log10(std::max(m.memory_mb, 1.0)) / 4.0;
+  }
+  return features;
+}
+
+const Matrix& Pipeline::EmbeddingsFor(const PipelineConfig& config,
+                                      const BuiltGraph& built) {
+  TG_CHECK(config.strategy.learner != GraphLearner::kNone);
+  const std::string key = EmbeddingCacheKey(config);
+  auto it = embedding_cache_.find(key);
+  if (it != embedding_cache_.end()) return it->second;
+
+  Stopwatch timer;
+  Matrix embeddings;
+  switch (config.strategy.learner) {
+    case GraphLearner::kNode2Vec:
+    case GraphLearner::kNode2VecPlus: {
+      Node2VecConfig n2v = config.node2vec;
+      n2v.walk.extended =
+          config.strategy.learner == GraphLearner::kNode2VecPlus;
+      embeddings = Node2VecEmbed(built.graph, n2v, config.seed);
+      break;
+    }
+    case GraphLearner::kGraphSage: {
+      Rng rng(config.seed);
+      const Matrix features = BuildNodeFeatures(config, built);
+      gnn::EdgeIndex edges =
+          gnn::BuildEdgeIndex(built.graph, /*add_self_loops=*/true);
+      gnn::GraphSage encoder(edges, features.cols(), config.sage, &rng);
+      embeddings = gnn::TrainLinkPrediction(built.graph, &encoder, features,
+                                            built.negative_edges,
+                                            config.link_prediction, &rng)
+                       .embeddings;
+      break;
+    }
+    case GraphLearner::kGat: {
+      Rng rng(config.seed);
+      const Matrix features = BuildNodeFeatures(config, built);
+      gnn::EdgeIndex edges =
+          gnn::BuildEdgeIndex(built.graph, /*add_self_loops=*/true);
+      gnn::Gat encoder(edges, features.cols(), config.gat, &rng);
+      embeddings = gnn::TrainLinkPrediction(built.graph, &encoder, features,
+                                            built.negative_edges,
+                                            config.link_prediction, &rng)
+                       .embeddings;
+      break;
+    }
+    case GraphLearner::kNone:
+      break;
+  }
+  TG_LOG(Debug) << "graph learner " << GraphLearnerName(config.strategy.learner)
+                << " trained in " << timer.ElapsedSeconds() << "s";
+  return embedding_cache_.emplace(key, std::move(embeddings)).first->second;
+}
+
+TargetEvaluation Pipeline::EvaluateTarget(const PipelineConfig& config,
+                                          size_t target_dataset) {
+  TG_CHECK_LT(target_dataset, zoo_->num_datasets());
+  TG_CHECK(zoo_->datasets()[target_dataset].modality == modality_);
+
+  PipelineConfig cfg = config;
+  cfg.graph.exclude_target = target_dataset;
+
+  // --- Graph features (when the strategy uses them) ---
+  BuiltGraph built;
+  const Matrix* embeddings = nullptr;
+  if (cfg.strategy.UsesGraphFeatures()) {
+    built = BuildModelZooGraph(zoo_, modality_, cfg.graph);
+    embeddings = &EmbeddingsFor(cfg, built);
+  }
+
+  FeatureAssembler assembler(zoo_, modality_, cfg.strategy.features,
+                             cfg.graph.representation,
+                             embeddings != nullptr ? &built : nullptr,
+                             embeddings);
+
+  // --- Training table: history on every public dataset except the target ---
+  std::vector<std::pair<size_t, size_t>> train_pairs;
+  const std::vector<size_t> model_ids = zoo_->ModelsOfModality(modality_);
+  for (size_t d : zoo_->PublicDatasets(modality_)) {
+    if (d == target_dataset) continue;
+    for (size_t m : model_ids) train_pairs.emplace_back(m, d);
+  }
+  // Appendix B: when only a fraction of the training history is available,
+  // the supervised table shrinks along with the graph edges.
+  if (cfg.graph.history_ratio < 1.0) {
+    Rng subsample_rng(cfg.graph.seed ^
+                      (0x9E3779B97F4A7C15ULL * (target_dataset + 1)));
+    std::vector<std::pair<size_t, size_t>> kept;
+    for (const auto& pair : train_pairs) {
+      if (subsample_rng.NextBernoulli(cfg.graph.history_ratio)) {
+        kept.push_back(pair);
+      }
+    }
+    if (!kept.empty()) train_pairs = std::move(kept);
+  }
+  ml::TabularDataset train =
+      assembler.BuildTable(train_pairs, cfg.graph.history_method);
+  if (cfg.use_transferability_labels) {
+    for (size_t i = 0; i < train_pairs.size(); ++i) {
+      train.y[i] = assembler.NormalizedLogMe(train_pairs[i].first,
+                                             train_pairs[i].second);
+    }
+  }
+
+  PredictorKind kind = cfg.strategy.predictor;
+  if (kind == PredictorKind::kAuto) {
+    kind = SelectPredictorByCv(train, cfg.predictor, /*folds=*/4, cfg.seed);
+    TG_LOG(Debug) << "auto predictor for "
+                  << zoo_->datasets()[target_dataset].name << ": "
+                  << PredictorKindName(kind);
+  }
+  std::unique_ptr<ml::Regressor> predictor = MakePredictor(kind,
+                                                           cfg.predictor);
+  Status fit = predictor->Fit(train);
+  TG_CHECK_MSG(fit.ok(), fit.ToString().c_str());
+
+  // --- Prediction set: every model against the target ---
+  TargetEvaluation eval;
+  eval.target_dataset = target_dataset;
+  eval.target_name = zoo_->datasets()[target_dataset].name;
+  eval.model_indices = model_ids;
+  eval.predicted.reserve(model_ids.size());
+  eval.actual.reserve(model_ids.size());
+  for (size_t m : model_ids) {
+    eval.predicted.push_back(predictor->Predict(assembler.Row(m,
+                                                              target_dataset)));
+    eval.actual.push_back(
+        zoo_->FineTuneAccuracy(m, target_dataset, cfg.evaluation_method));
+  }
+  eval.pearson = PearsonCorrelation(eval.predicted, eval.actual);
+  eval.spearman = SpearmanCorrelation(eval.predicted, eval.actual);
+  return eval;
+}
+
+std::vector<TargetEvaluation> Pipeline::EvaluateAllTargets(
+    const PipelineConfig& config) {
+  std::vector<TargetEvaluation> out;
+  for (size_t target : zoo_->EvaluationTargets(modality_)) {
+    out.push_back(EvaluateTarget(config, target));
+  }
+  return out;
+}
+
+}  // namespace tg::core

@@ -1,0 +1,96 @@
+// The end-to-end TransferGraph pipeline (paper Fig. 5, stages 2-4):
+// build the graph (leave-one-out on the target), learn node embeddings with
+// the configured graph learner, assemble the supervised table from training
+// history, fit the prediction model, and score all models on the target.
+#ifndef TG_CORE_PIPELINE_H_
+#define TG_CORE_PIPELINE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/feature_table.h"
+#include "core/graph_builder.h"
+#include "core/strategy.h"
+#include "embedding/node2vec.h"
+#include "gnn/gat.h"
+#include "gnn/link_prediction.h"
+#include "gnn/sage.h"
+#include "zoo/model_zoo.h"
+
+namespace tg::core {
+
+struct PipelineConfig {
+  Strategy strategy;
+  GraphBuildOptions graph;
+  Node2VecConfig node2vec;  // dim defaults to the paper's 128
+  gnn::SageConfig sage;
+  gnn::GatConfig gat;
+  gnn::LinkPredictionConfig link_prediction;
+  PredictorSettings predictor;
+  // When > 0, dataset representations are PCA-reduced to this many
+  // dimensions before becoming GNN node features (appendix A: very
+  // high-dimensional representations hurt GNN learners on the small graph).
+  size_t node_feature_pca_dim = 0;
+  // Ground truth used to *evaluate* predictions on the target; the history
+  // edges / training labels use graph.history_method (paper Fig. 11b keeps
+  // an old-method graph while evaluating against new-method accuracy).
+  zoo::FineTuneMethod evaluation_method = zoo::FineTuneMethod::kFullFineTune;
+  // Cold-start scenario (paper §VII-C): no fine-tuning history exists, so
+  // the prediction model trains on normalized LogME pseudo-labels instead of
+  // fine-tuning accuracy. Combine with graph.include_accuracy_edges = false.
+  bool use_transferability_labels = false;
+  uint64_t seed = 2024;
+};
+
+// Outcome of scoring every model against one target dataset.
+struct TargetEvaluation {
+  size_t target_dataset = 0;
+  std::string target_name;
+  std::vector<size_t> model_indices;
+  std::vector<double> predicted;
+  std::vector<double> actual;
+  double pearson = 0.0;
+  double spearman = 0.0;
+
+  // Mean actual fine-tuning accuracy of the k models with the highest
+  // predicted scores (the paper's Fig. 2 metric).
+  double TopKMeanAccuracy(int k) const;
+};
+
+class Pipeline {
+ public:
+  // The zoo must outlive the pipeline. One pipeline per modality.
+  Pipeline(zoo::ModelZoo* zoo, zoo::Modality modality);
+
+  // Full leave-one-out evaluation of one target dataset.
+  TargetEvaluation EvaluateTarget(const PipelineConfig& config,
+                                  size_t target_dataset);
+
+  // Evaluates every evaluation-target dataset of the modality.
+  std::vector<TargetEvaluation> EvaluateAllTargets(
+      const PipelineConfig& config);
+
+  // Node embeddings for the given graph/learner configuration (cached per
+  // configuration; shared across prediction models and feature sets).
+  const Matrix& EmbeddingsFor(const PipelineConfig& config,
+                              const BuiltGraph& built);
+
+  zoo::Modality modality() const { return modality_; }
+  zoo::ModelZoo* zoo() const { return zoo_; }
+
+ private:
+  std::string EmbeddingCacheKey(const PipelineConfig& config) const;
+  // Node feature matrix for GNN learners: dataset representation for
+  // dataset nodes, metadata for model nodes, plus node-type indicators.
+  Matrix BuildNodeFeatures(const PipelineConfig& config,
+                           const BuiltGraph& built);
+
+  zoo::ModelZoo* zoo_;
+  zoo::Modality modality_;
+  std::unordered_map<std::string, Matrix> embedding_cache_;
+};
+
+}  // namespace tg::core
+
+#endif  // TG_CORE_PIPELINE_H_

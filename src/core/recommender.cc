@@ -1,0 +1,36 @@
+#include "core/recommender.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tg::core {
+
+std::vector<Recommendation> TopModels(const TargetEvaluation& evaluation,
+                                      const zoo::ModelZoo& zoo, size_t k) {
+  std::vector<size_t> order(evaluation.predicted.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return evaluation.predicted[a] > evaluation.predicted[b];
+  });
+  std::vector<Recommendation> out;
+  const size_t take = std::min(k, order.size());
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    Recommendation rec;
+    rec.model_index = evaluation.model_indices[order[i]];
+    rec.model_name = zoo.models()[rec.model_index].name;
+    rec.predicted_score = evaluation.predicted[order[i]];
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+std::vector<Recommendation> RecommendModels(Pipeline* pipeline,
+                                            const PipelineConfig& config,
+                                            size_t target_dataset, size_t k) {
+  const TargetEvaluation evaluation =
+      pipeline->EvaluateTarget(config, target_dataset);
+  return TopModels(evaluation, *pipeline->zoo(), k);
+}
+
+}  // namespace tg::core

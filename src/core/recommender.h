@@ -1,0 +1,32 @@
+// Model recommendation (paper Fig. 5, stage 4): ranks the zoo's models for a
+// target dataset by predicted fine-tuning performance.
+#ifndef TG_CORE_RECOMMENDER_H_
+#define TG_CORE_RECOMMENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "zoo/model_zoo.h"
+
+namespace tg::core {
+
+struct Recommendation {
+  size_t model_index = 0;
+  std::string model_name;
+  double predicted_score = 0.0;
+};
+
+// Top-k models by predicted score from a completed evaluation.
+std::vector<Recommendation> TopModels(const TargetEvaluation& evaluation,
+                                      const zoo::ModelZoo& zoo, size_t k);
+
+// Convenience wrapper: run the pipeline on the target and return the top-k
+// recommendations (the public "which models should I fine-tune?" API).
+std::vector<Recommendation> RecommendModels(Pipeline* pipeline,
+                                            const PipelineConfig& config,
+                                            size_t target_dataset, size_t k);
+
+}  // namespace tg::core
+
+#endif  // TG_CORE_RECOMMENDER_H_

@@ -1,0 +1,109 @@
+#include "core/strategy.h"
+
+#include "ml/model_selection.h"
+#include "util/check.h"
+
+namespace tg::core {
+
+const char* GraphLearnerName(GraphLearner learner) {
+  switch (learner) {
+    case GraphLearner::kNone:
+      return "none";
+    case GraphLearner::kNode2Vec:
+      return "N2V";
+    case GraphLearner::kNode2VecPlus:
+      return "N2V+";
+    case GraphLearner::kGraphSage:
+      return "GraphSAGE";
+    case GraphLearner::kGat:
+      return "GAT";
+  }
+  return "?";
+}
+
+const char* PredictorKindName(PredictorKind kind) {
+  switch (kind) {
+    case PredictorKind::kLinearRegression:
+      return "LR";
+    case PredictorKind::kRandomForest:
+      return "RF";
+    case PredictorKind::kXgboost:
+      return "XGB";
+    case PredictorKind::kAuto:
+      return "Auto";
+  }
+  return "?";
+}
+
+const char* FeatureSetName(FeatureSet features) {
+  switch (features) {
+    case FeatureSet::kMetadataOnly:
+      return "metadata";
+    case FeatureSet::kAllWithLogMe:
+      return "all,LogME";
+    case FeatureSet::kGraphOnly:
+      return "graph-only";
+    case FeatureSet::kAll:
+      return "all";
+  }
+  return "?";
+}
+
+std::string Strategy::DisplayName() const {
+  if (!UsesGraphFeatures()) {
+    // Learning-based baselines named after the paper's convention.
+    std::string base = PredictorKindName(predictor);
+    if (features == FeatureSet::kAllWithLogMe) return base + "{all,LogME}";
+    return base;
+  }
+  std::string name = "TG:";
+  name += PredictorKindName(predictor);
+  name += ",";
+  name += GraphLearnerName(learner);
+  if (features == FeatureSet::kAll) name += ",all";
+  return name;
+}
+
+std::unique_ptr<ml::Regressor> MakePredictor(
+    PredictorKind kind, const PredictorSettings& settings) {
+  switch (kind) {
+    case PredictorKind::kLinearRegression:
+      return std::make_unique<ml::LinearRegression>(settings.ridge_lambda);
+    case PredictorKind::kRandomForest:
+      return std::make_unique<ml::RandomForest>(settings.random_forest);
+    case PredictorKind::kXgboost:
+      return std::make_unique<ml::Gbdt>(settings.gbdt);
+    case PredictorKind::kAuto:
+      TG_CHECK_MSG(false,
+                   "kAuto must be resolved with SelectPredictorByCv first");
+  }
+  TG_CHECK_MSG(false, "unknown predictor kind");
+  return nullptr;
+}
+
+PredictorKind SelectPredictorByCv(const ml::TabularDataset& train,
+                                  const PredictorSettings& settings,
+                                  int folds, uint64_t seed) {
+  const std::vector<std::pair<std::string, ml::RegressorFactory>> candidates =
+      {{"LR",
+        [&settings] {
+          return std::make_unique<ml::LinearRegression>(
+              settings.ridge_lambda);
+        }},
+       {"RF",
+        [&settings] {
+          return std::make_unique<ml::RandomForest>(settings.random_forest);
+        }},
+       {"XGB", [&settings] {
+          return std::make_unique<ml::Gbdt>(settings.gbdt);
+        }}};
+  Result<std::vector<ml::CandidateScore>> ranked =
+      ml::RankPredictors(candidates, train, folds, seed);
+  TG_CHECK_MSG(ranked.ok(), ranked.status().ToString().c_str());
+  const std::string& best = ranked.value().front().name;
+  if (best == "LR") return PredictorKind::kLinearRegression;
+  if (best == "RF") return PredictorKind::kRandomForest;
+  return PredictorKind::kXgboost;
+}
+
+}  // namespace tg::core

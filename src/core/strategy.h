@@ -1,0 +1,86 @@
+// Strategy configuration: which graph learner, which prediction model, and
+// which feature set a model-selection run uses (paper §VII-A, "Summary of
+// our proposed graph-learning-based strategy"). Display names follow the
+// paper's convention, e.g. "TG:LR,N2V,all" or the baseline "LR{all,LogME}".
+#ifndef TG_CORE_STRATEGY_H_
+#define TG_CORE_STRATEGY_H_
+
+#include <memory>
+#include <string>
+
+#include "ml/gbdt.h"
+#include "ml/linear_regression.h"
+#include "ml/random_forest.h"
+#include "ml/tabular.h"
+
+namespace tg::core {
+
+enum class GraphLearner {
+  kNone,
+  kNode2Vec,
+  kNode2VecPlus,
+  kGraphSage,
+  kGat,
+};
+
+enum class PredictorKind {
+  kLinearRegression,
+  kRandomForest,
+  kXgboost,
+  // Pick among the three by k-fold cross-validation on the training history
+  // (paper §VII-E: "identify the most appropriate prediction model based on
+  // varying dataset characteristics").
+  kAuto,
+};
+
+// Which supervised features feed the prediction model.
+enum class FeatureSet {
+  // Basic model/dataset metadata only (the Amazon LR baseline).
+  kMetadataOnly,
+  // Metadata + dataset distance + LogME score (the LR{all,LogME} baseline).
+  kAllWithLogMe,
+  // Graph embeddings only.
+  kGraphOnly,
+  // Metadata + dataset distance + graph embeddings (the paper's "all").
+  kAll,
+};
+
+const char* GraphLearnerName(GraphLearner learner);    // "N2V", "GAT", ...
+const char* PredictorKindName(PredictorKind kind);     // "LR", "RF", "XGB"
+const char* FeatureSetName(FeatureSet features);
+
+struct PredictorSettings {
+  double ridge_lambda = 1e-3;
+  ml::RandomForestConfig random_forest;
+  ml::GbdtConfig gbdt;
+};
+
+struct Strategy {
+  PredictorKind predictor = PredictorKind::kXgboost;
+  GraphLearner learner = GraphLearner::kNode2Vec;
+  FeatureSet features = FeatureSet::kAll;
+
+  // Paper-style display name.
+  std::string DisplayName() const;
+
+  bool UsesGraphFeatures() const {
+    return learner != GraphLearner::kNone &&
+           (features == FeatureSet::kGraphOnly ||
+            features == FeatureSet::kAll);
+  }
+};
+
+// Constructs the predictor. `kind` must not be kAuto -- resolve that first
+// with SelectPredictorByCv.
+std::unique_ptr<ml::Regressor> MakePredictor(
+    PredictorKind kind, const PredictorSettings& settings = {});
+
+// Cross-validates LR / RF / XGB (with the given settings) on the training
+// table and returns the kind with the lowest mean RMSE.
+PredictorKind SelectPredictorByCv(const ml::TabularDataset& train,
+                                  const PredictorSettings& settings = {},
+                                  int folds = 4, uint64_t seed = 41);
+
+}  // namespace tg::core
+
+#endif  // TG_CORE_STRATEGY_H_

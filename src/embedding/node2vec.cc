@@ -1,0 +1,17 @@
+#include "embedding/node2vec.h"
+
+#include "util/rng.h"
+
+namespace tg {
+
+Matrix Node2VecEmbed(const Graph& graph, const Node2VecConfig& config,
+                     uint64_t seed) {
+  Rng rng(seed);
+  RandomWalkGenerator walker(graph, config.walk);
+  std::vector<std::vector<NodeId>> walks = walker.GenerateAll(&rng);
+  SkipGramTrainer trainer(graph.num_nodes(), config.skipgram);
+  trainer.Train(walks, &rng);
+  return trainer.embeddings();
+}
+
+}  // namespace tg

@@ -1,0 +1,26 @@
+// End-to-end Node2Vec / Node2Vec+ driver: walks -> skip-gram -> embeddings.
+#ifndef TG_EMBEDDING_NODE2VEC_H_
+#define TG_EMBEDDING_NODE2VEC_H_
+
+#include <cstdint>
+
+#include "embedding/random_walk.h"
+#include "embedding/skipgram.h"
+#include "graph/graph.h"
+#include "numeric/matrix.h"
+
+namespace tg {
+
+struct Node2VecConfig {
+  WalkConfig walk;
+  SkipGramConfig skipgram;
+};
+
+// Learns an embedding per graph node (num_nodes x skipgram.dim).
+// Set config.walk.extended = true for Node2Vec+.
+Matrix Node2VecEmbed(const Graph& graph, const Node2VecConfig& config,
+                     uint64_t seed);
+
+}  // namespace tg
+
+#endif  // TG_EMBEDDING_NODE2VEC_H_

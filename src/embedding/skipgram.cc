@@ -1,0 +1,117 @@
+#include "embedding/skipgram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/negative_sampler.h"
+#include "util/check.h"
+
+namespace tg {
+namespace {
+
+double StableSigmoid(double x) {
+  if (x >= 0.0) return 1.0 / (1.0 + std::exp(-x));
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+SkipGramTrainer::SkipGramTrainer(size_t vocab_size,
+                                 const SkipGramConfig& config)
+    : vocab_size_(vocab_size), config_(config) {
+  TG_CHECK_GT(vocab_size, 0u);
+  TG_CHECK_GT(config.dim, 0u);
+  // word2vec-style init: inputs small uniform, outputs zero.
+  Rng init_rng(0x5EEDF00DULL);
+  const double bound = 0.5 / static_cast<double>(config.dim);
+  input_ = Matrix::Uniform(vocab_size, config.dim, &init_rng, -bound, bound);
+  output_ = Matrix(vocab_size, config.dim);
+}
+
+void SkipGramTrainer::TrainPair(uint32_t center, uint32_t context,
+                                double label, double lr,
+                                std::vector<double>* center_grad) {
+  double* w = input_.RowPtr(center);
+  double* c = output_.RowPtr(context);
+  double dot = 0.0;
+  for (size_t d = 0; d < config_.dim; ++d) dot += w[d] * c[d];
+  const double g = (label - StableSigmoid(dot)) * lr;
+  for (size_t d = 0; d < config_.dim; ++d) {
+    (*center_grad)[d] += g * c[d];
+    c[d] += g * w[d];
+  }
+}
+
+void SkipGramTrainer::Train(const std::vector<std::vector<uint32_t>>& corpus,
+                            Rng* rng) {
+  // Token frequencies drive the negative-sampling distribution.
+  std::vector<double> freqs(vocab_size_, 1.0);  // +1 smoothing
+  size_t total_tokens = 0;
+  for (const auto& walk : corpus) {
+    total_tokens += walk.size();
+    for (uint32_t tok : walk) {
+      TG_CHECK_LT(tok, vocab_size_);
+      freqs[tok] += 1.0;
+    }
+  }
+  if (total_tokens == 0) return;
+  UnigramNegativeSampler sampler(freqs, config_.sampling_power);
+
+  std::vector<size_t> order(corpus.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  const double lr0 = config_.initial_lr;
+  const double lr_min = lr0 * config_.min_lr_fraction;
+  const size_t total_work =
+      total_tokens * static_cast<size_t>(config_.epochs);
+  size_t done = 0;
+  std::vector<double> center_grad(config_.dim);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng->Shuffle(&order);
+    for (size_t wi : order) {
+      const auto& walk = corpus[wi];
+      for (size_t pos = 0; pos < walk.size(); ++pos, ++done) {
+        const double progress =
+            static_cast<double>(done) / static_cast<double>(total_work);
+        const double lr = std::max(lr_min, lr0 * (1.0 - progress));
+        // Randomized effective window, as in word2vec.
+        const int radius =
+            1 + static_cast<int>(rng->NextBelow(
+                    static_cast<uint64_t>(config_.window)));
+        const uint32_t center = walk[pos];
+        const size_t lo = pos >= static_cast<size_t>(radius)
+                              ? pos - static_cast<size_t>(radius)
+                              : 0;
+        const size_t hi =
+            std::min(walk.size(), pos + static_cast<size_t>(radius) + 1);
+        for (size_t ctx_pos = lo; ctx_pos < hi; ++ctx_pos) {
+          if (ctx_pos == pos) continue;
+          std::fill(center_grad.begin(), center_grad.end(), 0.0);
+          TrainPair(center, walk[ctx_pos], 1.0, lr, &center_grad);
+          for (int k = 0; k < config_.negatives; ++k) {
+            uint32_t neg = sampler.Sample(rng);
+            if (neg == walk[ctx_pos] || neg == center) continue;
+            TrainPair(center, neg, 0.0, lr, &center_grad);
+          }
+          double* w = input_.RowPtr(center);
+          for (size_t d = 0; d < config_.dim; ++d) w[d] += center_grad[d];
+        }
+      }
+    }
+  }
+}
+
+double SkipGramTrainer::PairProbability(uint32_t center,
+                                        uint32_t context) const {
+  TG_CHECK_LT(center, vocab_size_);
+  TG_CHECK_LT(context, vocab_size_);
+  const double* w = input_.RowPtr(center);
+  const double* c = output_.RowPtr(context);
+  double dot = 0.0;
+  for (size_t d = 0; d < config_.dim; ++d) dot += w[d] * c[d];
+  return StableSigmoid(dot);
+}
+
+}  // namespace tg

@@ -1,0 +1,52 @@
+// Skip-gram with negative sampling (Mikolov et al. 2013) over walk corpora.
+// Random-walk node embedding methods treat walks as sentences and nodes as
+// words; the trained input embeddings are the node representations.
+#ifndef TG_EMBEDDING_SKIPGRAM_H_
+#define TG_EMBEDDING_SKIPGRAM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "numeric/matrix.h"
+#include "util/rng.h"
+
+namespace tg {
+
+struct SkipGramConfig {
+  size_t dim = 128;
+  int window = 5;        // maximum context radius; actual radius is sampled
+  int negatives = 5;     // negative samples per positive pair
+  int epochs = 4;
+  double initial_lr = 0.025;
+  double min_lr_fraction = 1e-3;  // lr decays linearly to initial*fraction
+  double sampling_power = 0.75;   // unigram exponent for negatives
+};
+
+class SkipGramTrainer {
+ public:
+  // vocab_size must exceed every token id in the corpus.
+  SkipGramTrainer(size_t vocab_size, const SkipGramConfig& config);
+
+  // Trains on the corpus (list of token sequences). Deterministic for a
+  // fixed (corpus, seed).
+  void Train(const std::vector<std::vector<uint32_t>>& corpus, Rng* rng);
+
+  // Input ("center") embeddings: vocab_size x dim.
+  const Matrix& embeddings() const { return input_; }
+
+  // Model score for a (center, context) pair: sigmoid(dot).
+  double PairProbability(uint32_t center, uint32_t context) const;
+
+ private:
+  void TrainPair(uint32_t center, uint32_t context, double label, double lr,
+                 std::vector<double>* center_grad);
+
+  size_t vocab_size_;
+  SkipGramConfig config_;
+  Matrix input_;
+  Matrix output_;
+};
+
+}  // namespace tg
+
+#endif  // TG_EMBEDDING_SKIPGRAM_H_

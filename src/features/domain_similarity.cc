@@ -1,0 +1,33 @@
+#include "features/domain_similarity.h"
+
+#include <algorithm>
+
+#include "numeric/stats.h"
+#include "util/check.h"
+
+namespace tg {
+
+double DatasetSimilarity(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  // Correlation distance in [0, 2] -> similarity in [0, 1].
+  const double distance = CorrelationDistance(a, b);
+  return std::clamp(1.0 - distance / 2.0, 0.0, 1.0);
+}
+
+Matrix PairwiseDatasetSimilarity(
+    const std::vector<std::vector<double>>& embeddings) {
+  const size_t n = embeddings.size();
+  Matrix out(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    out(i, i) = 1.0;
+    for (size_t j = i + 1; j < n; ++j) {
+      TG_CHECK_EQ(embeddings[i].size(), embeddings[j].size());
+      const double sim = DatasetSimilarity(embeddings[i], embeddings[j]);
+      out(i, j) = sim;
+      out(j, i) = sim;
+    }
+  }
+  return out;
+}
+
+}  // namespace tg

@@ -1,0 +1,24 @@
+// Dataset similarity phi (paper §IV-B2): derived from the correlation
+// distance between dataset representations; shorter distance = greater
+// similarity. Mapped into [0, 1] so it can serve directly as a D-D edge
+// weight: phi = (1 + pearson) / 2.
+#ifndef TG_FEATURES_DOMAIN_SIMILARITY_H_
+#define TG_FEATURES_DOMAIN_SIMILARITY_H_
+
+#include <vector>
+
+#include "numeric/matrix.h"
+
+namespace tg {
+
+// Similarity of two dataset embeddings, in [0, 1].
+double DatasetSimilarity(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+// Full pairwise similarity matrix (symmetric, unit diagonal).
+Matrix PairwiseDatasetSimilarity(
+    const std::vector<std::vector<double>>& embeddings);
+
+}  // namespace tg
+
+#endif  // TG_FEATURES_DOMAIN_SIMILARITY_H_

@@ -1,0 +1,48 @@
+#include "features/probe_network.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace tg {
+
+ProbeNetwork::ProbeNetwork(size_t input_dim,
+                           const ProbeNetworkConfig& config)
+    : config_(config) {
+  Rng rng(config.seed);
+  w1_ = Matrix::Gaussian(input_dim, config.hidden_dim, &rng, 0.0,
+                         1.0 / std::sqrt(static_cast<double>(input_dim)));
+  w2_ = Matrix::Gaussian(config.hidden_dim, config.embedding_dim, &rng, 0.0,
+                         1.0 /
+                             std::sqrt(static_cast<double>(config.hidden_dim)));
+}
+
+Matrix ProbeNetwork::EmbedSamples(const Matrix& ambient) const {
+  TG_CHECK_EQ(ambient.cols(), w1_.rows());
+  Matrix hidden = ambient.MatMul(w1_);
+  for (size_t r = 0; r < hidden.rows(); ++r) {
+    double* row = hidden.RowPtr(r);
+    for (size_t c = 0; c < hidden.cols(); ++c) {
+      row[c] = row[c] > 0.0 ? row[c] : 0.0;  // ReLU
+    }
+  }
+  return hidden.MatMul(w2_);
+}
+
+std::vector<double> ProbeNetwork::DatasetEmbedding(
+    const Matrix& ambient) const {
+  const Matrix embedded = EmbedSamples(ambient);
+  std::vector<double> out(config_.embedding_dim, 0.0);
+  for (size_t r = 0; r < embedded.rows(); ++r) {
+    const double* row = embedded.RowPtr(r);
+    for (size_t c = 0; c < out.size(); ++c) out[c] += row[c];
+  }
+  double norm = 0.0;
+  for (double v : out) norm += v * v;
+  norm = std::sqrt(std::max(norm, 1e-12));
+  for (double& v : out) v /= norm;
+  return out;
+}
+
+}  // namespace tg

@@ -1,0 +1,46 @@
+// The probe (reference) network used to extract dataset representations
+// (paper §IV-B; ResNet34 / GPT-Neo in the original). Here: a fixed random
+// two-layer network over ambient sample features -- it is never trained, it
+// only needs to map semantically similar inputs to nearby embeddings, which
+// a fixed Lipschitz map does.
+#ifndef TG_FEATURES_PROBE_NETWORK_H_
+#define TG_FEATURES_PROBE_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "numeric/matrix.h"
+
+namespace tg {
+
+struct ProbeNetworkConfig {
+  size_t hidden_dim = 192;
+  // High-dimensional, as in the paper (1024-dim ResNet34 features): on the
+  // ~260-node graph this is what makes feature-hungry GNN learners overfit
+  // relative to the structure-only Node2Vec family (paper Fig. 9).
+  size_t embedding_dim = 256;
+  uint64_t seed = 55;
+};
+
+class ProbeNetwork {
+ public:
+  ProbeNetwork(size_t input_dim, const ProbeNetworkConfig& config = {});
+
+  size_t embedding_dim() const { return config_.embedding_dim; }
+
+  // Per-sample embeddings: (n x input_dim) -> (n x embedding_dim).
+  Matrix EmbedSamples(const Matrix& ambient) const;
+
+  // Domain-Similarity dataset embedding (paper Eq. 3): the aggregated
+  // per-sample probe features, L2-normalized.
+  std::vector<double> DatasetEmbedding(const Matrix& ambient) const;
+
+ private:
+  ProbeNetworkConfig config_;
+  Matrix w1_;  // input x hidden
+  Matrix w2_;  // hidden x embedding
+};
+
+}  // namespace tg
+
+#endif  // TG_FEATURES_PROBE_NETWORK_H_

@@ -1,0 +1,99 @@
+#include "features/task2vec.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tg {
+namespace {
+
+// Softmax probabilities of a linear head: logits = x W (p x K weights).
+void SoftmaxRow(const double* logits, size_t k, std::vector<double>* probs) {
+  double max_logit = logits[0];
+  for (size_t j = 1; j < k; ++j) max_logit = std::max(max_logit, logits[j]);
+  double total = 0.0;
+  for (size_t j = 0; j < k; ++j) {
+    (*probs)[j] = std::exp(logits[j] - max_logit);
+    total += (*probs)[j];
+  }
+  for (size_t j = 0; j < k; ++j) (*probs)[j] /= total;
+}
+
+}  // namespace
+
+Result<std::vector<double>> Task2VecEmbedding(const Matrix& probe_features,
+                                              const std::vector<int>& labels,
+                                              int num_classes,
+                                              const Task2VecConfig& config) {
+  const size_t n = probe_features.rows();
+  const size_t p = probe_features.cols();
+  const size_t k = static_cast<size_t>(num_classes);
+  if (n == 0 || p == 0) {
+    return Status::InvalidArgument("empty probe feature matrix");
+  }
+  if (labels.size() != n) return Status::InvalidArgument("label size mismatch");
+  if (num_classes < 2) {
+    return Status::InvalidArgument("need at least two classes");
+  }
+  for (int label : labels) {
+    if (label < 0 || label >= num_classes) {
+      return Status::OutOfRange("label outside [0, num_classes)");
+    }
+  }
+
+  // --- Train the linear softmax head by full-batch gradient descent ---
+  Matrix w(p, k);
+  std::vector<double> logits(k);
+  std::vector<double> probs(k);
+  Matrix grad(p, k);
+  for (int epoch = 0; epoch < config.head_epochs; ++epoch) {
+    grad = Matrix(p, k);
+    for (size_t i = 0; i < n; ++i) {
+      const double* x = probe_features.RowPtr(i);
+      for (size_t j = 0; j < k; ++j) {
+        double acc = 0.0;
+        for (size_t f = 0; f < p; ++f) acc += x[f] * w(f, j);
+        logits[j] = acc;
+      }
+      SoftmaxRow(logits.data(), k, &probs);
+      for (size_t j = 0; j < k; ++j) {
+        const double delta =
+            probs[j] - (static_cast<int>(j) == labels[i] ? 1.0 : 0.0);
+        for (size_t f = 0; f < p; ++f) grad(f, j) += delta * x[f];
+      }
+    }
+    const double scale = config.learning_rate / static_cast<double>(n);
+    for (size_t f = 0; f < p; ++f) {
+      for (size_t j = 0; j < k; ++j) {
+        w(f, j) -= scale * (grad(f, j) + config.l2 * w(f, j));
+      }
+    }
+  }
+
+  // --- Diagonal Fisher of the head weights, averaged over classes ---
+  std::vector<double> fisher(p, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* x = probe_features.RowPtr(i);
+    for (size_t j = 0; j < k; ++j) {
+      double acc = 0.0;
+      for (size_t f = 0; f < p; ++f) acc += x[f] * w(f, j);
+      logits[j] = acc;
+    }
+    SoftmaxRow(logits.data(), k, &probs);
+    for (size_t j = 0; j < k; ++j) {
+      const double delta =
+          probs[j] - (static_cast<int>(j) == labels[i] ? 1.0 : 0.0);
+      const double d2 = delta * delta;
+      for (size_t f = 0; f < p; ++f) fisher[f] += d2 * x[f] * x[f];
+    }
+  }
+  const double inv = 1.0 / (static_cast<double>(n) * static_cast<double>(k));
+  for (double& v : fisher) v *= inv;
+
+  double norm = 0.0;
+  for (double v : fisher) norm += v * v;
+  norm = std::sqrt(std::max(norm, 1e-12));
+  for (double& v : fisher) v /= norm;
+  return fisher;
+}
+
+}  // namespace tg

@@ -1,0 +1,30 @@
+// Task2Vec-style dataset embeddings (Achille et al. 2019; paper appendix A):
+// the diagonal of the Fisher Information Matrix of a linear softmax head
+// trained on probe features, aggregated per feature dimension. The norm
+// tracks task complexity; distances track semantic task similarity.
+#ifndef TG_FEATURES_TASK2VEC_H_
+#define TG_FEATURES_TASK2VEC_H_
+
+#include <vector>
+
+#include "numeric/matrix.h"
+#include "util/status.h"
+
+namespace tg {
+
+struct Task2VecConfig {
+  int head_epochs = 30;
+  double learning_rate = 0.5;
+  double l2 = 1e-3;
+};
+
+// probe_features: n x p per-sample probe embeddings; labels in
+// [0, num_classes). Returns a p-dimensional embedding (per-dimension Fisher
+// averaged over classes), L2-normalized.
+Result<std::vector<double>> Task2VecEmbedding(
+    const Matrix& probe_features, const std::vector<int>& labels,
+    int num_classes, const Task2VecConfig& config = {});
+
+}  // namespace tg
+
+#endif  // TG_FEATURES_TASK2VEC_H_

@@ -1,0 +1,41 @@
+// Common interface for neural graph encoders (GraphSAGE, GAT). An encoder
+// maps a full-batch node-feature matrix to node embeddings; message passing
+// runs over a fixed edge list captured at construction.
+#ifndef TG_GNN_ENCODER_H_
+#define TG_GNN_ENCODER_H_
+
+#include <vector>
+
+#include "autograd/tape.h"
+#include "graph/graph.h"
+
+namespace tg::gnn {
+
+// Flat edge list with both directions plus self-loops, the form message
+// passing consumes. `weight[i]` is the edge weight of (src[i] -> dst[i]).
+struct EdgeIndex {
+  std::vector<size_t> src;
+  std::vector<size_t> dst;
+  std::vector<double> weight;
+  size_t num_nodes = 0;
+};
+
+// Expands a Graph into an EdgeIndex (each undirected edge becomes two
+// directed edges; self-loops optionally appended with weight 1).
+EdgeIndex BuildEdgeIndex(const Graph& graph, bool add_self_loops);
+
+class Encoder {
+ public:
+  virtual ~Encoder() = default;
+
+  // features: (num_nodes x in_dim) -> (num_nodes x out_dim).
+  virtual autograd::Var Encode(const autograd::Var& features) const = 0;
+
+  virtual std::vector<autograd::Var> Parameters() const = 0;
+
+  virtual size_t output_dim() const = 0;
+};
+
+}  // namespace tg::gnn
+
+#endif  // TG_GNN_ENCODER_H_

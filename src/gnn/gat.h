@@ -1,0 +1,56 @@
+// Graph Attention Network (Velickovic et al. 2018), full batch, multi-head.
+// Per edge (s -> t) and head k (paper Eq. 5):
+//   e_st = LeakyReLU( a_src^T W h_s + a_dst^T W h_t )
+//   alpha_st = softmax over the incoming edges of t
+//   h_t' = ELU( sum_s alpha_st W h_s )
+// Heads are concatenated on hidden layers and averaged on the output layer.
+#ifndef TG_GNN_GAT_H_
+#define TG_GNN_GAT_H_
+
+#include <memory>
+#include <vector>
+
+#include "gnn/encoder.h"
+#include "nn/linear.h"
+#include "util/rng.h"
+
+namespace tg::gnn {
+
+struct GatConfig {
+  size_t hidden_dim = 64;   // per head
+  size_t output_dim = 128;  // total (averaged over heads on the last layer)
+  int num_layers = 2;
+  int num_heads = 2;
+  double leaky_relu_slope = 0.2;
+};
+
+class Gat : public Encoder {
+ public:
+  Gat(const EdgeIndex& edges, size_t in_dim, const GatConfig& config,
+      Rng* rng);
+
+  autograd::Var Encode(const autograd::Var& features) const override;
+  std::vector<autograd::Var> Parameters() const override;
+  size_t output_dim() const override { return config_.output_dim; }
+
+ private:
+  struct Head {
+    std::unique_ptr<nn::Linear> transform;  // W (no bias)
+    autograd::Var attn_src;                 // (dim x 1)
+    autograd::Var attn_dst;                 // (dim x 1)
+  };
+  struct Layer {
+    std::vector<Head> heads;
+    bool concat;  // concat heads (hidden) vs average (output layer)
+  };
+
+  autograd::Var RunHead(const Head& head, const autograd::Var& h) const;
+
+  EdgeIndex edges_;
+  GatConfig config_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace tg::gnn
+
+#endif  // TG_GNN_GAT_H_

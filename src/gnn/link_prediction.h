@@ -1,0 +1,43 @@
+// Link-prediction training loop for neural graph encoders (paper §V-B).
+//
+// Positive pairs are the graph's retained ("model performs well") edges;
+// negative pairs combine explicitly labeled negatives (below-threshold
+// accuracy) with uniformly sampled non-edges resampled every epoch. The
+// decoder is the dot product of the endpoint embeddings; the loss is
+// binary cross entropy on the decoder logits.
+#ifndef TG_GNN_LINK_PREDICTION_H_
+#define TG_GNN_LINK_PREDICTION_H_
+
+#include <utility>
+#include <vector>
+
+#include "gnn/encoder.h"
+#include "graph/graph.h"
+#include "numeric/matrix.h"
+#include "util/rng.h"
+
+namespace tg::gnn {
+
+struct LinkPredictionConfig {
+  int epochs = 150;
+  double learning_rate = 5e-3;
+  double weight_decay = 1e-5;
+  // Random non-edge negatives per positive edge, on top of labeled ones.
+  double sampled_negative_ratio = 1.0;
+};
+
+struct LinkPredictionResult {
+  Matrix embeddings;             // num_nodes x encoder.output_dim
+  std::vector<double> loss_curve;  // per-epoch training loss
+};
+
+// Trains `encoder` on the graph and returns the final node embeddings.
+// `labeled_negatives` may be empty. `features` is (num_nodes x in_dim).
+LinkPredictionResult TrainLinkPrediction(
+    const Graph& graph, Encoder* encoder, const Matrix& features,
+    const std::vector<std::pair<NodeId, NodeId>>& labeled_negatives,
+    const LinkPredictionConfig& config, Rng* rng);
+
+}  // namespace tg::gnn
+
+#endif  // TG_GNN_LINK_PREDICTION_H_

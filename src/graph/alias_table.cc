@@ -1,0 +1,53 @@
+#include "graph/alias_table.h"
+
+#include "util/check.h"
+
+namespace tg {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  TG_CHECK_GT(n, 0u);
+  double total = 0.0;
+  for (double w : weights) {
+    TG_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  TG_CHECK_GT(total, 0.0);
+
+  probabilities_.assign(n, 0.0);
+  aliases_.assign(n, 0);
+
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+
+  std::vector<size_t> small;
+  std::vector<size_t> large;
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const size_t s = small.back();
+    small.pop_back();
+    const size_t l = large.back();
+    large.pop_back();
+    probabilities_[s] = scaled[s];
+    aliases_[s] = l;
+    scaled[l] = scaled[l] + scaled[s] - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are 1.0 up to roundoff.
+  for (size_t i : large) probabilities_[i] = 1.0;
+  for (size_t i : small) probabilities_[i] = 1.0;
+}
+
+size_t AliasTable::Sample(Rng* rng) const {
+  TG_CHECK(!empty());
+  const size_t column = static_cast<size_t>(rng->NextBelow(size()));
+  return rng->NextDouble() < probabilities_[column] ? column
+                                                    : aliases_[column];
+}
+
+}  // namespace tg

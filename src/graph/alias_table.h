@@ -1,0 +1,33 @@
+// Walker/Vose alias method: O(n) construction, O(1) sampling from a discrete
+// distribution. Used for weighted next-hop selection in Node2Vec(+) walks and
+// for the unigram^0.75 negative-sampling table in skip-gram training.
+#ifndef TG_GRAPH_ALIAS_TABLE_H_
+#define TG_GRAPH_ALIAS_TABLE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tg {
+
+class AliasTable {
+ public:
+  AliasTable() = default;
+  // Weights must be non-negative with a positive sum.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  bool empty() const { return probabilities_.empty(); }
+  size_t size() const { return probabilities_.size(); }
+
+  // Samples an index with probability proportional to its weight.
+  size_t Sample(Rng* rng) const;
+
+ private:
+  std::vector<double> probabilities_;
+  std::vector<size_t> aliases_;
+};
+
+}  // namespace tg
+
+#endif  // TG_GRAPH_ALIAS_TABLE_H_

@@ -1,0 +1,107 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace tg {
+
+const char* NodeTypeName(NodeType type) {
+  switch (type) {
+    case NodeType::kDataset:
+      return "dataset";
+    case NodeType::kModel:
+      return "model";
+  }
+  return "?";
+}
+
+const char* EdgeTypeName(EdgeType type) {
+  switch (type) {
+    case EdgeType::kDatasetDataset:
+      return "dataset-dataset";
+    case EdgeType::kModelDatasetAccuracy:
+      return "model-dataset-accuracy";
+    case EdgeType::kModelDatasetTransferability:
+      return "model-dataset-transferability";
+  }
+  return "?";
+}
+
+NodeId Graph::AddNode(NodeType type, const std::string& name) {
+  TG_CHECK_MSG(name_to_id_.find(name) == name_to_id_.end(),
+               ("duplicate node name: " + name).c_str());
+  const NodeId id = static_cast<NodeId>(node_types_.size());
+  node_types_.push_back(type);
+  node_names_.push_back(name);
+  name_to_id_[name] = id;
+  adjacency_.emplace_back();
+  return id;
+}
+
+void Graph::AddUndirectedEdge(NodeId a, NodeId b, EdgeType type,
+                              double weight) {
+  TG_CHECK_LT(a, num_nodes());
+  TG_CHECK_LT(b, num_nodes());
+  TG_CHECK_NE(a, b);
+  adjacency_[a].push_back(Neighbor{b, weight, type});
+  adjacency_[b].push_back(Neighbor{a, weight, type});
+  edges_.push_back(EdgeRecord{a, b, weight, type});
+}
+
+Result<NodeId> Graph::FindNode(const std::string& name) const {
+  auto it = name_to_id_.find(name);
+  if (it == name_to_id_.end()) {
+    return Status::NotFound("node not in graph: " + name);
+  }
+  return it->second;
+}
+
+bool Graph::HasNode(const std::string& name) const {
+  return name_to_id_.find(name) != name_to_id_.end();
+}
+
+double Graph::WeightedDegree(NodeId id) const {
+  double acc = 0.0;
+  for (const Neighbor& n : neighbors(id)) acc += n.weight;
+  return acc;
+}
+
+std::vector<NodeId> Graph::NodesOfType(NodeType type) const {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    if (node_types_[id] == type) out.push_back(id);
+  }
+  return out;
+}
+
+bool Graph::HasEdgeBetween(NodeId a, NodeId b) const {
+  const auto& smaller =
+      degree(a) <= degree(b) ? adjacency_[a] : adjacency_[b];
+  const NodeId other = degree(a) <= degree(b) ? b : a;
+  return std::any_of(smaller.begin(), smaller.end(),
+                     [other](const Neighbor& n) { return n.node == other; });
+}
+
+size_t Graph::CountConnectedComponents() const {
+  std::vector<bool> visited(num_nodes(), false);
+  size_t components = 0;
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < num_nodes(); ++start) {
+    if (visited[start]) continue;
+    ++components;
+    stack.push_back(start);
+    visited[start] = true;
+    while (!stack.empty()) {
+      NodeId cur = stack.back();
+      stack.pop_back();
+      for (const Neighbor& n : adjacency_[cur]) {
+        if (!visited[n.node]) {
+          visited[n.node] = true;
+          stack.push_back(n.node);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace tg

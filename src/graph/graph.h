@@ -1,0 +1,99 @@
+// The model-zoo graph (paper §V-A): nodes are datasets and models, edges
+// carry one of three semantics —
+//   * kDatasetDataset:            dataset similarity phi
+//   * kModelDatasetAccuracy:      training performance (pre-train/fine-tune)
+//   * kModelDatasetTransferability: scores from estimators such as LogME
+// Weights are the respective scores (a weighted adjacency, paper Def. III.1
+// with edge labels), not a binary adjacency.
+#ifndef TG_GRAPH_GRAPH_H_
+#define TG_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tg {
+
+using NodeId = uint32_t;
+
+enum class NodeType { kDataset, kModel };
+
+enum class EdgeType {
+  kDatasetDataset,
+  kModelDatasetAccuracy,
+  kModelDatasetTransferability,
+};
+
+const char* NodeTypeName(NodeType type);
+const char* EdgeTypeName(EdgeType type);
+
+struct Neighbor {
+  NodeId node;
+  double weight;
+  EdgeType type;
+};
+
+struct EdgeRecord {
+  NodeId src;
+  NodeId dst;
+  double weight;
+  EdgeType type;
+};
+
+// A weighted, typed graph stored as adjacency lists. Edges added with
+// AddUndirectedEdge appear in both endpoint adjacency lists and are counted
+// once in undirected_edge_count. Node names are unique.
+class Graph {
+ public:
+  Graph() = default;
+
+  // Adds a node; aborts if the name already exists (names key the catalog).
+  NodeId AddNode(NodeType type, const std::string& name);
+
+  // Adds an undirected weighted edge (stored in both adjacency lists).
+  void AddUndirectedEdge(NodeId a, NodeId b, EdgeType type, double weight);
+
+  size_t num_nodes() const { return node_types_.size(); }
+  size_t num_undirected_edges() const { return edges_.size(); }
+
+  NodeType node_type(NodeId id) const { return node_types_[id]; }
+  const std::string& node_name(NodeId id) const { return node_names_[id]; }
+
+  // Looks a node up by name.
+  Result<NodeId> FindNode(const std::string& name) const;
+  bool HasNode(const std::string& name) const;
+
+  const std::vector<Neighbor>& neighbors(NodeId id) const {
+    TG_CHECK_LT(id, adjacency_.size());
+    return adjacency_[id];
+  }
+  size_t degree(NodeId id) const { return neighbors(id).size(); }
+
+  // Sum of incident edge weights.
+  double WeightedDegree(NodeId id) const;
+
+  // All undirected edges, each listed once as added.
+  const std::vector<EdgeRecord>& edges() const { return edges_; }
+
+  std::vector<NodeId> NodesOfType(NodeType type) const;
+
+  // True if an edge of any type exists between a and b.
+  bool HasEdgeBetween(NodeId a, NodeId b) const;
+
+  // Number of connected components (ignoring edge types/weights).
+  size_t CountConnectedComponents() const;
+
+ private:
+  std::vector<NodeType> node_types_;
+  std::vector<std::string> node_names_;
+  std::unordered_map<std::string, NodeId> name_to_id_;
+  std::vector<std::vector<Neighbor>> adjacency_;
+  std::vector<EdgeRecord> edges_;
+};
+
+}  // namespace tg
+
+#endif  // TG_GRAPH_GRAPH_H_

@@ -1,0 +1,59 @@
+#include "graph/graph_stats.h"
+
+#include "util/string_util.h"
+
+namespace tg {
+
+GraphStats ComputeGraphStats(const Graph& graph) {
+  GraphStats stats;
+  stats.num_nodes = graph.num_nodes();
+  for (NodeId id = 0; id < graph.num_nodes(); ++id) {
+    if (graph.node_type(id) == NodeType::kDataset) {
+      ++stats.num_dataset_nodes;
+    } else {
+      ++stats.num_model_nodes;
+    }
+  }
+  size_t degree_total = 0;
+  for (NodeId id = 0; id < graph.num_nodes(); ++id) {
+    degree_total += graph.degree(id);
+  }
+  if (graph.num_nodes() > 0) {
+    stats.average_degree =
+        static_cast<double>(degree_total) /
+        static_cast<double>(graph.num_nodes());
+  }
+  for (const EdgeRecord& e : graph.edges()) {
+    switch (e.type) {
+      case EdgeType::kDatasetDataset:
+        // Ordered-pair convention: one undirected similarity edge counts as
+        // two directed pairs (matches Table II's 73*72 for the image graph).
+        stats.dataset_dataset_edges += 2;
+        break;
+      case EdgeType::kModelDatasetAccuracy:
+        ++stats.model_dataset_accuracy_edges;
+        break;
+      case EdgeType::kModelDatasetTransferability:
+        ++stats.model_dataset_transferability_edges;
+        break;
+    }
+  }
+  stats.connected_components = graph.CountConnectedComponents();
+  return stats;
+}
+
+std::string GraphStats::ToString() const {
+  std::string out;
+  out += "nodes=" + std::to_string(num_nodes);
+  out += " (datasets=" + std::to_string(num_dataset_nodes);
+  out += ", models=" + std::to_string(num_model_nodes) + ")";
+  out += " avg_degree=" + FormatDouble(average_degree, 1);
+  out += " dd_edges=" + std::to_string(dataset_dataset_edges);
+  out += " md_acc_edges=" + std::to_string(model_dataset_accuracy_edges);
+  out += " md_transfer_edges=" +
+         std::to_string(model_dataset_transferability_edges);
+  out += " components=" + std::to_string(connected_components);
+  return out;
+}
+
+}  // namespace tg

@@ -1,0 +1,31 @@
+// Graph-property statistics matching the paper's Table II.
+#ifndef TG_GRAPH_GRAPH_STATS_H_
+#define TG_GRAPH_GRAPH_STATS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace tg {
+
+struct GraphStats {
+  size_t num_nodes = 0;
+  size_t num_dataset_nodes = 0;
+  size_t num_model_nodes = 0;
+  double average_degree = 0.0;
+  // Dataset-dataset similarity pairs, counted as ordered pairs to match the
+  // paper's Table II convention (73*72 = 5256 for the image graph).
+  size_t dataset_dataset_edges = 0;
+  size_t model_dataset_accuracy_edges = 0;
+  size_t model_dataset_transferability_edges = 0;
+  size_t connected_components = 0;
+
+  std::string ToString() const;
+};
+
+GraphStats ComputeGraphStats(const Graph& graph);
+
+}  // namespace tg
+
+#endif  // TG_GRAPH_GRAPH_STATS_H_

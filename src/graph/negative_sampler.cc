@@ -1,0 +1,64 @@
+#include "graph/negative_sampler.h"
+
+#include <cmath>
+#include <set>
+
+#include "util/check.h"
+
+namespace tg {
+
+namespace {
+
+std::vector<double> DegreesPowered(const Graph& graph, double power) {
+  std::vector<double> freqs(graph.num_nodes());
+  for (NodeId id = 0; id < graph.num_nodes(); ++id) {
+    // +1 smoothing keeps isolated nodes sampleable.
+    freqs[id] = std::pow(static_cast<double>(graph.degree(id)) + 1.0, power);
+  }
+  return freqs;
+}
+
+}  // namespace
+
+UnigramNegativeSampler::UnigramNegativeSampler(const Graph& graph,
+                                               double power)
+    : table_(DegreesPowered(graph, power)) {}
+
+UnigramNegativeSampler::UnigramNegativeSampler(
+    const std::vector<double>& frequencies, double power) {
+  std::vector<double> powered(frequencies.size());
+  for (size_t i = 0; i < frequencies.size(); ++i) {
+    powered[i] = std::pow(frequencies[i], power);
+  }
+  table_ = AliasTable(powered);
+}
+
+NodeId UnigramNegativeSampler::Sample(Rng* rng) const {
+  return static_cast<NodeId>(table_.Sample(rng));
+}
+
+std::vector<std::pair<NodeId, NodeId>> SampleNegativeEdges(const Graph& graph,
+                                                           size_t count,
+                                                           Rng* rng) {
+  const size_t n = graph.num_nodes();
+  TG_CHECK_GT(n, 1u);
+  std::vector<std::pair<NodeId, NodeId>> out;
+  std::set<std::pair<NodeId, NodeId>> seen;
+  out.reserve(count);
+  size_t attempts = 0;
+  const size_t max_attempts = count * 200 + 1000;
+  while (out.size() < count && attempts < max_attempts) {
+    ++attempts;
+    NodeId a = static_cast<NodeId>(rng->NextBelow(n));
+    NodeId b = static_cast<NodeId>(rng->NextBelow(n));
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    if (seen.count({a, b}) > 0) continue;
+    if (graph.HasEdgeBetween(a, b)) continue;
+    seen.insert({a, b});
+    out.emplace_back(a, b);
+  }
+  return out;
+}
+
+}  // namespace tg

@@ -1,0 +1,119 @@
+#include "graph/serialization.h"
+
+#include <cstdio>
+#include <string>
+
+#include "util/string_util.h"
+
+namespace tg {
+namespace {
+
+constexpr char kHeader[] = "# transfergraph v1";
+
+const char* NodeTypeToken(NodeType type) {
+  return type == NodeType::kDataset ? "dataset" : "model";
+}
+
+Result<NodeType> ParseNodeType(const std::string& token) {
+  if (token == "dataset") return NodeType::kDataset;
+  if (token == "model") return NodeType::kModel;
+  return Status::InvalidArgument("unknown node type: " + token);
+}
+
+const char* EdgeTypeToken(EdgeType type) {
+  switch (type) {
+    case EdgeType::kDatasetDataset:
+      return "dd";
+    case EdgeType::kModelDatasetAccuracy:
+      return "md_acc";
+    case EdgeType::kModelDatasetTransferability:
+      return "md_transfer";
+  }
+  return "?";
+}
+
+Result<EdgeType> ParseEdgeType(const std::string& token) {
+  if (token == "dd") return EdgeType::kDatasetDataset;
+  if (token == "md_acc") return EdgeType::kModelDatasetAccuracy;
+  if (token == "md_transfer") return EdgeType::kModelDatasetTransferability;
+  return Status::InvalidArgument("unknown edge type: " + token);
+}
+
+}  // namespace
+
+Status WriteGraphToFile(const Graph& graph, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Internal("cannot open for writing: " + path);
+  }
+  std::fprintf(file, "%s\n", kHeader);
+  for (NodeId id = 0; id < graph.num_nodes(); ++id) {
+    std::fprintf(file, "node\t%u\t%s\t%s\n", id,
+                 NodeTypeToken(graph.node_type(id)),
+                 graph.node_name(id).c_str());
+  }
+  for (const EdgeRecord& e : graph.edges()) {
+    std::fprintf(file, "edge\t%u\t%u\t%s\t%.17g\n", e.src, e.dst,
+                 EdgeTypeToken(e.type), e.weight);
+  }
+  if (std::fclose(file) != 0) return Status::Internal("fclose failed");
+  return Status::OK();
+}
+
+Result<Graph> ReadGraphFromFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) return Status::NotFound("cannot open: " + path);
+
+  Graph graph;
+  char buffer[4096];
+  bool first = true;
+  int line_number = 0;
+  while (std::fgets(buffer, sizeof(buffer), file) != nullptr) {
+    ++line_number;
+    std::string line = Trim(buffer);
+    if (line.empty()) continue;
+    if (first) {
+      first = false;
+      if (line != kHeader) {
+        std::fclose(file);
+        return Status::InvalidArgument("missing header in " + path);
+      }
+      continue;
+    }
+    const std::vector<std::string> fields = Split(line, '\t');
+    auto fail = [&](const std::string& why) -> Result<Graph> {
+      std::fclose(file);
+      return Status::InvalidArgument(path + ":" +
+                                     std::to_string(line_number) + ": " +
+                                     why);
+    };
+    if (fields[0] == "node") {
+      if (fields.size() != 4) return fail("node line needs 4 fields");
+      Result<NodeType> type = ParseNodeType(fields[2]);
+      if (!type.ok()) return fail(type.status().message());
+      const NodeId id = graph.AddNode(type.value(), fields[3]);
+      if (id != static_cast<NodeId>(std::stoul(fields[1]))) {
+        return fail("node ids must be sequential");
+      }
+    } else if (fields[0] == "edge") {
+      if (fields.size() != 5) return fail("edge line needs 5 fields");
+      Result<EdgeType> type = ParseEdgeType(fields[3]);
+      if (!type.ok()) return fail(type.status().message());
+      const unsigned long src = std::stoul(fields[1]);
+      const unsigned long dst = std::stoul(fields[2]);
+      if (src >= graph.num_nodes() || dst >= graph.num_nodes()) {
+        return fail("edge endpoint out of range");
+      }
+      graph.AddUndirectedEdge(static_cast<NodeId>(src),
+                              static_cast<NodeId>(dst), type.value(),
+                              std::stod(fields[4]));
+    } else {
+      return fail("unknown record type: " + fields[0]);
+    }
+  }
+  std::fclose(file);
+  if (first) return Status::InvalidArgument("empty file: " + path);
+  return graph;
+}
+
+}  // namespace tg

@@ -1,0 +1,24 @@
+// Plain-text (TSV) persistence for model-zoo graphs so constructed graphs
+// can be inspected, versioned, or exchanged with other tooling.
+//
+// Format:
+//   # transfergraph v1
+//   node\t<id>\t<type>\t<name>
+//   edge\t<src>\t<dst>\t<type>\t<weight>
+#ifndef TG_GRAPH_SERIALIZATION_H_
+#define TG_GRAPH_SERIALIZATION_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace tg {
+
+Status WriteGraphToFile(const Graph& graph, const std::string& path);
+
+Result<Graph> ReadGraphFromFile(const std::string& path);
+
+}  // namespace tg
+
+#endif  // TG_GRAPH_SERIALIZATION_H_

@@ -1,0 +1,148 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace tg::ml {
+namespace {
+
+struct SplitCandidate {
+  bool found = false;
+  size_t feature = 0;
+  double threshold = 0.0;
+  double score = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+void DecisionTree::Fit(const Matrix& x, const std::vector<double>& y,
+                       const std::vector<size_t>& rows, Rng* rng) {
+  TG_CHECK_EQ(x.rows(), y.size());
+  TG_CHECK(!rows.empty());
+  nodes_.clear();
+  feature_gains_.assign(x.cols(), 0.0);
+  std::vector<size_t> working = rows;
+  BuildNode(x, y, &working, 0, working.size(), 0, rng);
+}
+
+int DecisionTree::BuildNode(const Matrix& x, const std::vector<double>& y,
+                            std::vector<size_t>* rows, size_t begin,
+                            size_t end, int depth, Rng* rng) {
+  const size_t n = end - begin;
+  TG_CHECK_GT(n, 0u);
+
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    sum += y[(*rows)[i]];
+    sum_sq += y[(*rows)[i]] * y[(*rows)[i]];
+  }
+  const double mean = sum / static_cast<double>(n);
+
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_index].value = mean;
+  nodes_[node_index].depth = depth;
+
+  const double node_impurity =
+      sum_sq - sum * sum / static_cast<double>(n);  // n * variance
+  if (depth >= config_.max_depth || n < config_.min_samples_split ||
+      node_impurity <= 1e-12) {
+    return node_index;
+  }
+
+  // Candidate features (all, or a random subset per split as in RF).
+  std::vector<size_t> features;
+  if (config_.max_features == 0 || config_.max_features >= x.cols()) {
+    features.resize(x.cols());
+    std::iota(features.begin(), features.end(), 0);
+  } else {
+    TG_CHECK(rng != nullptr);
+    features = rng->SampleWithoutReplacement(x.cols(), config_.max_features);
+  }
+
+  SplitCandidate best;
+  std::vector<std::pair<double, double>> values(n);  // (feature value, y)
+  for (size_t f : features) {
+    for (size_t i = 0; i < n; ++i) {
+      const size_t r = (*rows)[begin + i];
+      values[i] = {x(r, f), y[r]};
+    }
+    std::sort(values.begin(), values.end());
+    // Prefix scan: evaluate every boundary between distinct feature values.
+    double left_sum = 0.0;
+    for (size_t i = 0; i + 1 < n; ++i) {
+      left_sum += values[i].second;
+      if (values[i].first == values[i + 1].first) continue;
+      const size_t n_left = i + 1;
+      const size_t n_right = n - n_left;
+      if (n_left < config_.min_samples_leaf ||
+          n_right < config_.min_samples_leaf) {
+        continue;
+      }
+      const double right_sum = sum - left_sum;
+      // Variance reduction is monotone in this score.
+      const double score =
+          left_sum * left_sum / static_cast<double>(n_left) +
+          right_sum * right_sum / static_cast<double>(n_right);
+      if (score > best.score) {
+        best.found = true;
+        best.score = score;
+        best.feature = f;
+        best.threshold = 0.5 * (values[i].first + values[i + 1].first);
+      }
+    }
+  }
+  if (!best.found) return node_index;
+  // Variance reduction of the chosen split, attributed to its feature.
+  feature_gains_[best.feature] +=
+      std::max(best.score - sum * sum / static_cast<double>(n), 0.0);
+
+  // Partition rows in place around the threshold.
+  auto middle = std::partition(
+      rows->begin() + static_cast<long>(begin),
+      rows->begin() + static_cast<long>(end), [&](size_t r) {
+        return x(r, best.feature) <= best.threshold;
+      });
+  const size_t mid = static_cast<size_t>(middle - rows->begin());
+  TG_CHECK_GT(mid, begin);
+  TG_CHECK_LT(mid, end);
+
+  const int left = BuildNode(x, y, rows, begin, mid, depth + 1, rng);
+  const int right = BuildNode(x, y, rows, mid, end, depth + 1, rng);
+  nodes_[node_index].is_leaf = false;
+  nodes_[node_index].feature = best.feature;
+  nodes_[node_index].threshold = best.threshold;
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+double DecisionTree::Predict(const std::vector<double>& row) const {
+  return Predict(row.data());
+}
+
+double DecisionTree::Predict(const double* row) const {
+  TG_CHECK(!nodes_.empty());
+  int node = 0;
+  while (!nodes_[node].is_leaf) {
+    node = row[nodes_[node].feature] <= nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return nodes_[node].value;
+}
+
+int DecisionTree::MaxDepthReached() const {
+  int max_depth = 0;
+  for (const TreeNode& node : nodes_) {
+    max_depth = std::max(max_depth, node.depth);
+  }
+  return max_depth;
+}
+
+}  // namespace tg::ml

@@ -1,0 +1,64 @@
+// CART regression tree with exact greedy splits (variance reduction),
+// the base learner for the random forest.
+#ifndef TG_ML_DECISION_TREE_H_
+#define TG_ML_DECISION_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "numeric/matrix.h"
+#include "util/rng.h"
+
+namespace tg::ml {
+
+struct TreeConfig {
+  int max_depth = 5;
+  size_t min_samples_leaf = 1;
+  size_t min_samples_split = 2;
+  // Number of candidate features per split; 0 means all features.
+  size_t max_features = 0;
+};
+
+class DecisionTree {
+ public:
+  explicit DecisionTree(const TreeConfig& config) : config_(config) {}
+
+  // Fits on the rows of x selected by `rows` (with multiplicity, enabling
+  // bootstrap samples). `rng` drives feature subsampling; may be null when
+  // max_features == 0.
+  void Fit(const Matrix& x, const std::vector<double>& y,
+           const std::vector<size_t>& rows, Rng* rng);
+
+  double Predict(const std::vector<double>& row) const;
+  double Predict(const double* row) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  int MaxDepthReached() const;
+
+  // Total variance reduction attributed to each feature (unnormalized);
+  // empty before Fit.
+  const std::vector<double>& feature_gains() const { return feature_gains_; }
+
+ private:
+  struct TreeNode {
+    bool is_leaf = true;
+    double value = 0.0;     // leaf prediction (mean target)
+    size_t feature = 0;     // split feature (internal nodes)
+    double threshold = 0.0;  // go left when x[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    int depth = 0;
+  };
+
+  int BuildNode(const Matrix& x, const std::vector<double>& y,
+                std::vector<size_t>* rows, size_t begin, size_t end,
+                int depth, Rng* rng);
+
+  TreeConfig config_;
+  std::vector<TreeNode> nodes_;
+  std::vector<double> feature_gains_;
+};
+
+}  // namespace tg::ml
+
+#endif  // TG_ML_DECISION_TREE_H_

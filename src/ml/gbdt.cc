@@ -1,0 +1,227 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "numeric/stats.h"
+#include "util/rng.h"
+
+namespace tg::ml {
+namespace {
+
+// Per-feature quantile bin edges; value v falls in the first bin b with
+// v <= edges[b], or in the final overflow bin.
+std::vector<double> ComputeBinEdges(const Matrix& x, size_t feature,
+                                    int max_bins) {
+  std::vector<double> values(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) values[r] = x(r, feature);
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+
+  std::vector<double> edges;
+  const size_t distinct = values.size();
+  if (distinct <= 1) return edges;
+  const size_t num_edges =
+      std::min<size_t>(static_cast<size_t>(max_bins) - 1, distinct - 1);
+  edges.reserve(num_edges);
+  for (size_t i = 1; i <= num_edges; ++i) {
+    // Boundary between quantile blocks; midpoint keeps Predict consistent
+    // with raw values.
+    const size_t idx = i * distinct / (num_edges + 1);
+    const size_t lo = idx > 0 ? idx - 1 : 0;
+    edges.push_back(0.5 * (values[lo] + values[std::min(idx, distinct - 1)]));
+  }
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+uint16_t BinOf(double value, const std::vector<double>& edges) {
+  // First edge >= value; equality goes left, matching `x <= threshold`.
+  const auto it = std::lower_bound(edges.begin(), edges.end(), value);
+  return static_cast<uint16_t>(it - edges.begin());
+}
+
+struct NodeStats {
+  double g = 0.0;
+  double h = 0.0;
+};
+
+}  // namespace
+
+double Gbdt::Tree::PredictRow(const double* row) const {
+  int node = 0;
+  while (!nodes[node].is_leaf) {
+    node = row[nodes[node].feature] <= nodes[node].threshold
+               ? nodes[node].left
+               : nodes[node].right;
+  }
+  return nodes[node].value;
+}
+
+Status Gbdt::Fit(const TabularDataset& data) {
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (data.y.size() != data.num_rows()) {
+    return Status::InvalidArgument("target size mismatch");
+  }
+  const size_t n = data.num_rows();
+  const size_t d = data.num_features();
+
+  trees_.clear();
+  rmse_curve_.clear();
+  feature_gains_.assign(d, 0.0);
+  base_score_ = Mean(data.y);
+
+  // Bin the feature matrix once (column major for histogram accumulation).
+  std::vector<std::vector<double>> edges(d);
+  std::vector<std::vector<uint16_t>> binned(d);
+  for (size_t f = 0; f < d; ++f) {
+    edges[f] = ComputeBinEdges(data.x, f, config_.max_bins);
+    binned[f].resize(n);
+    for (size_t r = 0; r < n; ++r) binned[f][r] = BinOf(data.x(r, f), edges[f]);
+  }
+
+  std::vector<double> predictions(n, base_score_);
+  std::vector<double> grad(n);
+  Rng rng(config_.seed);
+
+  const double lambda = config_.lambda;
+
+  for (int round = 0; round < config_.num_trees; ++round) {
+    // Squared-error objective: g_i = pred - y, h_i = 1.
+    for (size_t i = 0; i < n; ++i) grad[i] = predictions[i] - data.y[i];
+
+    // Row sample for this tree.
+    std::vector<size_t> rows;
+    if (config_.subsample >= 1.0) {
+      rows.resize(n);
+      std::iota(rows.begin(), rows.end(), 0);
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        if (rng.NextBernoulli(config_.subsample)) rows.push_back(i);
+      }
+      if (rows.empty()) rows.push_back(static_cast<size_t>(rng.NextBelow(n)));
+    }
+
+    Tree tree;
+    // Recursive depth-wise build over [begin, end) index ranges.
+    struct Builder {
+      const GbdtConfig& config;
+      const std::vector<std::vector<double>>& edges;
+      const std::vector<std::vector<uint16_t>>& binned;
+      const std::vector<double>& grad;
+      Tree& tree;
+      std::vector<size_t>& rows;
+      double lambda;
+      std::vector<double>& feature_gains;
+
+      int Build(size_t begin, size_t end, int depth) {
+        NodeStats total;
+        for (size_t i = begin; i < end; ++i) {
+          total.g += grad[rows[i]];
+          total.h += 1.0;
+        }
+        const int node_index = static_cast<int>(tree.nodes.size());
+        tree.nodes.emplace_back();
+        tree.nodes[node_index].value =
+            -total.g / (total.h + lambda) * config.learning_rate;
+
+        if (depth >= config.max_depth ||
+            total.h < 2.0 * config.min_child_weight) {
+          return node_index;
+        }
+
+        // Best histogram split across all features.
+        double best_gain = 0.0;
+        size_t best_feature = 0;
+        uint16_t best_bin = 0;
+        const double parent_score = total.g * total.g / (total.h + lambda);
+        std::vector<NodeStats> hist;
+        for (size_t f = 0; f < binned.size(); ++f) {
+          if (edges[f].empty()) continue;
+          hist.assign(edges[f].size() + 1, NodeStats{});
+          for (size_t i = begin; i < end; ++i) {
+            const size_t r = rows[i];
+            NodeStats& s = hist[binned[f][r]];
+            s.g += grad[r];
+            s.h += 1.0;
+          }
+          NodeStats left;
+          for (size_t b = 0; b + 1 < hist.size(); ++b) {
+            left.g += hist[b].g;
+            left.h += hist[b].h;
+            const NodeStats right{total.g - left.g, total.h - left.h};
+            if (left.h < config.min_child_weight ||
+                right.h < config.min_child_weight) {
+              continue;
+            }
+            const double gain =
+                0.5 * (left.g * left.g / (left.h + lambda) +
+                       right.g * right.g / (right.h + lambda) -
+                       parent_score) -
+                config.gamma;
+            if (gain > best_gain) {
+              best_gain = gain;
+              best_feature = f;
+              best_bin = static_cast<uint16_t>(b);
+            }
+          }
+        }
+        if (best_gain <= 0.0) return node_index;
+
+        const auto& fbins = binned[best_feature];
+        auto middle = std::partition(
+            rows.begin() + static_cast<long>(begin),
+            rows.begin() + static_cast<long>(end),
+            [&](size_t r) { return fbins[r] <= best_bin; });
+        const size_t mid = static_cast<size_t>(middle - rows.begin());
+        if (mid == begin || mid == end) return node_index;
+        feature_gains[best_feature] += best_gain;
+
+        const int left_child = Build(begin, mid, depth + 1);
+        const int right_child = Build(mid, end, depth + 1);
+        tree.nodes[node_index].is_leaf = false;
+        tree.nodes[node_index].feature = best_feature;
+        tree.nodes[node_index].threshold = edges[best_feature][best_bin];
+        tree.nodes[node_index].left = left_child;
+        tree.nodes[node_index].right = right_child;
+        return node_index;
+      }
+    };
+
+    Builder builder{config_, edges,  binned,        grad,
+                    tree,    rows,   lambda,        feature_gains_};
+    builder.Build(0, rows.size(), 0);
+
+    // Update predictions on all rows with the new tree.
+    for (size_t r = 0; r < n; ++r) {
+      predictions[r] += tree.PredictRow(data.x.RowPtr(r));
+    }
+    trees_.push_back(std::move(tree));
+    rmse_curve_.push_back(Rmse(predictions, data.y));
+  }
+  return Status::OK();
+}
+
+std::vector<double> Gbdt::FeatureImportances() const {
+  if (feature_gains_.empty()) return {};
+  double sum = 0.0;
+  for (double v : feature_gains_) sum += v;
+  std::vector<double> out = feature_gains_;
+  if (sum > 0.0) {
+    for (double& v : out) v /= sum;
+  }
+  return out;
+}
+
+double Gbdt::Predict(const std::vector<double>& row) const {
+  TG_CHECK_MSG(!trees_.empty(), "Predict before Fit");
+  double acc = base_score_;
+  for (const Tree& tree : trees_) acc += tree.PredictRow(row.data());
+  return acc;
+}
+
+}  // namespace tg::ml

@@ -1,0 +1,55 @@
+#include "ml/linear_regression.h"
+
+#include <cmath>
+
+#include "numeric/linalg.h"
+#include "numeric/stats.h"
+
+namespace tg::ml {
+
+Status LinearRegression::Fit(const TabularDataset& data) {
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (data.y.size() != data.num_rows()) {
+    return Status::InvalidArgument("target size mismatch");
+  }
+  standardizer_.Fit(data.x);
+  Matrix xs = standardizer_.Transform(data.x);
+  const double y_mean = Mean(data.y);
+  std::vector<double> centered(data.y.size());
+  for (size_t i = 0; i < data.y.size(); ++i) centered[i] = data.y[i] - y_mean;
+
+  Result<Matrix> w =
+      RidgeSolve(xs, Matrix::ColumnVector(centered), lambda_);
+  if (!w.ok()) return w.status();
+
+  weights_.resize(data.num_features());
+  for (size_t c = 0; c < weights_.size(); ++c) weights_[c] = w.value()(c, 0);
+  intercept_ = y_mean;
+  return Status::OK();
+}
+
+std::vector<double> LinearRegression::FeatureImportances() const {
+  if (weights_.empty()) return {};
+  std::vector<double> out(weights_.size());
+  double sum = 0.0;
+  for (size_t c = 0; c < weights_.size(); ++c) {
+    out[c] = std::fabs(weights_[c]);
+    sum += out[c];
+  }
+  if (sum > 0.0) {
+    for (double& v : out) v /= sum;
+  }
+  return out;
+}
+
+double LinearRegression::Predict(const std::vector<double>& row) const {
+  TG_CHECK_MSG(standardizer_.fitted(), "Predict before Fit");
+  std::vector<double> z = standardizer_.TransformRow(row);
+  double acc = intercept_;
+  for (size_t c = 0; c < weights_.size(); ++c) acc += weights_[c] * z[c];
+  return acc;
+}
+
+}  // namespace tg::ml

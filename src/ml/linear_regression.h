@@ -1,0 +1,37 @@
+// Ridge linear regression fitted by normal equations (Cholesky). Features
+// are standardized internally; the intercept is unpenalized (handled by
+// fitting on centered targets).
+#ifndef TG_ML_LINEAR_REGRESSION_H_
+#define TG_ML_LINEAR_REGRESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/tabular.h"
+
+namespace tg::ml {
+
+class LinearRegression : public Regressor {
+ public:
+  explicit LinearRegression(double ridge_lambda = 1e-3)
+      : lambda_(ridge_lambda) {}
+
+  Status Fit(const TabularDataset& data) override;
+  double Predict(const std::vector<double>& row) const override;
+  std::string name() const override { return "LR"; }
+  // |coefficient| in the standardized feature space, sum-normalized.
+  std::vector<double> FeatureImportances() const override;
+
+  const std::vector<double>& coefficients() const { return weights_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  double lambda_;
+  Standardizer standardizer_;
+  std::vector<double> weights_;  // in standardized feature space
+  double intercept_ = 0.0;
+};
+
+}  // namespace tg::ml
+
+#endif  // TG_ML_LINEAR_REGRESSION_H_

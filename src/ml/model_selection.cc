@@ -1,0 +1,81 @@
+#include "ml/model_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "numeric/stats.h"
+#include "util/rng.h"
+
+namespace tg::ml {
+
+Result<CrossValidationResult> KFoldCrossValidate(
+    const RegressorFactory& factory, const TabularDataset& data, int folds,
+    uint64_t seed) {
+  const size_t n = data.num_rows();
+  if (n == 0) return Status::InvalidArgument("empty dataset");
+  if (folds < 2 || static_cast<size_t>(folds) > n) {
+    return Status::InvalidArgument("folds must be in [2, num_rows]");
+  }
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(&order);
+
+  CrossValidationResult result;
+  for (int fold = 0; fold < folds; ++fold) {
+    const size_t begin = n * static_cast<size_t>(fold) /
+                         static_cast<size_t>(folds);
+    const size_t end = n * static_cast<size_t>(fold + 1) /
+                       static_cast<size_t>(folds);
+
+    TabularDataset train;
+    train.x = Matrix(n - (end - begin), data.num_features());
+    train.feature_names = data.feature_names;
+    TabularDataset test;
+    test.x = Matrix(end - begin, data.num_features());
+
+    size_t train_row = 0;
+    size_t test_row = 0;
+    for (size_t pos = 0; pos < n; ++pos) {
+      const size_t source = order[pos];
+      if (pos >= begin && pos < end) {
+        test.x.SetRow(test_row++, data.x.Row(source));
+        test.y.push_back(data.y[source]);
+      } else {
+        train.x.SetRow(train_row++, data.x.Row(source));
+        train.y.push_back(data.y[source]);
+      }
+    }
+
+    std::unique_ptr<Regressor> model = factory();
+    TG_RETURN_IF_ERROR(model->Fit(train));
+    result.fold_rmse.push_back(Rmse(model->PredictBatch(test.x), test.y));
+  }
+  result.mean_rmse = Mean(result.fold_rmse);
+  result.stddev_rmse = StdDev(result.fold_rmse);
+  return result;
+}
+
+Result<std::vector<CandidateScore>> RankPredictors(
+    const std::vector<std::pair<std::string, RegressorFactory>>& candidates,
+    const TabularDataset& data, int folds, uint64_t seed) {
+  if (candidates.empty()) {
+    return Status::InvalidArgument("no candidate predictors");
+  }
+  std::vector<CandidateScore> scores;
+  for (const auto& [name, factory] : candidates) {
+    Result<CrossValidationResult> cv =
+        KFoldCrossValidate(factory, data, folds, seed);
+    if (!cv.ok()) return cv.status();
+    scores.push_back(CandidateScore{name, std::move(cv).value()});
+  }
+  std::sort(scores.begin(), scores.end(),
+            [](const CandidateScore& a, const CandidateScore& b) {
+              return a.result.mean_rmse < b.result.mean_rmse;
+            });
+  return scores;
+}
+
+}  // namespace tg::ml

@@ -1,0 +1,44 @@
+// Cross-validation utilities for choosing among prediction models (paper
+// §VII-E: "Further study can ... identify the most appropriate prediction
+// model based on varying dataset characteristics").
+#ifndef TG_ML_MODEL_SELECTION_H_
+#define TG_ML_MODEL_SELECTION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/tabular.h"
+#include "util/status.h"
+
+namespace tg::ml {
+
+using RegressorFactory = std::function<std::unique_ptr<Regressor>()>;
+
+struct CrossValidationResult {
+  double mean_rmse = 0.0;
+  double stddev_rmse = 0.0;
+  std::vector<double> fold_rmse;
+};
+
+// K-fold cross-validation of a regressor on the dataset; folds are
+// contiguous blocks of a seeded shuffle. k must be in [2, n].
+Result<CrossValidationResult> KFoldCrossValidate(
+    const RegressorFactory& factory, const TabularDataset& data, int folds,
+    uint64_t seed = 33);
+
+struct CandidateScore {
+  std::string name;
+  CrossValidationResult result;
+};
+
+// Cross-validates every candidate and returns them sorted by mean RMSE
+// (best first).
+Result<std::vector<CandidateScore>> RankPredictors(
+    const std::vector<std::pair<std::string, RegressorFactory>>& candidates,
+    const TabularDataset& data, int folds, uint64_t seed = 33);
+
+}  // namespace tg::ml
+
+#endif  // TG_ML_MODEL_SELECTION_H_

@@ -1,0 +1,64 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace tg::ml {
+
+Status RandomForest::Fit(const TabularDataset& data) {
+  if (data.num_rows() == 0) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (data.y.size() != data.num_rows()) {
+    return Status::InvalidArgument("target size mismatch");
+  }
+  trees_.clear();
+  trees_.reserve(static_cast<size_t>(config_.num_trees));
+
+  TreeConfig tree_config = config_.tree;
+  if (tree_config.max_features == 0) {
+    tree_config.max_features = std::max<size_t>(
+        1, static_cast<size_t>(std::ceil(config_.feature_fraction *
+                                         static_cast<double>(
+                                             data.num_features()))));
+  }
+
+  Rng rng(config_.seed);
+  const size_t n = data.num_rows();
+  std::vector<size_t> bootstrap(n);
+  for (int t = 0; t < config_.num_trees; ++t) {
+    for (size_t i = 0; i < n; ++i) {
+      bootstrap[i] = static_cast<size_t>(rng.NextBelow(n));
+    }
+    DecisionTree tree(tree_config);
+    tree.Fit(data.x, data.y, bootstrap, &rng);
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+std::vector<double> RandomForest::FeatureImportances() const {
+  if (trees_.empty()) return {};
+  std::vector<double> total(trees_.front().feature_gains().size(), 0.0);
+  for (const DecisionTree& tree : trees_) {
+    const auto& gains = tree.feature_gains();
+    for (size_t f = 0; f < total.size(); ++f) total[f] += gains[f];
+  }
+  double sum = 0.0;
+  for (double v : total) sum += v;
+  if (sum > 0.0) {
+    for (double& v : total) v /= sum;
+  }
+  return total;
+}
+
+double RandomForest::Predict(const std::vector<double>& row) const {
+  TG_CHECK_MSG(!trees_.empty(), "Predict before Fit");
+  double acc = 0.0;
+  for (const DecisionTree& tree : trees_) acc += tree.Predict(row);
+  return acc / static_cast<double>(trees_.size());
+}
+
+}  // namespace tg::ml

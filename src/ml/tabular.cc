@@ -1,0 +1,83 @@
+#include "ml/tabular.h"
+
+#include <cmath>
+
+#include "numeric/stats.h"
+
+namespace tg::ml {
+
+void Standardizer::Fit(const Matrix& x) {
+  const size_t d = x.cols();
+  mean_.assign(d, 0.0);
+  inv_std_.assign(d, 1.0);
+  if (x.rows() == 0) return;
+  for (size_t c = 0; c < d; ++c) {
+    double sum = 0.0;
+    for (size_t r = 0; r < x.rows(); ++r) sum += x(r, c);
+    mean_[c] = sum / static_cast<double>(x.rows());
+    double var = 0.0;
+    for (size_t r = 0; r < x.rows(); ++r) {
+      const double dlt = x(r, c) - mean_[c];
+      var += dlt * dlt;
+    }
+    var /= static_cast<double>(x.rows());
+    inv_std_[c] = var > 1e-12 ? 1.0 / std::sqrt(var) : 1.0;
+  }
+}
+
+Matrix Standardizer::Transform(const Matrix& x) const {
+  TG_CHECK_EQ(x.cols(), mean_.size());
+  Matrix out = x;
+  for (size_t r = 0; r < out.rows(); ++r) {
+    double* row = out.RowPtr(r);
+    for (size_t c = 0; c < out.cols(); ++c) {
+      row[c] = (row[c] - mean_[c]) * inv_std_[c];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Standardizer::TransformRow(
+    const std::vector<double>& row) const {
+  TG_CHECK_EQ(row.size(), mean_.size());
+  std::vector<double> out(row.size());
+  for (size_t c = 0; c < row.size(); ++c) {
+    out[c] = (row[c] - mean_[c]) * inv_std_[c];
+  }
+  return out;
+}
+
+std::vector<double> Regressor::PredictBatch(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) out[r] = Predict(x.Row(r));
+  return out;
+}
+
+double Rmse(const std::vector<double>& predictions,
+            const std::vector<double>& targets) {
+  TG_CHECK_EQ(predictions.size(), targets.size());
+  if (predictions.empty()) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    const double d = predictions[i] - targets[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(predictions.size()));
+}
+
+double RSquared(const std::vector<double>& predictions,
+                const std::vector<double>& targets) {
+  TG_CHECK_EQ(predictions.size(), targets.size());
+  if (predictions.empty()) return 0.0;
+  const double mean_y = Mean(targets);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    ss_res += (targets[i] - predictions[i]) * (targets[i] - predictions[i]);
+    ss_tot += (targets[i] - mean_y) * (targets[i] - mean_y);
+  }
+  if (ss_tot <= 0.0) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace tg::ml

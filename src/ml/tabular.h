@@ -1,0 +1,63 @@
+// Tabular training data and the common Regressor interface for the
+// prediction models (paper §VI-C: linear regression, random forest, XGBoost).
+#ifndef TG_ML_TABULAR_H_
+#define TG_ML_TABULAR_H_
+
+#include <string>
+#include <vector>
+
+#include "numeric/matrix.h"
+#include "util/status.h"
+
+namespace tg::ml {
+
+struct TabularDataset {
+  Matrix x;                               // n x d feature matrix
+  std::vector<double> y;                  // n targets
+  std::vector<std::string> feature_names;  // optional, size d when present
+
+  size_t num_rows() const { return x.rows(); }
+  size_t num_features() const { return x.cols(); }
+};
+
+// Per-column standardization (z-score); constant columns pass through.
+class Standardizer {
+ public:
+  void Fit(const Matrix& x);
+  Matrix Transform(const Matrix& x) const;
+  std::vector<double> TransformRow(const std::vector<double>& row) const;
+  bool fitted() const { return !mean_.empty(); }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+};
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  virtual Status Fit(const TabularDataset& data) = 0;
+  virtual double Predict(const std::vector<double>& row) const = 0;
+
+  std::vector<double> PredictBatch(const Matrix& x) const;
+
+  // Name for reports, e.g. "LR", "RF", "XGB".
+  virtual std::string name() const = 0;
+
+  // Per-feature importance scores (sum 1 when non-empty). Empty when the
+  // model does not provide importances or has not been fitted.
+  virtual std::vector<double> FeatureImportances() const { return {}; }
+};
+
+// Root mean squared error of predictions against targets.
+double Rmse(const std::vector<double>& predictions,
+            const std::vector<double>& targets);
+
+// Coefficient of determination.
+double RSquared(const std::vector<double>& predictions,
+                const std::vector<double>& targets);
+
+}  // namespace tg::ml
+
+#endif  // TG_ML_TABULAR_H_

@@ -1,0 +1,18 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace tg::nn {
+
+Matrix GlorotUniform(size_t fan_in, size_t fan_out, Rng* rng) {
+  const double a =
+      std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  return Matrix::Uniform(fan_in, fan_out, rng, -a, a);
+}
+
+Matrix HeNormal(size_t fan_in, size_t fan_out, Rng* rng) {
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  return Matrix::Gaussian(fan_in, fan_out, rng, 0.0, stddev);
+}
+
+}  // namespace tg::nn

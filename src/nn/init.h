@@ -1,0 +1,20 @@
+// Weight initialization schemes for the neural substrates.
+#ifndef TG_NN_INIT_H_
+#define TG_NN_INIT_H_
+
+#include <cstddef>
+
+#include "numeric/matrix.h"
+#include "util/rng.h"
+
+namespace tg::nn {
+
+// Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+Matrix GlorotUniform(size_t fan_in, size_t fan_out, Rng* rng);
+
+// He/Kaiming normal: N(0, sqrt(2 / fan_in)), for ReLU networks.
+Matrix HeNormal(size_t fan_in, size_t fan_out, Rng* rng);
+
+}  // namespace tg::nn
+
+#endif  // TG_NN_INIT_H_

@@ -1,0 +1,26 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+
+namespace tg::nn {
+
+Linear::Linear(size_t in_dim, size_t out_dim, Rng* rng, bool use_bias) {
+  weight_ = autograd::MakeParameter(GlorotUniform(in_dim, out_dim, rng));
+  if (use_bias) {
+    bias_ = autograd::MakeParameter(Matrix(1, out_dim));
+  }
+}
+
+autograd::Var Linear::Forward(const autograd::Var& x) const {
+  autograd::Var out = autograd::MatMul(x, weight_);
+  if (bias_ != nullptr) out = autograd::AddRowBroadcast(out, bias_);
+  return out;
+}
+
+std::vector<autograd::Var> Linear::Parameters() const {
+  std::vector<autograd::Var> params = {weight_};
+  if (bias_ != nullptr) params.push_back(bias_);
+  return params;
+}
+
+}  // namespace tg::nn

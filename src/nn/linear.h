@@ -1,0 +1,35 @@
+// A dense layer y = x W + b over autograd Vars.
+#ifndef TG_NN_LINEAR_H_
+#define TG_NN_LINEAR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/tape.h"
+#include "util/rng.h"
+
+namespace tg::nn {
+
+class Linear {
+ public:
+  // Weights use Glorot-uniform init; bias starts at zero (optional).
+  Linear(size_t in_dim, size_t out_dim, Rng* rng, bool use_bias = true);
+
+  // x: (batch x in_dim) -> (batch x out_dim).
+  autograd::Var Forward(const autograd::Var& x) const;
+
+  // Trainable parameters (weight, then bias if present).
+  std::vector<autograd::Var> Parameters() const;
+
+  const autograd::Var& weight() const { return weight_; }
+  const autograd::Var& bias() const { return bias_; }
+
+ private:
+  autograd::Var weight_;
+  autograd::Var bias_;  // nullptr when use_bias is false
+};
+
+}  // namespace tg::nn
+
+#endif  // TG_NN_LINEAR_H_

@@ -1,0 +1,59 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace tg::nn {
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p->ZeroGrad();
+}
+
+void Sgd::Step() {
+  for (auto& p : params_) {
+    if (p->grad().empty()) continue;
+    Matrix update = p->grad();
+    if (weight_decay_ > 0.0) update += p->value() * weight_decay_;
+    p->mutable_value() -= update * lr_;
+  }
+}
+
+Adam::Adam(std::vector<autograd::Var> params, double lr, double beta1,
+           double beta2, double eps, double weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p->value().rows(), p->value().cols());
+    v_.emplace_back(p->value().rows(), p->value().cols());
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step_count_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step_count_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (p->grad().empty()) continue;
+    Matrix g = p->grad();
+    if (weight_decay_ > 0.0) g += p->value() * weight_decay_;
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    for (size_t r = 0; r < g.rows(); ++r) {
+      for (size_t c = 0; c < g.cols(); ++c) {
+        m(r, c) = beta1_ * m(r, c) + (1.0 - beta1_) * g(r, c);
+        v(r, c) = beta2_ * v(r, c) + (1.0 - beta2_) * g(r, c) * g(r, c);
+        const double m_hat = m(r, c) / bc1;
+        const double v_hat = v(r, c) / bc2;
+        p->mutable_value()(r, c) -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+      }
+    }
+  }
+}
+
+}  // namespace tg::nn

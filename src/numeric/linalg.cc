@@ -1,0 +1,193 @@
+#include "numeric/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace tg {
+
+Result<Matrix> CholeskyFactor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix, got " +
+                                   a.ShapeString());
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0) {
+          return Status::FailedPrecondition(
+              "matrix is not positive definite (pivot " +
+              std::to_string(sum) + " at " + std::to_string(i) + ")");
+        }
+        l(i, j) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+Result<Matrix> CholeskySolve(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) {
+    return Status::InvalidArgument("dimension mismatch in CholeskySolve");
+  }
+  Result<Matrix> factor = CholeskyFactor(a);
+  if (!factor.ok()) return factor.status();
+  const Matrix& l = factor.value();
+  const size_t n = a.rows();
+  const size_t m = b.cols();
+
+  // Forward substitution: L z = b.
+  Matrix z = b;
+  for (size_t c = 0; c < m; ++c) {
+    for (size_t i = 0; i < n; ++i) {
+      double sum = z(i, c);
+      for (size_t k = 0; k < i; ++k) sum -= l(i, k) * z(k, c);
+      z(i, c) = sum / l(i, i);
+    }
+  }
+  // Back substitution: L^T x = z.
+  Matrix x = z;
+  for (size_t c = 0; c < m; ++c) {
+    for (size_t ii = n; ii > 0; --ii) {
+      const size_t i = ii - 1;
+      double sum = x(i, c);
+      for (size_t k = i + 1; k < n; ++k) sum -= l(k, i) * x(k, c);
+      x(i, c) = sum / l(i, i);
+    }
+  }
+  return x;
+}
+
+Result<EigenDecomposition> SymmetricEigen(const Matrix& a, int max_sweeps,
+                                          double tol) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("eigendecomposition requires square input");
+  }
+  const size_t n = a.rows();
+  // Verify symmetry (within roundoff) so silent garbage cannot escape.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double scale = std::max({1.0, std::fabs(a(i, j)), std::fabs(a(j, i))});
+      if (std::fabs(a(i, j) - a(j, i)) > 1e-8 * scale) {
+        return Status::InvalidArgument("matrix is not symmetric");
+      }
+    }
+  }
+
+  Matrix d = a;
+  Matrix v = Matrix::Identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) off += d(i, j) * d(i, j);
+    }
+    if (off < tol * tol) break;
+
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        if (std::fabs(d(p, q)) < 1e-300) continue;
+        const double theta = (d(q, q) - d(p, p)) / (2.0 * d(p, q));
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (size_t k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort ascending by eigenvalue, permuting eigenvector columns alongside.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return d(x, x) < d(y, y); });
+
+  EigenDecomposition out;
+  out.eigenvalues.resize(n);
+  out.eigenvectors = Matrix(n, n);
+  for (size_t c = 0; c < n; ++c) {
+    out.eigenvalues[c] = d(order[c], order[c]);
+    for (size_t r = 0; r < n; ++r) out.eigenvectors(r, c) = v(r, order[c]);
+  }
+  return out;
+}
+
+Result<SingularValueDecomposition> ThinSvd(const Matrix& a, double rank_tol) {
+  if (a.empty()) return Status::InvalidArgument("SVD of empty matrix");
+  // Gram matrix G = A^T A (d x d); eigenpairs give V and s^2.
+  Matrix gram = a.TransposedMatMul(a);
+  Result<EigenDecomposition> eig = SymmetricEigen(gram);
+  if (!eig.ok()) return eig.status();
+
+  const size_t d = a.cols();
+  // Eigenvalues ascending -> iterate from the back for descending s.
+  std::vector<double> svals;
+  std::vector<size_t> cols;
+  double max_ev = 0.0;
+  for (double ev : eig.value().eigenvalues) max_ev = std::max(max_ev, ev);
+  const double cutoff = std::max(max_ev * rank_tol * rank_tol, 0.0);
+  for (size_t ci = d; ci > 0; --ci) {
+    const size_t c = ci - 1;
+    const double ev = eig.value().eigenvalues[c];
+    if (ev <= cutoff || ev <= 0.0) continue;
+    svals.push_back(std::sqrt(ev));
+    cols.push_back(c);
+  }
+  const size_t r = svals.size();
+  if (r == 0) return Status::FailedPrecondition("matrix has numerical rank 0");
+
+  SingularValueDecomposition out;
+  out.singular_values = svals;
+  out.v = Matrix(d, r);
+  for (size_t j = 0; j < r; ++j) {
+    for (size_t i = 0; i < d; ++i) {
+      out.v(i, j) = eig.value().eigenvectors(i, cols[j]);
+    }
+  }
+  // U = A V diag(1/s).
+  out.u = a.MatMul(out.v);
+  for (size_t i = 0; i < out.u.rows(); ++i) {
+    for (size_t j = 0; j < r; ++j) out.u(i, j) /= svals[j];
+  }
+  return out;
+}
+
+Result<Matrix> RidgeSolve(const Matrix& x, const Matrix& y, double lambda) {
+  if (x.rows() != y.rows()) {
+    return Status::InvalidArgument("X and y row counts differ");
+  }
+  if (lambda < 0.0) {
+    return Status::InvalidArgument("ridge penalty must be non-negative");
+  }
+  Matrix gram = x.TransposedMatMul(x);
+  for (size_t i = 0; i < gram.rows(); ++i) gram(i, i) += lambda;
+  Matrix xty = x.TransposedMatMul(y);
+  return CholeskySolve(gram, xty);
+}
+
+}  // namespace tg

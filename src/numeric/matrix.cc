@@ -1,0 +1,203 @@
+#include "numeric/matrix.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace tg {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix out(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    TG_CHECK_EQ(rows[r].size(), out.cols_);
+    for (size_t c = 0; c < out.cols_; ++c) out(r, c) = rows[r][c];
+  }
+  return out;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix out(n, n);
+  for (size_t i = 0; i < n; ++i) out(i, i) = 1.0;
+  return out;
+}
+
+Matrix Matrix::Gaussian(size_t rows, size_t cols, Rng* rng, double mean,
+                        double stddev) {
+  Matrix out(rows, cols);
+  for (double& v : out.data_) v = rng->NextGaussian(mean, stddev);
+  return out;
+}
+
+Matrix Matrix::Uniform(size_t rows, size_t cols, Rng* rng, double lo,
+                       double hi) {
+  Matrix out(rows, cols);
+  for (double& v : out.data_) v = rng->NextUniform(lo, hi);
+  return out;
+}
+
+Matrix Matrix::ColumnVector(const std::vector<double>& values) {
+  Matrix out(values.size(), 1);
+  for (size_t i = 0; i < values.size(); ++i) out(i, 0) = values[i];
+  return out;
+}
+
+std::vector<double> Matrix::Row(size_t r) const {
+  TG_CHECK_LT(r, rows_);
+  return std::vector<double>(RowPtr(r), RowPtr(r) + cols_);
+}
+
+std::vector<double> Matrix::Col(size_t c) const {
+  TG_CHECK_LT(c, cols_);
+  std::vector<double> out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+void Matrix::SetRow(size_t r, const std::vector<double>& values) {
+  TG_CHECK_LT(r, rows_);
+  TG_CHECK_EQ(values.size(), cols_);
+  for (size_t c = 0; c < cols_; ++c) (*this)(r, c) = values[c];
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  TG_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  TG_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  TG_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order for cache-friendly access to row-major storage.
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a_row = RowPtr(i);
+    double* out_row = out.RowPtr(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = a_row[k];
+      if (a == 0.0) continue;
+      const double* b_row = other.RowPtr(k);
+      for (size_t j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::TransposedMatMul(const Matrix& other) const {
+  TG_CHECK_EQ(rows_, other.rows_);
+  Matrix out(cols_, other.cols_);
+  for (size_t k = 0; k < rows_; ++k) {
+    const double* a_row = RowPtr(k);
+    const double* b_row = other.RowPtr(k);
+    for (size_t i = 0; i < cols_; ++i) {
+      const double a = a_row[i];
+      if (a == 0.0) continue;
+      double* out_row = out.RowPtr(i);
+      for (size_t j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::MatMulTransposed(const Matrix& other) const {
+  TG_CHECK_EQ(cols_, other.cols_);
+  Matrix out(rows_, other.rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a_row = RowPtr(i);
+    for (size_t j = 0; j < other.rows_; ++j) {
+      const double* b_row = other.RowPtr(j);
+      double acc = 0.0;
+      for (size_t k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
+      out(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::Hadamard(const Matrix& other) const {
+  TG_CHECK(SameShape(other));
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] *= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::AddRowBroadcast(const Matrix& row) const {
+  TG_CHECK_EQ(row.rows(), 1u);
+  TG_CHECK_EQ(row.cols(), cols_);
+  Matrix out = *this;
+  for (size_t r = 0; r < rows_; ++r) {
+    double* out_row = out.RowPtr(r);
+    for (size_t c = 0; c < cols_; ++c) out_row[c] += row(0, c);
+  }
+  return out;
+}
+
+Matrix Matrix::Map(const std::function<double(double)>& fn) const {
+  Matrix out = *this;
+  for (double& v : out.data_) v = fn(v);
+  return out;
+}
+
+double Matrix::Sum() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v;
+  return acc;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Matrix::MaxAbs() const {
+  double acc = 0.0;
+  for (double v : data_) acc = std::max(acc, std::fabs(v));
+  return acc;
+}
+
+Matrix Matrix::RowMean() const {
+  Matrix out(rows_, 1);
+  if (cols_ == 0) return out;
+  for (size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    const double* row = RowPtr(r);
+    for (size_t c = 0; c < cols_; ++c) acc += row[c];
+    out(r, 0) = acc / static_cast<double>(cols_);
+  }
+  return out;
+}
+
+Matrix Matrix::ColSum() const {
+  Matrix out(1, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    for (size_t c = 0; c < cols_; ++c) out(0, c) += row[c];
+  }
+  return out;
+}
+
+std::string Matrix::ShapeString() const {
+  return "[" + std::to_string(rows_) + " x " + std::to_string(cols_) + "]";
+}
+
+}  // namespace tg

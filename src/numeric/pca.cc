@@ -1,0 +1,75 @@
+#include "numeric/pca.h"
+
+#include <algorithm>
+
+#include "numeric/linalg.h"
+
+namespace tg {
+
+Status Pca::Fit(const Matrix& x, size_t components) {
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  if (n < 2 || d == 0) {
+    return Status::InvalidArgument("PCA needs at least 2 samples");
+  }
+  if (components == 0) {
+    return Status::InvalidArgument("components must be positive");
+  }
+
+  mean_.assign(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = x.RowPtr(i);
+    for (size_t c = 0; c < d; ++c) mean_[c] += row[c];
+  }
+  for (double& v : mean_) v /= static_cast<double>(n);
+
+  Matrix centered = x;
+  for (size_t i = 0; i < n; ++i) {
+    double* row = centered.RowPtr(i);
+    for (size_t c = 0; c < d; ++c) row[c] -= mean_[c];
+  }
+  Matrix cov = centered.TransposedMatMul(centered);
+  cov *= 1.0 / static_cast<double>(n - 1);
+
+  Result<EigenDecomposition> eig = SymmetricEigen(cov);
+  if (!eig.ok()) return eig.status();
+
+  const size_t k = std::min({components, d, n});
+  components_ = Matrix(d, k);
+  double kept_variance = 0.0;
+  double total_variance = 0.0;
+  for (double ev : eig.value().eigenvalues) {
+    total_variance += std::max(ev, 0.0);
+  }
+  // Eigenvalues are ascending; take the top-k from the back.
+  for (size_t j = 0; j < k; ++j) {
+    const size_t col = d - 1 - j;
+    kept_variance += std::max(eig.value().eigenvalues[col], 0.0);
+    for (size_t r = 0; r < d; ++r) {
+      components_(r, j) = eig.value().eigenvectors(r, col);
+    }
+  }
+  explained_ratio_ =
+      total_variance > 0.0 ? kept_variance / total_variance : 0.0;
+  return Status::OK();
+}
+
+Matrix Pca::Transform(const Matrix& x) const {
+  TG_CHECK_MSG(fitted(), "Transform before Fit");
+  TG_CHECK_EQ(x.cols(), mean_.size());
+  Matrix centered = x;
+  for (size_t i = 0; i < centered.rows(); ++i) {
+    double* row = centered.RowPtr(i);
+    for (size_t c = 0; c < centered.cols(); ++c) row[c] -= mean_[c];
+  }
+  return centered.MatMul(components_);
+}
+
+std::vector<double> Pca::TransformRow(const std::vector<double>& row) const {
+  Matrix single(1, row.size());
+  single.SetRow(0, row);
+  Matrix projected = Transform(single);
+  return projected.Row(0);
+}
+
+}  // namespace tg

@@ -1,0 +1,41 @@
+// Principal component analysis via the eigendecomposition of the sample
+// covariance. Used to reduce high-dimensional dataset representations before
+// they become GNN node features (paper appendix A observes that Task2Vec's
+// very high-dimensional embeddings hurt GraphSAGE on the small zoo graph).
+#ifndef TG_NUMERIC_PCA_H_
+#define TG_NUMERIC_PCA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "numeric/matrix.h"
+#include "util/status.h"
+
+namespace tg {
+
+class Pca {
+ public:
+  Pca() = default;
+
+  // Fits on rows of x (n x d); keeps min(components, d, n) directions.
+  Status Fit(const Matrix& x, size_t components);
+
+  bool fitted() const { return !mean_.empty(); }
+  size_t output_dim() const { return components_.cols(); }
+
+  // Projects rows into the principal subspace: (n x d) -> (n x k).
+  Matrix Transform(const Matrix& x) const;
+  std::vector<double> TransformRow(const std::vector<double>& row) const;
+
+  // Fraction of total variance captured by the kept components.
+  double ExplainedVarianceRatio() const { return explained_ratio_; }
+
+ private:
+  std::vector<double> mean_;
+  Matrix components_;  // d x k, column-orthonormal
+  double explained_ratio_ = 0.0;
+};
+
+}  // namespace tg
+
+#endif  // TG_NUMERIC_PCA_H_

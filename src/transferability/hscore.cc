@@ -1,0 +1,86 @@
+#include "transferability/hscore.h"
+
+#include "numeric/linalg.h"
+
+namespace tg {
+
+Result<double> HScore(const Matrix& features, const std::vector<int>& labels,
+                      int num_classes, const HScoreOptions& options) {
+  const size_t n = features.rows();
+  const size_t d = features.cols();
+  if (n == 0 || d == 0) {
+    return Status::InvalidArgument("empty feature matrix");
+  }
+  if (labels.size() != n) {
+    return Status::InvalidArgument("label size mismatch");
+  }
+  if (num_classes < 2) {
+    return Status::InvalidArgument("need at least two classes");
+  }
+
+  // Global mean and centered features.
+  std::vector<double> mean(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = features.RowPtr(i);
+    for (size_t c = 0; c < d; ++c) mean[c] += row[c];
+  }
+  for (double& v : mean) v /= static_cast<double>(n);
+
+  // Class-conditional means (centered).
+  Matrix class_mean(static_cast<size_t>(num_classes), d);
+  std::vector<double> class_count(static_cast<size_t>(num_classes), 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const int y = labels[i];
+    if (y < 0 || y >= num_classes) {
+      return Status::OutOfRange("label outside [0, num_classes)");
+    }
+    class_count[static_cast<size_t>(y)] += 1.0;
+    const double* row = features.RowPtr(i);
+    for (size_t c = 0; c < d; ++c) {
+      class_mean(static_cast<size_t>(y), c) += row[c] - mean[c];
+    }
+  }
+  for (int y = 0; y < num_classes; ++y) {
+    if (class_count[static_cast<size_t>(y)] == 0.0) continue;
+    for (size_t c = 0; c < d; ++c) {
+      class_mean(static_cast<size_t>(y), c) /=
+          class_count[static_cast<size_t>(y)];
+    }
+  }
+
+  // Total covariance and between-class covariance.
+  Matrix cov(d, d);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = features.RowPtr(i);
+    for (size_t a = 0; a < d; ++a) {
+      const double da = row[a] - mean[a];
+      for (size_t b = 0; b < d; ++b) {
+        cov(a, b) += da * (row[b] - mean[b]);
+      }
+    }
+  }
+  cov *= 1.0 / static_cast<double>(n);
+  for (size_t a = 0; a < d; ++a) cov(a, a) += options.ridge;
+
+  Matrix between(d, d);
+  for (int y = 0; y < num_classes; ++y) {
+    const double weight =
+        class_count[static_cast<size_t>(y)] / static_cast<double>(n);
+    if (weight == 0.0) continue;
+    for (size_t a = 0; a < d; ++a) {
+      const double ma = class_mean(static_cast<size_t>(y), a);
+      for (size_t b = 0; b < d; ++b) {
+        between(a, b) += weight * ma * class_mean(static_cast<size_t>(y), b);
+      }
+    }
+  }
+
+  // tr(cov^{-1} between) = sum of diagonal of the solve.
+  Result<Matrix> solved = CholeskySolve(cov, between);
+  if (!solved.ok()) return solved.status();
+  double trace = 0.0;
+  for (size_t a = 0; a < d; ++a) trace += solved.value()(a, a);
+  return trace;
+}
+
+}  // namespace tg

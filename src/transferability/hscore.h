@@ -1,0 +1,25 @@
+// H-Score (Bao et al., ICIP 2019): a fast transferability estimate
+//   H(f) = tr( cov(f)^{-1} cov( E[f | y] ) ),
+// the amount of feature variance explained by the class-conditional means,
+// measured in the whitened feature space. Higher is better. A small ridge
+// term keeps the covariance inversion well posed.
+#ifndef TG_TRANSFERABILITY_HSCORE_H_
+#define TG_TRANSFERABILITY_HSCORE_H_
+
+#include <vector>
+
+#include "numeric/matrix.h"
+#include "util/status.h"
+
+namespace tg {
+
+struct HScoreOptions {
+  double ridge = 1e-6;
+};
+
+Result<double> HScore(const Matrix& features, const std::vector<int>& labels,
+                      int num_classes, const HScoreOptions& options = {});
+
+}  // namespace tg
+
+#endif  // TG_TRANSFERABILITY_HSCORE_H_

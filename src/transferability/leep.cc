@@ -1,0 +1,63 @@
+#include "transferability/leep.h"
+
+#include <cmath>
+
+namespace tg {
+
+Result<double> LeepScore(const Matrix& source_probs,
+                         const std::vector<int>& labels, int num_classes) {
+  const size_t n = source_probs.rows();
+  const size_t z_dim = source_probs.cols();
+  if (n == 0 || z_dim == 0) {
+    return Status::InvalidArgument("empty source probability matrix");
+  }
+  if (labels.size() != n) {
+    return Status::InvalidArgument("label size mismatch");
+  }
+  if (num_classes < 2) {
+    return Status::InvalidArgument("need at least two classes");
+  }
+  for (int label : labels) {
+    if (label < 0 || label >= num_classes) {
+      return Status::OutOfRange("label outside [0, num_classes)");
+    }
+  }
+
+  // Empirical joint P(y, z) = (1/n) sum_i theta(x_i)_z * 1[y_i = y].
+  Matrix joint(static_cast<size_t>(num_classes), z_dim);
+  for (size_t i = 0; i < n; ++i) {
+    const double* probs = source_probs.RowPtr(i);
+    double* row = joint.RowPtr(static_cast<size_t>(labels[i]));
+    for (size_t z = 0; z < z_dim; ++z) row[z] += probs[z];
+  }
+  joint *= 1.0 / static_cast<double>(n);
+
+  // Marginal P(z) and conditional P(y | z).
+  std::vector<double> marginal(z_dim, 0.0);
+  for (int y = 0; y < num_classes; ++y) {
+    for (size_t z = 0; z < z_dim; ++z) {
+      marginal[z] += joint(static_cast<size_t>(y), z);
+    }
+  }
+  Matrix conditional(static_cast<size_t>(num_classes), z_dim);
+  for (int y = 0; y < num_classes; ++y) {
+    for (size_t z = 0; z < z_dim; ++z) {
+      conditional(static_cast<size_t>(y), z) =
+          marginal[z] > 0.0 ? joint(static_cast<size_t>(y), z) / marginal[z]
+                            : 0.0;
+    }
+  }
+
+  // Average log-likelihood of the empirical predictor.
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double* probs = source_probs.RowPtr(i);
+    const double* cond = conditional.RowPtr(static_cast<size_t>(labels[i]));
+    double p = 0.0;
+    for (size_t z = 0; z < z_dim; ++z) p += cond[z] * probs[z];
+    total += std::log(std::max(p, 1e-12));
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace tg

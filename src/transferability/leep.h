@@ -1,0 +1,25 @@
+// LEEP: Log Expected Empirical Prediction (Nguyen et al., ICML 2020).
+//
+// Given a pre-trained model's soft predictions over its *source* classes on
+// the target samples, LEEP forms the empirical joint P(target y, source z),
+// derives the conditional P(y|z), and scores the "empirical predictor"
+//   p(y | x) = sum_z P(y|z) theta(x)_z
+// by its average log-likelihood on the target labels. Higher is better.
+#ifndef TG_TRANSFERABILITY_LEEP_H_
+#define TG_TRANSFERABILITY_LEEP_H_
+
+#include <vector>
+
+#include "numeric/matrix.h"
+#include "util/status.h"
+
+namespace tg {
+
+// source_probs: n x Z rows of source-class probabilities (rows should sum to
+// ~1); labels: n target labels in [0, num_classes).
+Result<double> LeepScore(const Matrix& source_probs,
+                         const std::vector<int>& labels, int num_classes);
+
+}  // namespace tg
+
+#endif  // TG_TRANSFERABILITY_LEEP_H_

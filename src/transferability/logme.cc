@@ -1,0 +1,144 @@
+#include "transferability/logme.h"
+
+#include <cmath>
+
+#include "numeric/linalg.h"
+
+namespace tg {
+namespace {
+
+constexpr double kEpsilon = 1e-5;
+
+// Shared eigendecomposition of F^T F, reused across the per-class loops.
+struct FeatureSpectrum {
+  std::vector<double> sigma;  // eigenvalues of F^T F (>= 0), length D
+  Matrix v;                   // D x D eigenvectors
+};
+
+Result<FeatureSpectrum> Decompose(const Matrix& features) {
+  Matrix gram = features.TransposedMatMul(features);
+  Result<EigenDecomposition> eig = SymmetricEigen(gram);
+  if (!eig.ok()) return eig.status();
+  FeatureSpectrum spec;
+  spec.sigma = eig.value().eigenvalues;
+  for (double& s : spec.sigma) s = std::max(s, 0.0);
+  spec.v = eig.value().eigenvectors;
+  return spec;
+}
+
+// Evidence for one target column given the precomputed spectrum.
+double EvidenceForTarget(const Matrix& features, const FeatureSpectrum& spec,
+                         const std::vector<double>& y,
+                         const LogMeOptions& options) {
+  const size_t n = features.rows();
+  const size_t d = features.cols();
+
+  // tmp = V^T F^T y.
+  std::vector<double> fty(d, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    const double* row = features.RowPtr(r);
+    const double yv = y[r];
+    if (yv == 0.0) continue;
+    for (size_t c = 0; c < d; ++c) fty[c] += row[c] * yv;
+  }
+  std::vector<double> tmp(d, 0.0);
+  for (size_t c = 0; c < d; ++c) {
+    double acc = 0.0;
+    for (size_t rdim = 0; rdim < d; ++rdim) {
+      acc += spec.v(rdim, c) * fty[rdim];
+    }
+    tmp[c] = acc;
+  }
+
+  double y_norm2 = 0.0;
+  for (double v : y) y_norm2 += v * v;
+
+  double alpha = 1.0;
+  double beta = 1.0;
+  double lam = alpha / beta;
+  double alpha_de = 0.0;
+  double beta_de = y_norm2;
+  for (int iter = 0; iter < options.max_fixed_point_iters; ++iter) {
+    double gamma = 0.0;
+    alpha_de = 0.0;
+    double explained = 0.0;
+    for (size_t i = 0; i < d; ++i) {
+      const double s = spec.sigma[i];
+      const double denom = alpha + beta * s;
+      gamma += beta * s / denom;
+      const double m_i = beta * tmp[i] / denom;
+      alpha_de += m_i * m_i;
+      // beta_de = ||y - F m||^2 computed in the eigenspace:
+      //   ||y||^2 - sum tmp_i^2 * beta (2 alpha + beta s_i) / denom^2.
+      explained += tmp[i] * tmp[i] * beta * (2.0 * alpha + beta * s) /
+                   (denom * denom);
+    }
+    beta_de = std::max(y_norm2 - explained, 0.0);
+    alpha = gamma / (alpha_de + kEpsilon);
+    beta = (static_cast<double>(n) - gamma) / (beta_de + kEpsilon);
+    const double new_lam = alpha / beta;
+    if (std::fabs(new_lam - lam) / lam < options.tolerance) break;
+    lam = new_lam;
+  }
+
+  double log_det = 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    log_det += std::log(alpha + beta * spec.sigma[i]);
+  }
+  const double evidence =
+      0.5 * static_cast<double>(d) * std::log(alpha) +
+      0.5 * static_cast<double>(n) * std::log(beta) - 0.5 * log_det -
+      0.5 * beta * beta_de - 0.5 * alpha * alpha_de -
+      0.5 * static_cast<double>(n) * std::log(2.0 * M_PI);
+  return evidence / static_cast<double>(n);
+}
+
+}  // namespace
+
+Result<double> LogMeEvidence(const Matrix& features,
+                             const std::vector<double>& targets,
+                             const LogMeOptions& options) {
+  if (features.rows() == 0 || features.cols() == 0) {
+    return Status::InvalidArgument("empty feature matrix");
+  }
+  if (targets.size() != features.rows()) {
+    return Status::InvalidArgument("target size mismatch");
+  }
+  Result<FeatureSpectrum> spec = Decompose(features);
+  if (!spec.ok()) return spec.status();
+  return EvidenceForTarget(features, spec.value(), targets, options);
+}
+
+Result<double> LogMeScore(const Matrix& features,
+                          const std::vector<int>& labels, int num_classes,
+                          const LogMeOptions& options) {
+  if (features.rows() == 0 || features.cols() == 0) {
+    return Status::InvalidArgument("empty feature matrix");
+  }
+  if (labels.size() != features.rows()) {
+    return Status::InvalidArgument("label size mismatch");
+  }
+  if (num_classes < 2) {
+    return Status::InvalidArgument("need at least two classes");
+  }
+  for (int label : labels) {
+    if (label < 0 || label >= num_classes) {
+      return Status::OutOfRange("label outside [0, num_classes)");
+    }
+  }
+  Result<FeatureSpectrum> spec = Decompose(features);
+  if (!spec.ok()) return spec.status();
+
+  // One-vs-rest evidence per class, averaged (the official formulation).
+  double total = 0.0;
+  std::vector<double> y(labels.size());
+  for (int k = 0; k < num_classes; ++k) {
+    for (size_t i = 0; i < labels.size(); ++i) {
+      y[i] = labels[i] == k ? 1.0 : 0.0;
+    }
+    total += EvidenceForTarget(features, spec.value(), y, options);
+  }
+  return total / static_cast<double>(num_classes);
+}
+
+}  // namespace tg

@@ -1,0 +1,38 @@
+// LogME: Log of Maximum Evidence (You et al., ICML 2021).
+//
+// For features F (n x D) extracted by a pre-trained model on the target
+// dataset and one-vs-rest binary targets per class, LogME maximizes the
+// marginalized label evidence p(y | F) of a Bayesian linear model with an
+// isotropic Gaussian prior (precision alpha) and Gaussian noise (precision
+// beta), via the classic alpha/beta fixed-point iteration run in the
+// eigenspace of F^T F. The score is the per-sample log evidence averaged
+// over classes; higher means more transferable.
+#ifndef TG_TRANSFERABILITY_LOGME_H_
+#define TG_TRANSFERABILITY_LOGME_H_
+
+#include <vector>
+
+#include "numeric/matrix.h"
+#include "util/status.h"
+
+namespace tg {
+
+struct LogMeOptions {
+  int max_fixed_point_iters = 11;
+  double tolerance = 0.01;  // relative change in alpha/beta ratio
+};
+
+// features: n x D, labels: n integers in [0, num_classes).
+Result<double> LogMeScore(const Matrix& features,
+                          const std::vector<int>& labels, int num_classes,
+                          const LogMeOptions& options = {});
+
+// Evidence of a single continuous target column (used internally and for
+// regression-style targets): returns per-sample log evidence.
+Result<double> LogMeEvidence(const Matrix& features,
+                             const std::vector<double>& targets,
+                             const LogMeOptions& options = {});
+
+}  // namespace tg
+
+#endif  // TG_TRANSFERABILITY_LOGME_H_

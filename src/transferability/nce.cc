@@ -1,0 +1,36 @@
+#include "transferability/nce.h"
+
+#include <cmath>
+#include <map>
+#include <utility>
+
+namespace tg {
+
+Result<double> NceScore(const std::vector<int>& source_labels,
+                        const std::vector<int>& target_labels) {
+  if (source_labels.empty()) {
+    return Status::InvalidArgument("empty label vectors");
+  }
+  if (source_labels.size() != target_labels.size()) {
+    return Status::InvalidArgument("label size mismatch");
+  }
+  const double n = static_cast<double>(source_labels.size());
+
+  std::map<std::pair<int, int>, double> joint;  // (z, y) -> count
+  std::map<int, double> z_marginal;
+  for (size_t i = 0; i < source_labels.size(); ++i) {
+    joint[{source_labels[i], target_labels[i]}] += 1.0;
+    z_marginal[source_labels[i]] += 1.0;
+  }
+
+  // H(Y|Z) = -sum_{z,y} P(z,y) log( P(z,y) / P(z) ).
+  double conditional_entropy = 0.0;
+  for (const auto& [zy, count] : joint) {
+    const double p_zy = count / n;
+    const double p_z = z_marginal[zy.first] / n;
+    conditional_entropy -= p_zy * std::log(p_zy / p_z);
+  }
+  return -conditional_entropy;
+}
+
+}  // namespace tg

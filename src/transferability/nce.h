@@ -1,0 +1,21 @@
+// NCE: Negative Conditional Entropy (Tran et al., ICCV 2019).
+// Transferability is scored as -H(Y | Z), where Z are the source-model's
+// hard label assignments on the target samples and Y are the target labels.
+// Less residual uncertainty about Y given Z means better transfer.
+#ifndef TG_TRANSFERABILITY_NCE_H_
+#define TG_TRANSFERABILITY_NCE_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace tg {
+
+// source_labels: hard source-class assignments; target_labels: target-class
+// labels. Sizes must match and be nonempty.
+Result<double> NceScore(const std::vector<int>& source_labels,
+                        const std::vector<int>& target_labels);
+
+}  // namespace tg
+
+#endif  // TG_TRANSFERABILITY_NCE_H_

@@ -1,0 +1,71 @@
+#include "transferability/parc.h"
+
+#include <algorithm>
+
+#include "numeric/stats.h"
+#include "util/rng.h"
+
+namespace tg {
+namespace {
+
+// Lower-triangle entries (i > j) of the pairwise correlation-distance matrix
+// of the given row vectors.
+std::vector<double> PairwiseCorrelationDistances(const Matrix& rows) {
+  const size_t n = rows.rows();
+  std::vector<double> out;
+  out.reserve(n * (n - 1) / 2);
+  std::vector<std::vector<double>> cache(n);
+  for (size_t i = 0; i < n; ++i) cache[i] = rows.Row(i);
+  for (size_t i = 1; i < n; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      out.push_back(CorrelationDistance(cache[i], cache[j]));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<double> ParcScore(const Matrix& features,
+                         const std::vector<int>& labels, int num_classes,
+                         const ParcOptions& options) {
+  const size_t n = features.rows();
+  if (n < 3 || features.cols() == 0) {
+    return Status::InvalidArgument("need at least 3 samples with features");
+  }
+  if (labels.size() != n) {
+    return Status::InvalidArgument("label size mismatch");
+  }
+  if (num_classes < 2) {
+    return Status::InvalidArgument("need at least two classes");
+  }
+
+  // Subsample for tractability (pairwise cost is quadratic).
+  std::vector<size_t> keep;
+  if (n > options.max_samples) {
+    Rng rng(options.seed);
+    keep = rng.SampleWithoutReplacement(n, options.max_samples);
+    std::sort(keep.begin(), keep.end());
+  } else {
+    keep.resize(n);
+    for (size_t i = 0; i < n; ++i) keep[i] = i;
+  }
+
+  Matrix f_sub(keep.size(), features.cols());
+  Matrix y_sub(keep.size(), static_cast<size_t>(num_classes));
+  for (size_t i = 0; i < keep.size(); ++i) {
+    const double* src = features.RowPtr(keep[i]);
+    std::copy(src, src + features.cols(), f_sub.RowPtr(i));
+    const int label = labels[keep[i]];
+    if (label < 0 || label >= num_classes) {
+      return Status::OutOfRange("label outside [0, num_classes)");
+    }
+    y_sub(i, static_cast<size_t>(label)) = 1.0;
+  }
+
+  const std::vector<double> feat_dist = PairwiseCorrelationDistances(f_sub);
+  const std::vector<double> label_dist = PairwiseCorrelationDistances(y_sub);
+  return 100.0 * SpearmanCorrelation(feat_dist, label_dist);
+}
+
+}  // namespace tg

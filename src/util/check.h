@@ -1,0 +1,34 @@
+// Assertion macros used throughout the library for programmer-error checks.
+// These abort with a diagnostic; expected runtime failures use tg::Status.
+#ifndef TG_UTIL_CHECK_H_
+#define TG_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define TG_CHECK(cond)                                                     \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "TG_CHECK failed: %s at %s:%d\n", #cond,        \
+                   __FILE__, __LINE__);                                    \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define TG_CHECK_MSG(cond, msg)                                            \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "TG_CHECK failed: %s (%s) at %s:%d\n", #cond,   \
+                   msg, __FILE__, __LINE__);                               \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define TG_CHECK_EQ(a, b) TG_CHECK((a) == (b))
+#define TG_CHECK_NE(a, b) TG_CHECK((a) != (b))
+#define TG_CHECK_LT(a, b) TG_CHECK((a) < (b))
+#define TG_CHECK_LE(a, b) TG_CHECK((a) <= (b))
+#define TG_CHECK_GT(a, b) TG_CHECK((a) > (b))
+#define TG_CHECK_GE(a, b) TG_CHECK((a) >= (b))
+
+#endif  // TG_UTIL_CHECK_H_

@@ -1,0 +1,55 @@
+#include "util/csv.h"
+
+#include <cstdio>
+
+namespace tg {
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n') return true;
+  }
+  return false;
+}
+
+std::string Escape(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "w");
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (file_ == nullptr) return;
+  std::string line;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) line.push_back(',');
+    line += Escape(fields[i]);
+  }
+  line.push_back('\n');
+  std::fputs(line.c_str(), file_);
+}
+
+Status CsvWriter::Close() {
+  if (file_ == nullptr) return Status::FailedPrecondition("file not open");
+  int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::Internal("fclose failed");
+  return Status::OK();
+}
+
+}  // namespace tg

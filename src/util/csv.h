@@ -1,0 +1,35 @@
+// CSV writer used by benches to dump the series behind each figure, so the
+// paper plots can be regenerated from files under the build directory.
+#ifndef TG_UTIL_CSV_H_
+#define TG_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tg {
+
+class CsvWriter {
+ public:
+  // Opens (truncates) the file; check Ok() before writing rows.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  // Writes one row; fields containing commas or quotes are quoted.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  Status Close();
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace tg
+
+#endif  // TG_UTIL_CSV_H_

@@ -1,0 +1,46 @@
+// Tiny leveled logger writing to stderr. Verbosity is process-global and can
+// be lowered by benchmarks to keep their stdout tables clean.
+#ifndef TG_UTIL_LOGGING_H_
+#define TG_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace tg {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Sets the minimum level that is actually emitted. Returns the old level.
+LogLevel SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define TG_LOG(level)                                                  \
+  ::tg::internal_logging::LogMessage(::tg::LogLevel::k##level,         \
+                                     __FILE__, __LINE__)
+
+}  // namespace tg
+
+#endif  // TG_UTIL_LOGGING_H_

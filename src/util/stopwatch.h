@@ -1,0 +1,28 @@
+// Wall-clock stopwatch for coarse timing in benches and the pipeline log.
+#ifndef TG_UTIL_STOPWATCH_H_
+#define TG_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace tg {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tg
+
+#endif  // TG_UTIL_STOPWATCH_H_

@@ -1,0 +1,27 @@
+// Small string helpers used by CSV/table output and catalog parsing.
+#ifndef TG_UTIL_STRING_UTIL_H_
+#define TG_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace tg {
+
+// Splits on a single-character delimiter; empty fields are preserved.
+std::vector<std::string> Split(const std::string& text, char delim);
+
+// Joins with the given separator.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+// Strips ASCII whitespace from both ends.
+std::string Trim(const std::string& text);
+
+// Formats a double with the given number of decimal places.
+std::string FormatDouble(double value, int decimals);
+
+bool StartsWith(const std::string& text, const std::string& prefix);
+
+}  // namespace tg
+
+#endif  // TG_UTIL_STRING_UTIL_H_

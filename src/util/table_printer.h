@@ -1,0 +1,30 @@
+// Aligned plain-text table rendering for the benchmark harness output.
+// Benches print the same rows/series the paper's tables and figures report.
+#ifndef TG_UTIL_TABLE_PRINTER_H_
+#define TG_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace tg {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Renders the table with column alignment and a header separator.
+  std::string Render() const;
+
+  // Renders to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tg
+
+#endif  // TG_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,318 @@
+#include "zoo/catalog.h"
+
+#include <algorithm>
+#include <array>
+#include <string>
+
+#include "graph/alias_table.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace tg::zoo {
+namespace {
+
+// --- Image domain groups ---
+// 0 generic natural, 1 scenes, 2 fine-grained animals, 3 plants/food,
+// 4 vehicles, 5 textures/art, 6 digits/ocr/signs, 7 medical, 8 aerial,
+// 9 synthetic shapes/pose, 10 sketches/domain-shifted, 11 faces/people.
+struct DatasetSeed {
+  const char* name;
+  size_t samples;
+  int classes;
+  DomainGroup domain;
+};
+
+// The paper's 8 image evaluation targets (Table III, exact counts).
+constexpr DatasetSeed kImageTargets[] = {
+    {"caltech101", 3060, 101, 0},
+    {"cifar100", 50000, 100, 0},
+    {"dtd", 1880, 47, 5},
+    {"flowers", 1020, 10, 3},
+    {"pets", 3680, 37, 2},
+    {"smallnorb_elevation", 24300, 18, 9},
+    {"stanfordcars", 8144, 196, 4},
+    {"svhn", 73257, 10, 6},
+};
+
+// Additional public image datasets where model performance barely varies
+// (paper Fig. 6: e.g. eurosat, std 0.005) -- kept in the graph, excluded
+// from evaluation.
+constexpr DatasetSeed kImageLowVariance[] = {
+    {"eurosat", 27000, 10, 8},
+    {"cifar10", 50000, 10, 0},
+    {"mnist", 60000, 10, 6},
+    {"beans", 1034, 3, 3},
+};
+
+// 61 image source datasets (pre-training corpora / similarity anchors).
+constexpr DatasetSeed kImageSources[] = {
+    {"imagenet", 1281167, 1000, 0},
+    {"imagenet21k", 14197122, 21841, 0},
+    {"places365", 1803460, 365, 1},
+    {"inaturalist", 675170, 10000, 2},
+    {"coco", 118287, 80, 0},
+    {"openimages", 1743042, 601, 0},
+    {"sun397", 108754, 397, 1},
+    {"food101", 101000, 101, 3},
+    {"cub200", 11788, 200, 2},
+    {"fgvc_aircraft", 10000, 100, 4},
+    {"oxford_buildings", 5062, 17, 1},
+    {"celeba", 202599, 40, 11},
+    {"ffhq", 70000, 2, 11},
+    {"lsun", 1000000, 10, 1},
+    {"ade20k", 25574, 150, 1},
+    {"cityscapes", 25000, 30, 1},
+    {"kitti", 14999, 9, 4},
+    {"nyu_depth", 1449, 27, 1},
+    {"pascal_voc", 11530, 20, 0},
+    {"wikiart", 81444, 27, 5},
+    {"sketchy", 75471, 125, 10},
+    {"quickdraw", 50000000, 345, 10},
+    {"domainnet_real", 175327, 345, 0},
+    {"domainnet_painting", 75759, 345, 5},
+    {"domainnet_clipart", 48837, 345, 10},
+    {"domainnet_sketch", 70386, 345, 10},
+    {"office_home", 15588, 65, 0},
+    {"visda", 280157, 12, 9},
+    {"web_cars", 63000, 431, 4},
+    {"herbarium", 46469, 683, 3},
+    {"plantvillage", 54305, 38, 3},
+    {"plant_pathology", 3651, 4, 3},
+    {"chest_xray", 112120, 14, 7},
+    {"isic_skin", 25331, 9, 7},
+    {"retinopathy", 35126, 5, 7},
+    {"patch_camelyon", 327680, 2, 7},
+    {"resisc45", 31500, 45, 8},
+    {"aid_aerial", 10000, 30, 8},
+    {"ucmerced", 2100, 21, 8},
+    {"so2sat", 400673, 17, 8},
+    {"bigearthnet", 590326, 43, 8},
+    {"spacenet", 24586, 2, 8},
+    {"clevr", 70000, 8, 9},
+    {"dsprites", 737280, 6, 9},
+    {"shapes3d", 480000, 6, 9},
+    {"kinetics_frames", 240000, 400, 0},
+    {"ucf101_frames", 13320, 101, 0},
+    {"moments_frames", 802264, 339, 0},
+    {"imagenet_sketch", 50889, 1000, 10},
+    {"imagenet_r", 30000, 200, 10},
+    {"imagenet_a", 7500, 200, 0},
+    {"objectnet", 50000, 313, 0},
+    {"stl10", 5000, 10, 0},
+    {"tiny_imagenet", 100000, 200, 0},
+    {"cinic10", 270000, 10, 0},
+    {"fashion_mnist", 60000, 10, 6},
+    {"emnist", 697932, 62, 6},
+    {"kmnist", 60000, 10, 6},
+    {"usps", 7291, 10, 6},
+    {"gtsrb", 39209, 43, 6},
+    {"fer2013", 35887, 7, 11},
+};
+
+// --- Text domain groups ---
+// 0 web corpus/generic, 1 social media, 2 reviews/sentiment, 3 linguistic
+// acceptability, 4 news/encyclopedic, 5 inference/QA.
+// The paper's 8 text evaluation targets (Table III, exact counts; the
+// printed class count for tweet_eval/offensive is kept as-is).
+constexpr DatasetSeed kTextTargets[] = {
+    {"glue/cola", 8550, 2, 3},
+    {"glue/sst2", 70000, 2, 2},
+    {"rotten_tomatoes", 10662, 2, 2},
+    {"tweet_eval/emotion", 5050, 4, 1},
+    {"tweet_eval/hate", 13000, 2, 1},
+    {"tweet_eval/irony", 4600, 2, 1},
+    {"tweet_eval/offensive", 24300, 18, 1},
+    {"tweet_eval/sentiment", 59900, 3, 1},
+};
+
+// 16 text source datasets.
+constexpr DatasetSeed kTextSources[] = {
+    {"wikipedia", 6000000, 2, 4},
+    {"bookcorpus", 74004228, 2, 0},
+    {"c4", 364868892, 2, 0},
+    {"openwebtext", 8013769, 2, 0},
+    {"the_pile", 210607728, 2, 0},
+    {"amazon_reviews", 3650000, 5, 2},
+    {"yelp_reviews", 650000, 5, 2},
+    {"imdb", 50000, 2, 2},
+    {"ag_news", 127600, 4, 4},
+    {"dbpedia", 630000, 14, 4},
+    {"yahoo_answers", 1460000, 10, 5},
+    {"snli", 570152, 3, 5},
+    {"mnli", 432702, 3, 5},
+    {"squad", 130319, 2, 5},
+    {"common_crawl_news", 708241, 2, 4},
+    {"twitter_corpus", 1600000, 3, 1},
+};
+
+struct VariantSeed {
+  const char* suffix;
+  double params_millions;
+  int input_size;
+};
+
+struct FamilySeed {
+  Architecture arch;
+  std::array<VariantSeed, 4> variants;
+};
+
+constexpr FamilySeed kImageFamilies[] = {
+    {Architecture::kResNet,
+     {{{"18", 11.7, 224}, {"34", 21.8, 224}, {"50", 25.6, 224},
+       {"101", 44.5, 224}}}},
+    {Architecture::kViT,
+     {{{"tiny", 5.7, 224}, {"small", 22.1, 224}, {"base", 86.6, 224},
+       {"large", 304.3, 384}}}},
+    {Architecture::kSwin,
+     {{{"tiny", 28.3, 224}, {"small", 49.6, 224}, {"base", 87.8, 224},
+       {"large", 196.5, 384}}}},
+    {Architecture::kConvNeXT,
+     {{{"tiny", 28.6, 224}, {"small", 50.2, 224}, {"base", 88.6, 224},
+       {"large", 197.8, 384}}}},
+    {Architecture::kMobileNet,
+     {{{"v2-0.5", 2.0, 160}, {"v2-1.0", 3.5, 224}, {"v3-small", 2.5, 224},
+       {"v3-large", 5.5, 224}}}},
+    {Architecture::kEfficientNet,
+     {{{"b0", 5.3, 224}, {"b2", 9.1, 260}, {"b4", 19.3, 380},
+       {"b6", 43.0, 528}}}},
+    {Architecture::kDenseNet,
+     {{{"121", 8.0, 224}, {"161", 28.7, 224}, {"169", 14.1, 224},
+       {"201", 20.0, 224}}}},
+    {Architecture::kRegNet,
+     {{{"y-400mf", 4.3, 224}, {"y-1.6gf", 11.2, 224}, {"y-8gf", 39.2, 224},
+       {"y-32gf", 145.0, 224}}}},
+};
+
+constexpr FamilySeed kTextFamilies[] = {
+    {Architecture::kBert,
+     {{{"tiny", 4.4, 128}, {"small", 29.1, 512}, {"base", 110.0, 512},
+       {"large", 340.0, 512}}}},
+    {Architecture::kRoberta,
+     {{{"small", 51.0, 512}, {"base", 125.0, 512}, {"large", 355.0, 512},
+       {"xlarge", 550.0, 512}}}},
+    {Architecture::kElectra,
+     {{{"small", 14.0, 512}, {"base", 110.0, 512}, {"large", 335.0, 512},
+       {"xlarge", 500.0, 512}}}},
+    {Architecture::kFnet,
+     {{{"small", 40.0, 512}, {"base", 83.0, 512}, {"large", 238.0, 512},
+       {"xlarge", 400.0, 512}}}},
+    {Architecture::kDistilBert,
+     {{{"tiny", 15.0, 512}, {"base", 66.0, 512}, {"multi", 134.0, 512},
+       {"squad", 66.4, 512}}}},
+    {Architecture::kAlbert,
+     {{{"base", 11.8, 512}, {"large", 17.9, 512}, {"xlarge", 58.9, 512},
+       {"xxlarge", 223.0, 512}}}},
+    {Architecture::kDeberta,
+     {{{"small", 44.0, 512}, {"base", 139.0, 512}, {"large", 405.0, 512},
+       {"xlarge", 750.0, 512}}}},
+    {Architecture::kGptNeo,
+     {{{"125m", 125.0, 2048}, {"350m", 350.0, 2048}, {"1.3b", 1300.0, 2048},
+       {"2.7b", 2700.0, 2048}}}},
+};
+
+DatasetInfo MakeDataset(const DatasetSeed& seed, Modality modality,
+                        bool is_public, bool is_target) {
+  DatasetInfo info;
+  info.name = seed.name;
+  info.modality = modality;
+  info.num_samples = seed.samples;
+  info.num_classes = seed.classes;
+  info.domain = seed.domain;
+  info.is_public = is_public;
+  info.is_evaluation_target = is_target;
+  return info;
+}
+
+// Pre-training source selection: the first few "hub" corpora dominate, as
+// on real model hubs where most checkpoints share ImageNet/Wikipedia-style
+// pre-training.
+size_t SampleSource(const std::vector<size_t>& source_indices, Rng* rng) {
+  std::vector<double> weights(source_indices.size(), 1.0);
+  const size_t hubs = std::min<size_t>(6, weights.size());
+  for (size_t i = 0; i < hubs; ++i) weights[i] = 12.0;
+  AliasTable table(weights);
+  return source_indices[table.Sample(rng)];
+}
+
+void AppendModels(Modality modality, int count,
+                  const FamilySeed* families, size_t num_families,
+                  const std::vector<size_t>& source_indices, Rng* rng,
+                  std::vector<ModelInfo>* models) {
+  int made = 0;
+  int copy = 0;
+  while (made < count) {
+    for (size_t f = 0; f < num_families && made < count; ++f) {
+      for (const VariantSeed& variant : families[f].variants) {
+        if (made >= count) break;
+        ModelInfo m;
+        m.modality = modality;
+        m.architecture = families[f].arch;
+        m.source_dataset = SampleSource(source_indices, rng);
+        // Copies of the same family/variant differ in pre-training source,
+        // hyperparameters and (slightly) parameter count, like hub uploads.
+        const double jitter = 1.0 + 0.05 * rng->NextGaussian();
+        m.num_parameters_millions =
+            variant.params_millions * std::max(jitter, 0.5);
+        m.memory_mb = m.num_parameters_millions * 4.0;  // fp32 weights
+        m.input_size = variant.input_size;
+        m.pretrain_accuracy = 0.0;  // filled by the synthetic world
+        m.name = std::string(ArchitectureName(families[f].arch)) + "-" +
+                 variant.suffix + "-v" + std::to_string(copy);
+        models->push_back(std::move(m));
+        ++made;
+      }
+    }
+    ++copy;
+  }
+}
+
+}  // namespace
+
+Catalog BuildCatalog(const CatalogOptions& options) {
+  Catalog catalog;
+  Rng rng(options.seed);
+
+  // --- Datasets: image public, image sources, text public, text sources ---
+  for (const DatasetSeed& seed : kImageTargets) {
+    catalog.datasets.push_back(
+        MakeDataset(seed, Modality::kImage, /*is_public=*/true,
+                    /*is_target=*/true));
+  }
+  for (const DatasetSeed& seed : kImageLowVariance) {
+    catalog.datasets.push_back(
+        MakeDataset(seed, Modality::kImage, /*is_public=*/true,
+                    /*is_target=*/false));
+  }
+  std::vector<size_t> image_sources;
+  for (const DatasetSeed& seed : kImageSources) {
+    image_sources.push_back(catalog.datasets.size());
+    catalog.datasets.push_back(
+        MakeDataset(seed, Modality::kImage, /*is_public=*/false,
+                    /*is_target=*/false));
+  }
+  for (const DatasetSeed& seed : kTextTargets) {
+    catalog.datasets.push_back(
+        MakeDataset(seed, Modality::kText, /*is_public=*/true,
+                    /*is_target=*/true));
+  }
+  std::vector<size_t> text_sources;
+  for (const DatasetSeed& seed : kTextSources) {
+    text_sources.push_back(catalog.datasets.size());
+    catalog.datasets.push_back(
+        MakeDataset(seed, Modality::kText, /*is_public=*/false,
+                    /*is_target=*/false));
+  }
+  // Scale check against the paper: 73 image datasets, 24 text datasets.
+  TG_CHECK_EQ(image_sources.size(), 61u);
+  TG_CHECK_EQ(text_sources.size(), 16u);
+
+  // --- Models ---
+  AppendModels(Modality::kImage, options.num_image_models, kImageFamilies,
+               std::size(kImageFamilies), image_sources, &rng,
+               &catalog.models);
+  AppendModels(Modality::kText, options.num_text_models, kTextFamilies,
+               std::size(kTextFamilies), text_sources, &rng, &catalog.models);
+  return catalog;
+}
+
+}  // namespace tg::zoo

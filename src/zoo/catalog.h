@@ -1,0 +1,36 @@
+// The dataset and model rosters reproducing the paper's experimental scale:
+//   * 12 public image datasets (8 evaluation targets with Table III's real
+//     sample/class counts + 4 low-variance ones) and 61 image source
+//     datasets (used for pre-training and dataset similarity);
+//   * 8 public text datasets (Table III) and 16 text source datasets;
+//   * 185 heterogeneous image models and 163 text models across 8
+//     architecture families per modality, pre-trained on diverse sources.
+#ifndef TG_ZOO_CATALOG_H_
+#define TG_ZOO_CATALOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "zoo/types.h"
+
+namespace tg::zoo {
+
+struct Catalog {
+  // Datasets of both modalities; public datasets precede source datasets
+  // within each modality block.
+  std::vector<DatasetInfo> datasets;
+  std::vector<ModelInfo> models;
+};
+
+struct CatalogOptions {
+  int num_image_models = 185;
+  int num_text_models = 163;
+  uint64_t seed = 7;
+};
+
+// Builds the full catalog deterministically from the options.
+Catalog BuildCatalog(const CatalogOptions& options = {});
+
+}  // namespace tg::zoo
+
+#endif  // TG_ZOO_CATALOG_H_

@@ -1,0 +1,120 @@
+#include "zoo/finetune_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "numeric/stats.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace tg::zoo {
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+FineTuneSimulator::FineTuneSimulator(const SyntheticWorld& world,
+                                     const FineTuneConfig& config)
+    : world_(&world), config_(config) {
+  const Catalog& catalog = world.catalog();
+  const size_t num_datasets = catalog.datasets.size();
+  const size_t num_models = catalog.models.size();
+  Rng root(config.seed);
+
+  // --- Per-dataset base accuracy and spread ---
+  base_.resize(num_datasets);
+  spread_.resize(num_datasets);
+  Rng spread_rng = root.Fork(11);
+  for (size_t d = 0; d < num_datasets; ++d) {
+    const DatasetInfo& info = catalog.datasets[d];
+    base_[d] = 0.92 - 0.48 * world.Difficulty(d);
+    if (info.is_evaluation_target) {
+      spread_[d] = config.spread_min +
+                   (config.spread_max - config.spread_min) *
+                       spread_rng.NextDouble();
+    } else if (info.is_public) {
+      // Low-variance datasets: model selection is pointless here (Fig. 6).
+      spread_[d] =
+          config.spread_low_variance * (0.7 + 0.6 * spread_rng.NextDouble());
+    } else {
+      spread_[d] = config.spread_source;
+    }
+  }
+
+  // --- Accuracy tables ---
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  full_.assign(num_datasets, std::vector<double>(num_models, nan));
+  lora_.assign(num_datasets, std::vector<double>(num_models, nan));
+
+  Rng lora_model_rng = root.Fork(12);
+  std::vector<double> lora_model_shift(num_models);
+  for (size_t m = 0; m < num_models; ++m) {
+    lora_model_shift[m] =
+        config.lora_model_noise * lora_model_rng.NextGaussian();
+  }
+
+  for (size_t d = 0; d < num_datasets; ++d) {
+    const DatasetInfo& ds = catalog.datasets[d];
+    std::vector<size_t> models;
+    std::vector<double> signal;
+    for (size_t m = 0; m < num_models; ++m) {
+      const ModelInfo& mi = catalog.models[m];
+      if (mi.modality != ds.modality) continue;
+      models.push_back(m);
+      signal.push_back(config.weight_affinity * world.Affinity(m, d) +
+                       config.weight_capacity * world.Capacity(m) +
+                       config.weight_quality *
+                           (Sigmoid(world.Quality(m)) - 0.5) * 2.0 +
+                       config.weight_arch_bias *
+                           world.ArchDomainBias(mi.architecture, ds.domain));
+    }
+    if (models.empty()) continue;
+    // Z-score the signal over same-modality models so spread_d alone sets
+    // this dataset's dispersion.
+    const double mu = Mean(signal);
+    const double sd = std::max(StdDev(signal), 1e-9);
+    Rng pair_rng = root.Fork(1000 + d);
+    // Per-pair noise shrinks with the dataset's spread so that low-variance
+    // datasets really are low variance (paper: eurosat std 0.005).
+    const double noise_d = std::min(config_.noise, 0.8 * spread_[d] + 0.002);
+    for (size_t i = 0; i < models.size(); ++i) {
+      const size_t m = models[i];
+      const double z = (signal[i] - mu) / sd;
+      const double acc =
+          base_[d] + spread_[d] * z + noise_d * pair_rng.NextGaussian();
+      full_[d][m] = std::clamp(acc, 0.02, 0.995);
+      const double lora = full_[d][m] - config.lora_drop +
+                          lora_model_shift[m] +
+                          config.lora_pair_noise * pair_rng.NextGaussian();
+      lora_[d][m] = std::clamp(lora, 0.02, 0.995);
+    }
+  }
+}
+
+double FineTuneSimulator::Accuracy(size_t model, size_t dataset,
+                                   FineTuneMethod method) const {
+  TG_CHECK_LT(dataset, full_.size());
+  TG_CHECK_LT(model, full_[dataset].size());
+  const double acc = method == FineTuneMethod::kFullFineTune
+                         ? full_[dataset][model]
+                         : lora_[dataset][model];
+  TG_CHECK_MSG(!std::isnan(acc), "model/dataset modality mismatch");
+  return acc;
+}
+
+std::vector<double> FineTuneSimulator::AccuracyColumn(
+    size_t dataset, FineTuneMethod method) const {
+  const Catalog& catalog = world_->catalog();
+  std::vector<double> out;
+  for (size_t m = 0; m < catalog.models.size(); ++m) {
+    if (catalog.models[m].modality != catalog.datasets[dataset].modality) {
+      continue;
+    }
+    out.push_back(Accuracy(m, dataset, method));
+  }
+  return out;
+}
+
+}  // namespace tg::zoo

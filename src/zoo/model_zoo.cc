@@ -1,0 +1,166 @@
+#include "zoo/model_zoo.h"
+
+#include "features/domain_similarity.h"
+#include "features/task2vec.h"
+#include "transferability/hscore.h"
+#include "transferability/leep.h"
+#include "transferability/logme.h"
+#include "transferability/nce.h"
+#include "transferability/parc.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace tg::zoo {
+
+ModelZoo::ModelZoo(const ModelZooConfig& config)
+    : config_(config), catalog_(BuildCatalog(config.catalog)) {
+  world_ = std::make_unique<SyntheticWorld>(catalog_, config.world);
+  // Publish the world's pre-training accuracies into the model metadata.
+  for (size_t m = 0; m < catalog_.models.size(); ++m) {
+    catalog_.models[m].pretrain_accuracy = world_->PretrainAccuracy(m);
+  }
+  simulator_ = std::make_unique<FineTuneSimulator>(*world_, config.finetune);
+  probe_ = std::make_unique<ProbeNetwork>(config.world.ambient_dim,
+                                          config.probe);
+}
+
+std::vector<size_t> ModelZoo::DatasetsOfModality(Modality modality) const {
+  std::vector<size_t> out;
+  for (size_t d = 0; d < catalog_.datasets.size(); ++d) {
+    if (catalog_.datasets[d].modality == modality) out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<size_t> ModelZoo::ModelsOfModality(Modality modality) const {
+  std::vector<size_t> out;
+  for (size_t m = 0; m < catalog_.models.size(); ++m) {
+    if (catalog_.models[m].modality == modality) out.push_back(m);
+  }
+  return out;
+}
+
+std::vector<size_t> ModelZoo::PublicDatasets(Modality modality) const {
+  std::vector<size_t> out;
+  for (size_t d = 0; d < catalog_.datasets.size(); ++d) {
+    if (catalog_.datasets[d].modality == modality &&
+        catalog_.datasets[d].is_public) {
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> ModelZoo::EvaluationTargets(Modality modality) const {
+  std::vector<size_t> out;
+  for (size_t d = 0; d < catalog_.datasets.size(); ++d) {
+    if (catalog_.datasets[d].modality == modality &&
+        catalog_.datasets[d].is_evaluation_target) {
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
+double ModelZoo::FineTuneAccuracy(size_t model, size_t dataset,
+                                  FineTuneMethod method) const {
+  return simulator_->Accuracy(model, dataset, method);
+}
+
+double ModelZoo::PretrainAccuracy(size_t model) const {
+  TG_CHECK_LT(model, catalog_.models.size());
+  return catalog_.models[model].pretrain_accuracy;
+}
+
+const std::vector<double>& ModelZoo::DatasetEmbedding(
+    size_t dataset, DatasetRepresentation repr) {
+  auto& cache = repr == DatasetRepresentation::kDomainSimilarity
+                    ? domain_embeddings_
+                    : task2vec_embeddings_;
+  auto it = cache.find(dataset);
+  if (it != cache.end()) return it->second;
+
+  const DatasetSamples& samples = world_->Samples(dataset);
+  std::vector<double> embedding;
+  if (repr == DatasetRepresentation::kDomainSimilarity) {
+    embedding = probe_->DatasetEmbedding(samples.ambient);
+  } else {
+    const Matrix probe_features = probe_->EmbedSamples(samples.ambient);
+    Result<std::vector<double>> result = Task2VecEmbedding(
+        probe_features, samples.labels, samples.num_classes);
+    TG_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+    embedding = std::move(result).value();
+  }
+  return cache.emplace(dataset, std::move(embedding)).first->second;
+}
+
+double ModelZoo::DatasetSimilarityScore(size_t a, size_t b,
+                                        DatasetRepresentation repr) {
+  if (a == b) return 1.0;
+  return DatasetSimilarity(DatasetEmbedding(a, repr),
+                           DatasetEmbedding(b, repr));
+}
+
+double ModelZoo::LogMe(size_t model, size_t dataset) {
+  const uint64_t key = PairKey(model, dataset);
+  auto it = logme_cache_.find(key);
+  if (it != logme_cache_.end()) return it->second;
+  const DatasetSamples& samples = world_->Samples(dataset);
+  const Matrix features = world_->ExtractFeatures(model, dataset);
+  Result<double> score =
+      LogMeScore(features, samples.labels, samples.num_classes);
+  TG_CHECK_MSG(score.ok(), score.status().ToString().c_str());
+  logme_cache_[key] = score.value();
+  return score.value();
+}
+
+double ModelZoo::Leep(size_t model, size_t dataset) {
+  const uint64_t key = PairKey(model, dataset);
+  auto it = leep_cache_.find(key);
+  if (it != leep_cache_.end()) return it->second;
+  const DatasetSamples& samples = world_->Samples(dataset);
+  const Matrix probs = world_->SourceProbabilities(model, dataset);
+  Result<double> score = LeepScore(probs, samples.labels, samples.num_classes);
+  TG_CHECK_MSG(score.ok(), score.status().ToString().c_str());
+  leep_cache_[key] = score.value();
+  return score.value();
+}
+
+double ModelZoo::Nce(size_t model, size_t dataset) {
+  const uint64_t key = PairKey(model, dataset);
+  auto it = nce_cache_.find(key);
+  if (it != nce_cache_.end()) return it->second;
+  const DatasetSamples& samples = world_->Samples(dataset);
+  const std::vector<int> source = world_->SourceHardLabels(model, dataset);
+  Result<double> score = NceScore(source, samples.labels);
+  TG_CHECK_MSG(score.ok(), score.status().ToString().c_str());
+  nce_cache_[key] = score.value();
+  return score.value();
+}
+
+double ModelZoo::Parc(size_t model, size_t dataset) {
+  const uint64_t key = PairKey(model, dataset);
+  auto it = parc_cache_.find(key);
+  if (it != parc_cache_.end()) return it->second;
+  const DatasetSamples& samples = world_->Samples(dataset);
+  const Matrix features = world_->ExtractFeatures(model, dataset);
+  Result<double> score =
+      ParcScore(features, samples.labels, samples.num_classes);
+  TG_CHECK_MSG(score.ok(), score.status().ToString().c_str());
+  parc_cache_[key] = score.value();
+  return score.value();
+}
+
+double ModelZoo::HScoreOf(size_t model, size_t dataset) {
+  const uint64_t key = PairKey(model, dataset);
+  auto it = hscore_cache_.find(key);
+  if (it != hscore_cache_.end()) return it->second;
+  const DatasetSamples& samples = world_->Samples(dataset);
+  const Matrix features = world_->ExtractFeatures(model, dataset);
+  Result<double> score = HScore(features, samples.labels, samples.num_classes);
+  TG_CHECK_MSG(score.ok(), score.status().ToString().c_str());
+  hscore_cache_[key] = score.value();
+  return score.value();
+}
+
+}  // namespace tg::zoo

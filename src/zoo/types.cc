@@ -1,0 +1,63 @@
+#include "zoo/types.h"
+
+namespace tg::zoo {
+
+const char* ModalityName(Modality modality) {
+  switch (modality) {
+    case Modality::kImage:
+      return "image";
+    case Modality::kText:
+      return "text";
+  }
+  return "?";
+}
+
+const char* ArchitectureName(Architecture arch) {
+  switch (arch) {
+    case Architecture::kResNet:
+      return "resnet";
+    case Architecture::kViT:
+      return "vit";
+    case Architecture::kSwin:
+      return "swin";
+    case Architecture::kConvNeXT:
+      return "convnext";
+    case Architecture::kMobileNet:
+      return "mobilenet";
+    case Architecture::kEfficientNet:
+      return "efficientnet";
+    case Architecture::kDenseNet:
+      return "densenet";
+    case Architecture::kRegNet:
+      return "regnet";
+    case Architecture::kBert:
+      return "bert";
+    case Architecture::kRoberta:
+      return "roberta";
+    case Architecture::kElectra:
+      return "electra";
+    case Architecture::kFnet:
+      return "fnet";
+    case Architecture::kDistilBert:
+      return "distilbert";
+    case Architecture::kAlbert:
+      return "albert";
+    case Architecture::kDeberta:
+      return "deberta";
+    case Architecture::kGptNeo:
+      return "gpt-neo";
+  }
+  return "?";
+}
+
+const char* FineTuneMethodName(FineTuneMethod method) {
+  switch (method) {
+    case FineTuneMethod::kFullFineTune:
+      return "full-finetune";
+    case FineTuneMethod::kLora:
+      return "lora";
+  }
+  return "?";
+}
+
+}  // namespace tg::zoo

@@ -1,0 +1,86 @@
+// Metadata types describing the model zoo: datasets, pre-trained models and
+// their architecture families (paper §IV-A). These are the "basic metadata"
+// features that learning-based selection strategies consume.
+#ifndef TG_ZOO_TYPES_H_
+#define TG_ZOO_TYPES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tg::zoo {
+
+enum class Modality { kImage, kText };
+
+const char* ModalityName(Modality modality);
+
+// Semantic domain of a dataset; datasets in the same domain have correlated
+// latent task vectors in the synthetic world (and are therefore genuinely
+// more similar under any representation).
+using DomainGroup = int;
+
+struct DatasetInfo {
+  std::string name;
+  Modality modality = Modality::kImage;
+  size_t num_samples = 0;
+  int num_classes = 2;
+  DomainGroup domain = 0;
+  // True for the paper's evaluation datasets (Table III); false for the
+  // source datasets used only for pre-training and similarity computation.
+  bool is_public = false;
+  // Public datasets with near-constant fine-tuning accuracy (e.g. eurosat)
+  // are excluded from evaluation, as in the paper's Figure 6 discussion.
+  bool is_evaluation_target = false;
+};
+
+enum class Architecture {
+  // Vision families.
+  kResNet,
+  kViT,
+  kSwin,
+  kConvNeXT,
+  kMobileNet,
+  kEfficientNet,
+  kDenseNet,
+  kRegNet,
+  // NLP families.
+  kBert,
+  kRoberta,
+  kElectra,
+  kFnet,
+  kDistilBert,
+  kAlbert,
+  kDeberta,
+  kGptNeo,
+};
+
+const char* ArchitectureName(Architecture arch);
+
+// Number of distinct architecture families (for one-hot metadata encoding).
+constexpr int kNumArchitectures = 16;
+
+struct ModelInfo {
+  std::string name;
+  Modality modality = Modality::kImage;
+  Architecture architecture = Architecture::kResNet;
+  // Index into the zoo's dataset list; the model was pre-trained there.
+  size_t source_dataset = 0;
+  double num_parameters_millions = 0.0;
+  double memory_mb = 0.0;
+  // Image resolution or maximum sequence length.
+  int input_size = 224;
+  // Accuracy the model achieved on its pre-training dataset.
+  double pretrain_accuracy = 0.0;
+};
+
+// The fine-tuning procedure used to produce ground truth (paper §VII-F).
+enum class FineTuneMethod {
+  kFullFineTune,  // SGD, cyclical LR, all layers (the default protocol)
+  kLora,          // frozen backbone + low-rank adapters
+};
+
+const char* FineTuneMethodName(FineTuneMethod method);
+
+}  // namespace tg::zoo
+
+#endif  // TG_ZOO_TYPES_H_

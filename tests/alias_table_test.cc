@@ -1,0 +1,62 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/alias_table.h"
+#include "util/rng.h"
+
+namespace tg {
+namespace {
+
+TEST(AliasTableTest, SingleOutcome) {
+  AliasTable table({5.0});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.Sample(&rng), 0u);
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  AliasTable table({1.0, 0.0, 1.0});
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(table.Sample(&rng), 1u);
+}
+
+TEST(AliasTableTest, EmpiricalMatchesWeights) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  AliasTable table(weights);
+  Rng rng(3);
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[table.Sample(&rng)];
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double expected = weights[i] / 10.0;
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, expected, 0.01);
+  }
+}
+
+TEST(AliasTableTest, HighlySkewedWeights) {
+  AliasTable table({1e-6, 1.0});
+  Rng rng(4);
+  int rare = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (table.Sample(&rng) == 0) ++rare;
+  }
+  EXPECT_LT(rare, 10);
+}
+
+TEST(AliasTableTest, UniformWeights) {
+  AliasTable table(std::vector<double>(7, 1.0));
+  Rng rng(5);
+  std::vector<int> counts(7, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[table.Sample(&rng)];
+  for (int c : counts) EXPECT_NEAR(c, n / 7, 600);
+}
+
+TEST(AliasTableTest, DefaultIsEmpty) {
+  AliasTable table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.size(), 0u);
+}
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,80 @@
+// Contract tests: programmer errors must abort loudly (TG_CHECK), never
+// corrupt state silently. Uses gtest death tests.
+#include <gtest/gtest.h>
+
+#include "graph/alias_table.h"
+#include "graph/graph.h"
+#include "ml/gbdt.h"
+#include "numeric/matrix.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace tg {
+namespace {
+
+using ContractsDeathTest = ::testing::Test;
+
+TEST(ContractsDeathTest, MatrixOutOfRangeAccessAborts) {
+  Matrix m(2, 2);
+  EXPECT_DEATH(m.At(2, 0), "TG_CHECK failed");
+  EXPECT_DEATH(m.At(0, 5), "TG_CHECK failed");
+}
+
+TEST(ContractsDeathTest, MatrixShapeMismatchAborts) {
+  Matrix a(2, 2);
+  Matrix b(3, 2);
+  EXPECT_DEATH(a += b, "TG_CHECK failed");
+  EXPECT_DEATH(a.MatMul(Matrix(3, 1)), "TG_CHECK failed");
+}
+
+TEST(ContractsDeathTest, AliasTableRejectsBadWeights) {
+  EXPECT_DEATH(AliasTable(std::vector<double>{}), "TG_CHECK failed");
+  EXPECT_DEATH(AliasTable({0.0, 0.0}), "TG_CHECK failed");
+  EXPECT_DEATH(AliasTable({1.0, -1.0}), "TG_CHECK failed");
+}
+
+TEST(ContractsDeathTest, GraphRejectsSelfLoopsAndDuplicateNames) {
+  Graph g;
+  NodeId a = g.AddNode(NodeType::kDataset, "a");
+  g.AddNode(NodeType::kModel, "b");
+  EXPECT_DEATH(g.AddUndirectedEdge(a, a, EdgeType::kDatasetDataset, 1.0),
+               "TG_CHECK failed");
+  EXPECT_DEATH(g.AddNode(NodeType::kModel, "a"), "duplicate node name");
+}
+
+TEST(ContractsDeathTest, PredictBeforeFitAborts) {
+  ml::Gbdt model;
+  EXPECT_DEATH(model.Predict({1.0}), "Predict before Fit");
+}
+
+TEST(ContractsDeathTest, RngNextBelowZeroAborts) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.NextBelow(0), "TG_CHECK failed");
+}
+
+// --- Non-death odds and ends ---
+
+TEST(StopwatchTest, ElapsedIsMonotone) {
+  Stopwatch watch;
+  const double first = watch.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  const double second = watch.ElapsedSeconds();
+  EXPECT_GE(second, first);
+  watch.Reset();
+  EXPECT_LE(watch.ElapsedSeconds(), second);
+  EXPECT_NEAR(watch.ElapsedMillis(), watch.ElapsedSeconds() * 1e3, 1.0);
+}
+
+TEST(LoggingTest, SetLogLevelRoundTrips) {
+  const LogLevel original = GetLogLevel();
+  const LogLevel previous = SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(previous, original);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(original);
+}
+
+}  // namespace
+}  // namespace tg

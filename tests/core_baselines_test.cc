@@ -1,0 +1,89 @@
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "numeric/stats.h"
+
+namespace tg::core {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  BaselinesTest() {
+    zoo::ModelZooConfig config;
+    config.catalog.num_image_models = 48;
+    config.catalog.num_text_models = 24;
+    config.world.max_samples_per_dataset = 80;
+    zoo_ = std::make_unique<zoo::ModelZoo>(config);
+    target_ = zoo_->EvaluationTargets(zoo::Modality::kImage)[0];
+  }
+
+  std::unique_ptr<zoo::ModelZoo> zoo_;
+  size_t target_ = 0;
+};
+
+TEST_F(BaselinesTest, LogMeBaselineBeatsRandomOnAverage) {
+  TargetEvaluation logme = EvaluateEstimatorBaseline(
+      zoo_.get(), target_, EstimatorBaseline::kLogMe);
+  // Average several random baselines for a stable comparison.
+  double random_mean = 0.0;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    random_mean +=
+        EvaluateRandomBaseline(zoo_.get(), target_, seed).pearson;
+  }
+  random_mean /= 10.0;
+  EXPECT_GT(logme.pearson, random_mean + 0.1);
+}
+
+TEST_F(BaselinesTest, AllEstimatorsProduceFiniteScores) {
+  for (EstimatorBaseline baseline :
+       {EstimatorBaseline::kLogMe, EstimatorBaseline::kLeep,
+        EstimatorBaseline::kNce, EstimatorBaseline::kParc,
+        EstimatorBaseline::kHScore}) {
+    TargetEvaluation eval =
+        EvaluateEstimatorBaseline(zoo_.get(), target_, baseline);
+    EXPECT_EQ(eval.predicted.size(), 48u)
+        << EstimatorBaselineName(baseline);
+    EXPECT_TRUE(std::isfinite(eval.pearson))
+        << EstimatorBaselineName(baseline);
+  }
+}
+
+TEST_F(BaselinesTest, RandomBaselineNearZeroOnAverage) {
+  double total = 0.0;
+  const int trials = 30;
+  for (int seed = 0; seed < trials; ++seed) {
+    total += EvaluateRandomBaseline(zoo_.get(), target_,
+                                    static_cast<uint64_t>(seed))
+                 .pearson;
+  }
+  EXPECT_NEAR(total / trials, 0.0, 0.1);
+}
+
+TEST_F(BaselinesTest, RandomBaselineDeterministicPerSeed) {
+  TargetEvaluation a = EvaluateRandomBaseline(zoo_.get(), target_, 7);
+  TargetEvaluation b = EvaluateRandomBaseline(zoo_.get(), target_, 7);
+  EXPECT_EQ(a.predicted, b.predicted);
+}
+
+TEST_F(BaselinesTest, EstimatorNamesStable) {
+  EXPECT_STREQ(EstimatorBaselineName(EstimatorBaseline::kLogMe), "LogME");
+  EXPECT_STREQ(EstimatorBaselineName(EstimatorBaseline::kLeep), "LEEP");
+  EXPECT_STREQ(EstimatorBaselineName(EstimatorBaseline::kNce), "NCE");
+  EXPECT_STREQ(EstimatorBaselineName(EstimatorBaseline::kParc), "PARC");
+  EXPECT_STREQ(EstimatorBaselineName(EstimatorBaseline::kHScore), "H-Score");
+}
+
+TEST_F(BaselinesTest, WorksOnTextModality) {
+  const size_t text_target =
+      zoo_->EvaluationTargets(zoo::Modality::kText)[0];
+  TargetEvaluation eval = EvaluateEstimatorBaseline(
+      zoo_.get(), text_target, EstimatorBaseline::kLogMe);
+  EXPECT_EQ(eval.predicted.size(), 24u);
+  EXPECT_TRUE(std::isfinite(eval.pearson));
+}
+
+}  // namespace
+}  // namespace tg::core

@@ -1,0 +1,119 @@
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/budget_search.h"
+
+namespace tg::core {
+namespace {
+
+class BudgetSearchTest : public ::testing::Test {
+ protected:
+  BudgetSearchTest() {
+    zoo::ModelZooConfig config;
+    config.catalog.num_image_models = 40;
+    config.world.max_samples_per_dataset = 64;
+    zoo_ = std::make_unique<zoo::ModelZoo>(config);
+    target_ = zoo_->EvaluationTargets(zoo::Modality::kImage)[0];
+
+    evaluation_.target_dataset = target_;
+    evaluation_.target_name = zoo_->datasets()[target_].name;
+    evaluation_.model_indices = zoo_->ModelsOfModality(zoo::Modality::kImage);
+    Rng rng(1);
+    for (size_t m : evaluation_.model_indices) {
+      evaluation_.predicted.push_back(0.5 + 0.3 * rng.NextDouble());
+      evaluation_.actual.push_back(zoo_->FineTuneAccuracy(m, target_));
+    }
+  }
+
+  std::unique_ptr<zoo::ModelZoo> zoo_;
+  size_t target_ = 0;
+  TargetEvaluation evaluation_;
+};
+
+TEST_F(BudgetSearchTest, CostGrowsWithModelSize) {
+  BudgetOptions options;
+  // Large enough that small datasets don't floor both costs at the minimum.
+  options.cost_per_mparam_msample = 5.0;
+  // Compare a small and a big image model.
+  size_t small = 0, big = 0;
+  double small_params = 1e18, big_params = -1.0;
+  for (size_t m : evaluation_.model_indices) {
+    const double p = zoo_->models()[m].num_parameters_millions;
+    if (p < small_params) {
+      small_params = p;
+      small = m;
+    }
+    if (p > big_params) {
+      big_params = p;
+      big = m;
+    }
+  }
+  EXPECT_LT(EstimateFineTuneCost(*zoo_, small, target_, options),
+            EstimateFineTuneCost(*zoo_, big, target_, options));
+}
+
+TEST_F(BudgetSearchTest, PlanRespectsBudget) {
+  BudgetOptions options;
+  options.budget_gpu_hours = 5.0;
+  BudgetPlan plan = PlanFineTuning(*zoo_, evaluation_, options);
+  EXPECT_LE(plan.total_cost_gpu_hours, options.budget_gpu_hours + 1e-9);
+  EXPECT_FALSE(plan.selected.empty());
+  // No duplicate models.
+  std::set<size_t> seen;
+  for (const auto& entry : plan.selected) {
+    EXPECT_TRUE(seen.insert(entry.model_index).second);
+  }
+}
+
+TEST_F(BudgetSearchTest, BiggerBudgetNeverWorse) {
+  BudgetOptions small;
+  small.budget_gpu_hours = 2.0;
+  BudgetOptions large;
+  large.budget_gpu_hours = 50.0;
+  BudgetPlan plan_small = PlanFineTuning(*zoo_, evaluation_, small);
+  BudgetPlan plan_large = PlanFineTuning(*zoo_, evaluation_, large);
+  EXPECT_GE(plan_large.selected.size(), plan_small.selected.size());
+  EXPECT_GE(plan_large.expected_best_accuracy,
+            plan_small.expected_best_accuracy - 1e-6);
+}
+
+TEST_F(BudgetSearchTest, TopPredictedModelChosenWhenAffordable) {
+  BudgetOptions options;
+  options.budget_gpu_hours = 1000.0;
+  BudgetPlan plan = PlanFineTuning(*zoo_, evaluation_, options);
+  ASSERT_FALSE(plan.selected.empty());
+  double best_pred = 0.0;
+  for (double p : evaluation_.predicted) best_pred = std::max(best_pred, p);
+  EXPECT_DOUBLE_EQ(plan.selected[0].predicted_score, best_pred);
+}
+
+TEST_F(BudgetSearchTest, MaxModelsCapRespected) {
+  BudgetOptions options;
+  options.budget_gpu_hours = 1e6;
+  options.max_models = 3;
+  BudgetPlan plan = PlanFineTuning(*zoo_, evaluation_, options);
+  EXPECT_LE(plan.selected.size(), 3u);
+}
+
+TEST(ExpectedBestOfTest, SingleMeanNoNoise) {
+  EXPECT_DOUBLE_EQ(ExpectedBestOf({0.7}, 0.0), 0.7);
+  EXPECT_DOUBLE_EQ(ExpectedBestOf({0.3, 0.9, 0.5}, 0.0), 0.9);
+  EXPECT_DOUBLE_EQ(ExpectedBestOf({}, 0.1), 0.0);
+}
+
+TEST(ExpectedBestOfTest, MoreCandidatesRaiseExpectedBest) {
+  const double one = ExpectedBestOf({0.7}, 0.05);
+  const double three = ExpectedBestOf({0.7, 0.7, 0.7}, 0.05);
+  EXPECT_GT(three, one + 0.01);
+}
+
+TEST(ExpectedBestOfTest, ApproximatesGaussianMaxFormula) {
+  // E[max of two iid N(0, 1)] = 1/sqrt(pi) ~ 0.5642.
+  const double estimate = ExpectedBestOf({0.0, 0.0}, 1.0);
+  EXPECT_NEAR(estimate, 0.5642, 0.05);
+}
+
+}  // namespace
+}  // namespace tg::core

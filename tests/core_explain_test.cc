@@ -1,0 +1,114 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/explain.h"
+#include "ml/gbdt.h"
+#include "ml/linear_regression.h"
+#include "ml/random_forest.h"
+#include "util/rng.h"
+
+namespace tg::core {
+namespace {
+
+// Data where only feature 1 matters.
+ml::TabularDataset OneInformativeFeature(uint64_t seed) {
+  Rng rng(seed);
+  ml::TabularDataset data;
+  data.x = Matrix::Gaussian(400, 4, &rng);
+  data.y.resize(400);
+  for (size_t i = 0; i < 400; ++i) {
+    data.y[i] = 3.0 * data.x(i, 1) + 0.05 * rng.NextGaussian();
+  }
+  data.feature_names = {"noise_a", "signal", "noise_b", "noise_c"};
+  return data;
+}
+
+TEST(FeatureImportanceTest, GbdtFindsTheSignalFeature) {
+  ml::GbdtConfig config;
+  config.num_trees = 50;
+  ml::Gbdt model(config);
+  ASSERT_TRUE(model.Fit(OneInformativeFeature(1)).ok());
+  std::vector<double> importances = model.FeatureImportances();
+  ASSERT_EQ(importances.size(), 4u);
+  EXPECT_GT(importances[1], 0.9);
+  double sum = 0.0;
+  for (double v : importances) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(FeatureImportanceTest, RandomForestFindsTheSignalFeature) {
+  ml::RandomForestConfig config;
+  config.num_trees = 40;
+  config.tree.max_depth = 4;
+  ml::RandomForest model(config);
+  ASSERT_TRUE(model.Fit(OneInformativeFeature(2)).ok());
+  std::vector<double> importances = model.FeatureImportances();
+  ASSERT_EQ(importances.size(), 4u);
+  EXPECT_GT(importances[1], 0.5);
+}
+
+TEST(FeatureImportanceTest, LinearRegressionWeightsAsImportance) {
+  ml::LinearRegression model;
+  ASSERT_TRUE(model.Fit(OneInformativeFeature(3)).ok());
+  std::vector<double> importances = model.FeatureImportances();
+  ASSERT_EQ(importances.size(), 4u);
+  EXPECT_GT(importances[1], 0.8);
+}
+
+TEST(FeatureImportanceTest, EmptyBeforeFit) {
+  ml::Gbdt model;
+  EXPECT_TRUE(model.FeatureImportances().empty());
+}
+
+TEST(ExplainTest, AggregatesEmbeddingGroups) {
+  ml::TabularDataset data;
+  Rng rng(4);
+  data.x = Matrix::Gaussian(300, 6, &rng);
+  data.y.resize(300);
+  for (size_t i = 0; i < 300; ++i) {
+    // Both embedding dims matter; metadata does not.
+    data.y[i] = data.x(i, 2) + data.x(i, 3) + 0.05 * rng.NextGaussian();
+  }
+  data.feature_names = {"log_params",    "pretrain_accuracy",
+                        "model_emb_0",   "model_emb_1",
+                        "dataset_emb_0", "dataset_emb_1"};
+  ml::GbdtConfig config;
+  config.num_trees = 60;
+  ml::Gbdt model(config);
+  ASSERT_TRUE(model.Fit(data).ok());
+
+  std::vector<FeatureAttribution> attributions =
+      ExplainPredictor(model, data.feature_names, 3);
+  ASSERT_FALSE(attributions.empty());
+  EXPECT_EQ(attributions[0].feature, "graph: model embedding");
+  EXPECT_GT(attributions[0].importance, 0.8);
+  // Sorted descending.
+  for (size_t i = 1; i < attributions.size(); ++i) {
+    EXPECT_GE(attributions[i - 1].importance, attributions[i].importance);
+  }
+}
+
+TEST(ExplainTest, TopKLimitsOutput) {
+  ml::TabularDataset data = OneInformativeFeature(5);
+  ml::LinearRegression model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_LE(ExplainPredictor(model, data.feature_names, 2).size(), 2u);
+}
+
+TEST(ExplainTest, NoImportancesYieldsEmpty) {
+  // A model that was never fitted exposes no importances.
+  ml::Gbdt model;
+  EXPECT_TRUE(ExplainPredictor(model, {"a", "b"}).empty());
+}
+
+TEST(ExplainTest, RenderContainsFeatureNames) {
+  std::vector<FeatureAttribution> attributions = {
+      {"graph: model embedding", 0.61}, {"metadata: architecture", 0.2}};
+  std::string text = RenderAttributions(attributions);
+  EXPECT_NE(text.find("graph: model embedding"), std::string::npos);
+  EXPECT_NE(text.find("0.6100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tg::core

@@ -1,0 +1,137 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/feature_table.h"
+
+namespace tg::core {
+namespace {
+
+class FeatureTableTest : public ::testing::Test {
+ protected:
+  FeatureTableTest() {
+    zoo::ModelZooConfig config;
+    config.catalog.num_image_models = 30;
+    config.catalog.num_text_models = 16;
+    config.world.max_samples_per_dataset = 80;
+    zoo_ = std::make_unique<zoo::ModelZoo>(config);
+    model_ = zoo_->ModelsOfModality(zoo::Modality::kImage)[0];
+    dataset_ = zoo_->PublicDatasets(zoo::Modality::kImage)[0];
+  }
+
+  FeatureAssembler MakeAssembler(FeatureSet set, const BuiltGraph* built,
+                                 const Matrix* embeddings) {
+    return FeatureAssembler(zoo_.get(), zoo::Modality::kImage, set,
+                            zoo::DatasetRepresentation::kDomainSimilarity,
+                            built, embeddings);
+  }
+
+  std::unique_ptr<zoo::ModelZoo> zoo_;
+  size_t model_ = 0;
+  size_t dataset_ = 0;
+};
+
+TEST_F(FeatureTableTest, MetadataOnlyDimensions) {
+  FeatureAssembler assembler =
+      MakeAssembler(FeatureSet::kMetadataOnly, nullptr, nullptr);
+  // 16 arch one-hot + 5 model scalars + 2 dataset scalars... metadata layout:
+  // arch(16) + log_params + log_memory + input + pretrain + log_samples +
+  // classes = 22.
+  EXPECT_EQ(assembler.FeatureNames().size(),
+            static_cast<size_t>(zoo::kNumArchitectures) + 6);
+  EXPECT_EQ(assembler.Row(model_, dataset_).size(),
+            assembler.FeatureNames().size());
+}
+
+TEST_F(FeatureTableTest, AllWithLogMeAddsTwoFeatures) {
+  FeatureAssembler meta =
+      MakeAssembler(FeatureSet::kMetadataOnly, nullptr, nullptr);
+  FeatureAssembler all =
+      MakeAssembler(FeatureSet::kAllWithLogMe, nullptr, nullptr);
+  EXPECT_EQ(all.FeatureNames().size(), meta.FeatureNames().size() + 2);
+  // LogME feature is last and normalized into [0, 1].
+  std::vector<double> row = all.Row(model_, dataset_);
+  EXPECT_GE(row.back(), 0.0);
+  EXPECT_LE(row.back(), 1.0);
+}
+
+TEST_F(FeatureTableTest, GraphFeaturesConcatenateBothEmbeddings) {
+  BuiltGraph built = BuildModelZooGraph(zoo_.get(), zoo::Modality::kImage,
+                                        GraphBuildOptions{});
+  Matrix embeddings(built.graph.num_nodes(), 8, 0.25);
+  FeatureAssembler assembler =
+      MakeAssembler(FeatureSet::kGraphOnly, &built, &embeddings);
+  EXPECT_EQ(assembler.FeatureNames().size(), 16u);
+  std::vector<double> row = assembler.Row(model_, dataset_);
+  EXPECT_EQ(row.size(), 16u);
+  for (double v : row) EXPECT_DOUBLE_EQ(v, 0.25);
+}
+
+TEST_F(FeatureTableTest, AllFeatureSetLayout) {
+  BuiltGraph built = BuildModelZooGraph(zoo_.get(), zoo::Modality::kImage,
+                                        GraphBuildOptions{});
+  Matrix embeddings(built.graph.num_nodes(), 4);
+  FeatureAssembler assembler =
+      MakeAssembler(FeatureSet::kAll, &built, &embeddings);
+  // metadata(22) + distance(1) + 2*4 embeddings = 31; no LogME feature.
+  EXPECT_EQ(assembler.FeatureNames().size(), 22u + 1u + 8u);
+  const auto names = assembler.FeatureNames();
+  EXPECT_EQ(names[22], "source_target_similarity");
+}
+
+TEST_F(FeatureTableTest, BuildTableLabelsAreFineTuneAccuracy) {
+  FeatureAssembler assembler =
+      MakeAssembler(FeatureSet::kMetadataOnly, nullptr, nullptr);
+  std::vector<std::pair<size_t, size_t>> pairs = {
+      {model_, dataset_},
+      {zoo_->ModelsOfModality(zoo::Modality::kImage)[1], dataset_}};
+  ml::TabularDataset table =
+      assembler.BuildTable(pairs, zoo::FineTuneMethod::kFullFineTune);
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(table.y[0],
+                   zoo_->FineTuneAccuracy(model_, dataset_));
+}
+
+TEST_F(FeatureTableTest, ExternalRowMatchesInternalRowForSameModel) {
+  // A clone of an existing zoo model (same metadata, its own embedding row)
+  // must produce bit-identical features through the external path; the two
+  // code paths must never diverge.
+  BuiltGraph built = BuildModelZooGraph(zoo_.get(), zoo::Modality::kImage,
+                                        GraphBuildOptions{});
+  Matrix embeddings(built.graph.num_nodes(), 6);
+  Rng rng(5);
+  for (size_t r = 0; r < embeddings.rows(); ++r) {
+    for (size_t c = 0; c < embeddings.cols(); ++c) {
+      embeddings(r, c) = rng.NextGaussian();
+    }
+  }
+  FeatureAssembler assembler =
+      MakeAssembler(FeatureSet::kAll, &built, &embeddings);
+
+  const zoo::ModelInfo& info = zoo_->models()[model_];
+  const NodeId node = built.model_node.at(model_);
+  std::vector<double> model_embedding(6);
+  for (size_t c = 0; c < 6; ++c) model_embedding[c] = embeddings(node, c);
+
+  const std::vector<double> internal = assembler.Row(model_, dataset_);
+  const std::vector<double> external =
+      assembler.RowForExternalModel(info, model_embedding, dataset_);
+  ASSERT_EQ(internal.size(), external.size());
+  for (size_t c = 0; c < internal.size(); ++c) {
+    EXPECT_DOUBLE_EQ(internal[c], external[c]) << "feature " << c;
+  }
+}
+
+TEST_F(FeatureTableTest, DistanceFeatureReflectsSourceSimilarity) {
+  FeatureAssembler assembler =
+      MakeAssembler(FeatureSet::kAllWithLogMe, nullptr, nullptr);
+  const size_t source = zoo_->models()[model_].source_dataset;
+  std::vector<double> row = assembler.Row(model_, dataset_);
+  const double expected = zoo_->DatasetSimilarityScore(
+      source, dataset_, zoo::DatasetRepresentation::kDomainSimilarity);
+  // Distance feature sits right before the LogME feature.
+  EXPECT_DOUBLE_EQ(row[row.size() - 2], expected);
+}
+
+}  // namespace
+}  // namespace tg::core

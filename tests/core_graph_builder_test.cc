@@ -1,0 +1,122 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/graph_builder.h"
+#include "graph/graph_stats.h"
+
+namespace tg::core {
+namespace {
+
+class GraphBuilderTest : public ::testing::Test {
+ protected:
+  GraphBuilderTest() {
+    zoo::ModelZooConfig config;
+    config.catalog.num_image_models = 40;
+    config.catalog.num_text_models = 24;
+    config.world.max_samples_per_dataset = 80;
+    zoo_ = std::make_unique<zoo::ModelZoo>(config);
+  }
+
+  std::unique_ptr<zoo::ModelZoo> zoo_;
+};
+
+TEST_F(GraphBuilderTest, NodeCountsMatchModality) {
+  BuiltGraph built = BuildModelZooGraph(zoo_.get(), zoo::Modality::kImage,
+                                        GraphBuildOptions{});
+  // 73 image datasets + 40 image models.
+  EXPECT_EQ(built.graph.num_nodes(), 73u + 40u);
+  EXPECT_EQ(built.dataset_node.size(), 73u);
+  EXPECT_EQ(built.model_node.size(), 40u);
+}
+
+TEST_F(GraphBuilderTest, DatasetPairsFullyConnected) {
+  BuiltGraph built = BuildModelZooGraph(zoo_.get(), zoo::Modality::kText,
+                                        GraphBuildOptions{});
+  GraphStats stats = ComputeGraphStats(built.graph);
+  // 24 text datasets -> 24*23 ordered D-D pairs (Table II convention).
+  EXPECT_EQ(stats.dataset_dataset_edges, 24u * 23u);
+}
+
+TEST_F(GraphBuilderTest, ThresholdPrunesRoughlyHalfTheHistory) {
+  BuiltGraph built = BuildModelZooGraph(zoo_.get(), zoo::Modality::kImage,
+                                        GraphBuildOptions{});
+  GraphStats stats = ComputeGraphStats(built.graph);
+  // History: 40 models x 12 public datasets, threshold 0.5 on min-max
+  // normalized accuracy keeps roughly half; plus 40 pretrain edges.
+  const size_t history_kept = stats.model_dataset_accuracy_edges - 40;
+  EXPECT_GT(history_kept, 40u * 12u / 4);
+  EXPECT_LT(history_kept, 40u * 12u * 3 / 4);
+  // Negative pairs complement the kept history edges.
+  EXPECT_EQ(built.negative_edges.size() + history_kept, 40u * 12u);
+}
+
+TEST_F(GraphBuilderTest, TransferabilityEdgesPruned) {
+  GraphBuildOptions options;
+  options.include_accuracy_edges = false;
+  BuiltGraph built =
+      BuildModelZooGraph(zoo_.get(), zoo::Modality::kImage, options);
+  GraphStats stats = ComputeGraphStats(built.graph);
+  EXPECT_EQ(stats.model_dataset_accuracy_edges, 0u);
+  EXPECT_GT(stats.model_dataset_transferability_edges, 0u);
+  EXPECT_LT(stats.model_dataset_transferability_edges, 40u * 12u);
+}
+
+TEST_F(GraphBuilderTest, LeaveOneOutDropsTargetEdges) {
+  const size_t target = zoo_->EvaluationTargets(zoo::Modality::kImage)[0];
+  GraphBuildOptions options;
+  options.exclude_target = target;
+  BuiltGraph built =
+      BuildModelZooGraph(zoo_.get(), zoo::Modality::kImage, options);
+  const NodeId target_node = built.dataset_node.at(target);
+  // The target keeps only D-D similarity edges.
+  for (const Neighbor& n : built.graph.neighbors(target_node)) {
+    EXPECT_EQ(n.type, EdgeType::kDatasetDataset);
+  }
+  // And no labeled negatives touch the target.
+  for (const auto& [m, d] : built.negative_edges) {
+    EXPECT_NE(d, target_node);
+    EXPECT_NE(m, target_node);
+  }
+}
+
+TEST_F(GraphBuilderTest, HistoryRatioReducesEdges) {
+  GraphBuildOptions full;
+  GraphBuildOptions third;
+  third.history_ratio = 0.3;
+  GraphStats full_stats = ComputeGraphStats(
+      BuildModelZooGraph(zoo_.get(), zoo::Modality::kImage, full).graph);
+  GraphStats third_stats = ComputeGraphStats(
+      BuildModelZooGraph(zoo_.get(), zoo::Modality::kImage, third).graph);
+  EXPECT_LT(third_stats.model_dataset_accuracy_edges,
+            full_stats.model_dataset_accuracy_edges);
+}
+
+TEST_F(GraphBuilderTest, NoHistoryScenario) {
+  // Paper §VII-C: no training history, transferability edges only.
+  GraphBuildOptions options;
+  options.include_accuracy_edges = false;
+  BuiltGraph built =
+      BuildModelZooGraph(zoo_.get(), zoo::Modality::kImage, options);
+  GraphStats stats = ComputeGraphStats(built.graph);
+  EXPECT_EQ(stats.model_dataset_accuracy_edges, 0u);
+  EXPECT_TRUE(built.negative_edges.empty());
+}
+
+TEST_F(GraphBuilderTest, GraphIsConnectedWithDefaults) {
+  BuiltGraph built = BuildModelZooGraph(zoo_.get(), zoo::Modality::kImage,
+                                        GraphBuildOptions{});
+  EXPECT_EQ(built.graph.CountConnectedComponents(), 1u);
+}
+
+TEST_F(GraphBuilderTest, EdgeWeightsWithinBounds) {
+  BuiltGraph built = BuildModelZooGraph(zoo_.get(), zoo::Modality::kImage,
+                                        GraphBuildOptions{});
+  for (const EdgeRecord& e : built.graph.edges()) {
+    EXPECT_GT(e.weight, 0.0);
+    EXPECT_LE(e.weight, 1.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace tg::core

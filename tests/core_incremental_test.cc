@@ -1,0 +1,145 @@
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/incremental.h"
+#include "numeric/stats.h"
+
+namespace tg::core {
+namespace {
+
+class IncrementalTest : public ::testing::Test {
+ protected:
+  IncrementalTest() {
+    zoo::ModelZooConfig zoo_config;
+    zoo_config.catalog.num_image_models = 48;
+    zoo_config.world.max_samples_per_dataset = 80;
+    zoo_ = std::make_unique<zoo::ModelZoo>(zoo_config);
+
+    PipelineConfig config;
+    config.strategy.predictor = PredictorKind::kXgboost;
+    config.strategy.learner = GraphLearner::kNode2Vec;
+    config.strategy.features = FeatureSet::kAll;
+    config.node2vec.walk.walks_per_node = 6;
+    config.node2vec.walk.walk_length = 15;
+    config.node2vec.skipgram.dim = 24;
+    config.node2vec.skipgram.epochs = 2;
+    config.predictor.gbdt.num_trees = 80;
+    recommender_ = std::make_unique<IncrementalRecommender>(
+        zoo_.get(), zoo::Modality::kImage, config);
+    target_ = zoo_->EvaluationTargets(zoo::Modality::kImage)[1];
+  }
+
+  // Best / worst existing image models by average accuracy over public
+  // datasets.
+  std::pair<size_t, size_t> BestAndWorstModel() {
+    size_t best = 0, worst = 0;
+    double best_avg = -1.0, worst_avg = 2.0;
+    for (size_t m : zoo_->ModelsOfModality(zoo::Modality::kImage)) {
+      double avg = 0.0;
+      int count = 0;
+      for (size_t d : zoo_->PublicDatasets(zoo::Modality::kImage)) {
+        avg += zoo_->FineTuneAccuracy(m, d);
+        ++count;
+      }
+      avg /= count;
+      if (avg > best_avg) {
+        best_avg = avg;
+        best = m;
+      }
+      if (avg < worst_avg) {
+        worst_avg = avg;
+        worst = m;
+      }
+    }
+    return {best, worst};
+  }
+
+  // A "new upload" cloned from an existing model: same metadata, and its
+  // actual fine-tuning results on a few non-target public datasets as the
+  // observed history.
+  std::pair<zoo::ModelInfo, std::vector<NewModelObservation>> CloneOf(
+      size_t model) {
+    zoo::ModelInfo info = zoo_->models()[model];
+    info.name += "-new-upload";
+    std::vector<NewModelObservation> observations;
+    for (size_t d : zoo_->PublicDatasets(zoo::Modality::kImage)) {
+      if (d == target_) continue;
+      if (observations.size() >= 4) break;
+      observations.push_back(
+          NewModelObservation{d, zoo_->FineTuneAccuracy(model, d)});
+    }
+    return {info, observations};
+  }
+
+  std::unique_ptr<zoo::ModelZoo> zoo_;
+  std::unique_ptr<IncrementalRecommender> recommender_;
+  size_t target_ = 0;
+};
+
+TEST_F(IncrementalTest, ExistingScoresCorrelateWithGroundTruth) {
+  std::vector<double> predicted;
+  std::vector<double> actual;
+  for (size_t m : zoo_->ModelsOfModality(zoo::Modality::kImage)) {
+    predicted.push_back(recommender_->ScoreExisting(m, target_));
+    actual.push_back(zoo_->FineTuneAccuracy(m, target_));
+  }
+  // The predictor saw the target's history at training time here (no LOO):
+  // correlation should be clearly positive.
+  EXPECT_GT(PearsonCorrelation(predicted, actual), 0.5);
+}
+
+TEST_F(IncrementalTest, GoodCloneOutscoresBadClone) {
+  auto [best, worst] = BestAndWorstModel();
+  auto [good_info, good_obs] = CloneOf(best);
+  auto [bad_info, bad_obs] = CloneOf(worst);
+  const double good = recommender_->ScoreNewModel(good_info, good_obs,
+                                                  target_);
+  const double bad = recommender_->ScoreNewModel(bad_info, bad_obs, target_);
+  EXPECT_GT(good, bad);
+}
+
+TEST_F(IncrementalTest, CloneScoreApproximatesOriginalScore) {
+  auto [best, worst] = BestAndWorstModel();
+  (void)worst;
+  auto [info, observations] = CloneOf(best);
+  const double clone_score =
+      recommender_->ScoreNewModel(info, observations, target_);
+  const double original_score = recommender_->ScoreExisting(best, target_);
+  EXPECT_NEAR(clone_score, original_score, 0.15);
+}
+
+TEST_F(IncrementalTest, EmbeddingIsWeightedAverageOfNeighbors) {
+  auto [best, worst] = BestAndWorstModel();
+  (void)worst;
+  auto [info, observations] = CloneOf(best);
+  std::vector<double> embedding =
+      recommender_->ApproximateEmbedding(info, observations);
+  ASSERT_EQ(embedding.size(), recommender_->embeddings().cols());
+  // Must lie within the bounding box of the dataset embeddings used.
+  for (size_t c = 0; c < embedding.size(); ++c) {
+    double lo = 1e300;
+    double hi = -1e300;
+    for (size_t node = 0; node < recommender_->embeddings().rows(); ++node) {
+      lo = std::min(lo, recommender_->embeddings()(node, c));
+      hi = std::max(hi, recommender_->embeddings()(node, c));
+    }
+    EXPECT_GE(embedding[c], lo - 1e-9);
+    EXPECT_LE(embedding[c], hi + 1e-9);
+  }
+}
+
+TEST_F(IncrementalTest, WorksWithoutObservations) {
+  auto [best, worst] = BestAndWorstModel();
+  (void)worst;
+  auto [info, observations] = CloneOf(best);
+  observations.clear();  // cold upload: only the pre-training source known
+  const double score = recommender_->ScoreNewModel(info, observations,
+                                                   target_);
+  EXPECT_TRUE(std::isfinite(score));
+}
+
+}  // namespace
+}  // namespace tg::core

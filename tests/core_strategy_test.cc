@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "core/strategy.h"
+#include "util/rng.h"
+
+namespace tg::core {
+namespace {
+
+TEST(StrategyTest, PaperStyleDisplayNames) {
+  Strategy tg_all{PredictorKind::kLinearRegression, GraphLearner::kNode2Vec,
+                  FeatureSet::kAll};
+  EXPECT_EQ(tg_all.DisplayName(), "TG:LR,N2V,all");
+
+  Strategy tg_graph_only{PredictorKind::kXgboost, GraphLearner::kNode2VecPlus,
+                         FeatureSet::kGraphOnly};
+  EXPECT_EQ(tg_graph_only.DisplayName(), "TG:XGB,N2V+");
+
+  Strategy tg_sage{PredictorKind::kRandomForest, GraphLearner::kGraphSage,
+                   FeatureSet::kAll};
+  EXPECT_EQ(tg_sage.DisplayName(), "TG:RF,GraphSAGE,all");
+
+  Strategy lr_baseline{PredictorKind::kLinearRegression, GraphLearner::kNone,
+                       FeatureSet::kMetadataOnly};
+  EXPECT_EQ(lr_baseline.DisplayName(), "LR");
+
+  Strategy lr_all{PredictorKind::kLinearRegression, GraphLearner::kNone,
+                  FeatureSet::kAllWithLogMe};
+  EXPECT_EQ(lr_all.DisplayName(), "LR{all,LogME}");
+}
+
+TEST(StrategyTest, UsesGraphFeatures) {
+  Strategy with_graph{PredictorKind::kXgboost, GraphLearner::kGat,
+                      FeatureSet::kAll};
+  EXPECT_TRUE(with_graph.UsesGraphFeatures());
+
+  Strategy learner_but_meta{PredictorKind::kXgboost, GraphLearner::kGat,
+                            FeatureSet::kMetadataOnly};
+  EXPECT_FALSE(learner_but_meta.UsesGraphFeatures());
+
+  Strategy no_learner{PredictorKind::kXgboost, GraphLearner::kNone,
+                      FeatureSet::kAll};
+  EXPECT_FALSE(no_learner.UsesGraphFeatures());
+}
+
+TEST(StrategyTest, MakePredictorKinds) {
+  EXPECT_EQ(MakePredictor(PredictorKind::kLinearRegression)->name(), "LR");
+  EXPECT_EQ(MakePredictor(PredictorKind::kRandomForest)->name(), "RF");
+  EXPECT_EQ(MakePredictor(PredictorKind::kXgboost)->name(), "XGB");
+}
+
+TEST(StrategyTest, EnumNames) {
+  EXPECT_STREQ(GraphLearnerName(GraphLearner::kNode2VecPlus), "N2V+");
+  EXPECT_STREQ(PredictorKindName(PredictorKind::kRandomForest), "RF");
+  EXPECT_STREQ(PredictorKindName(PredictorKind::kAuto), "Auto");
+  EXPECT_STREQ(FeatureSetName(FeatureSet::kGraphOnly), "graph-only");
+}
+
+TEST(StrategyTest, SelectPredictorByCvPicksLinearOnLinearData) {
+  Rng rng(9);
+  ml::TabularDataset data;
+  data.x = Matrix::Gaussian(240, 4, &rng);
+  data.y.resize(240);
+  for (size_t i = 0; i < 240; ++i) {
+    data.y[i] = 1.5 * data.x(i, 0) - 0.5 * data.x(i, 3) +
+                0.02 * rng.NextGaussian();
+  }
+  PredictorSettings settings;
+  settings.gbdt.num_trees = 60;
+  settings.random_forest.num_trees = 30;
+  EXPECT_EQ(SelectPredictorByCv(data, settings),
+            PredictorKind::kLinearRegression);
+}
+
+}  // namespace
+}  // namespace tg::core

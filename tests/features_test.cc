@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "features/domain_similarity.h"
+#include "features/probe_network.h"
+#include "features/task2vec.h"
+#include "numeric/stats.h"
+#include "util/rng.h"
+
+namespace tg {
+namespace {
+
+TEST(ProbeNetworkTest, EmbeddingShapeAndNorm) {
+  ProbeNetworkConfig config;
+  config.embedding_dim = 32;
+  ProbeNetwork probe(16, config);
+  Rng rng(1);
+  Matrix samples = Matrix::Gaussian(50, 16, &rng);
+  Matrix per_sample = probe.EmbedSamples(samples);
+  EXPECT_EQ(per_sample.rows(), 50u);
+  EXPECT_EQ(per_sample.cols(), 32u);
+
+  std::vector<double> embedding = probe.DatasetEmbedding(samples);
+  EXPECT_EQ(embedding.size(), 32u);
+  double norm = 0.0;
+  for (double v : embedding) norm += v * v;
+  EXPECT_NEAR(norm, 1.0, 1e-9);
+}
+
+TEST(ProbeNetworkTest, DeterministicForSeed) {
+  Rng rng(2);
+  Matrix samples = Matrix::Gaussian(20, 8, &rng);
+  ProbeNetwork a(8), b(8);
+  EXPECT_EQ(a.DatasetEmbedding(samples), b.DatasetEmbedding(samples));
+}
+
+TEST(ProbeNetworkTest, SimilarDistributionsYieldSimilarEmbeddings) {
+  ProbeNetwork probe(12);
+  Rng rng(3);
+  // Two datasets drawn from the same distribution vs a shifted one.
+  Matrix base_a = Matrix::Gaussian(300, 12, &rng, 0.0, 1.0);
+  Matrix base_b = Matrix::Gaussian(300, 12, &rng, 0.0, 1.0);
+  Matrix shifted = Matrix::Gaussian(300, 12, &rng, 3.0, 0.3);
+  auto ea = probe.DatasetEmbedding(base_a);
+  auto eb = probe.DatasetEmbedding(base_b);
+  auto es = probe.DatasetEmbedding(shifted);
+  EXPECT_GT(DatasetSimilarity(ea, eb), DatasetSimilarity(ea, es));
+}
+
+TEST(DomainSimilarityTest, SelfSimilarityIsOne) {
+  std::vector<double> e = {0.3, -0.2, 0.9, 0.1};
+  EXPECT_NEAR(DatasetSimilarity(e, e), 1.0, 1e-12);
+}
+
+TEST(DomainSimilarityTest, BoundsRespected) {
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> a(8), b(8);
+    for (size_t j = 0; j < 8; ++j) {
+      a[j] = rng.NextGaussian();
+      b[j] = rng.NextGaussian();
+    }
+    double s = DatasetSimilarity(a, b);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(DomainSimilarityTest, PairwiseMatrixSymmetric) {
+  Rng rng(5);
+  std::vector<std::vector<double>> embeddings(5, std::vector<double>(6));
+  for (auto& e : embeddings) {
+    for (double& v : e) v = rng.NextGaussian();
+  }
+  Matrix sim = PairwiseDatasetSimilarity(embeddings);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(sim(i, i), 1.0);
+    for (size_t j = 0; j < 5; ++j) {
+      EXPECT_DOUBLE_EQ(sim(i, j), sim(j, i));
+    }
+  }
+}
+
+TEST(Task2VecTest, EmbeddingShapeAndNormalization) {
+  Rng rng(6);
+  Matrix features = Matrix::Gaussian(120, 10, &rng);
+  std::vector<int> labels(120);
+  for (size_t i = 0; i < labels.size(); ++i) labels[i] = i % 3;
+  auto result = Task2VecEmbedding(features, labels, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 10u);
+  double norm = 0.0;
+  for (double v : result.value()) norm += v * v;
+  EXPECT_NEAR(norm, 1.0, 1e-9);
+}
+
+TEST(Task2VecTest, SimilarTasksYieldCloserEmbeddings) {
+  Rng rng(7);
+  // Task A and A' share class structure along dims 0-1; task B uses dims 8-9.
+  auto make_task = [&](size_t d0, size_t d1, uint64_t seed) {
+    Rng local(seed);
+    Matrix f = Matrix::Gaussian(200, 10, &local, 0.0, 0.5);
+    std::vector<int> labels(200);
+    for (size_t i = 0; i < 200; ++i) {
+      labels[i] = static_cast<int>(i % 2);
+      f(i, d0) += labels[i] == 0 ? 2.0 : -2.0;
+      f(i, d1) += labels[i] == 0 ? -2.0 : 2.0;
+    }
+    return std::make_pair(f, labels);
+  };
+  auto [fa, la] = make_task(0, 1, 100);
+  auto [fa2, la2] = make_task(0, 1, 101);
+  auto [fb, lb] = make_task(8, 9, 102);
+  auto ea = Task2VecEmbedding(fa, la, 2).value();
+  auto ea2 = Task2VecEmbedding(fa2, la2, 2).value();
+  auto eb = Task2VecEmbedding(fb, lb, 2).value();
+  EXPECT_GT(CosineSimilarity(ea, ea2), CosineSimilarity(ea, eb));
+}
+
+TEST(Task2VecTest, InputValidation) {
+  Matrix f(10, 4);
+  EXPECT_FALSE(Task2VecEmbedding(Matrix(), {}, 2).ok());
+  EXPECT_FALSE(Task2VecEmbedding(f, std::vector<int>(4, 0), 2).ok());
+  EXPECT_FALSE(
+      Task2VecEmbedding(f, std::vector<int>(10, 0), 1).ok());
+  std::vector<int> bad(10, 0);
+  bad[3] = 9;
+  EXPECT_FALSE(Task2VecEmbedding(f, bad, 2).ok());
+}
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,92 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "graph/serialization.h"
+
+namespace tg {
+namespace {
+
+Graph MakeGraph() {
+  Graph g;
+  NodeId d0 = g.AddNode(NodeType::kDataset, "cifar100");
+  NodeId d1 = g.AddNode(NodeType::kDataset, "pets");
+  NodeId m0 = g.AddNode(NodeType::kModel, "resnet-50-v0");
+  g.AddUndirectedEdge(d0, d1, EdgeType::kDatasetDataset, 0.75);
+  g.AddUndirectedEdge(m0, d0, EdgeType::kModelDatasetAccuracy, 0.91);
+  g.AddUndirectedEdge(m0, d1, EdgeType::kModelDatasetTransferability,
+                      0.6180339887498949);
+  return g;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(GraphSerializationTest, RoundTripPreservesEverything) {
+  Graph original = MakeGraph();
+  const std::string path = TempPath("graph_roundtrip.tsv");
+  ASSERT_TRUE(WriteGraphToFile(original, path).ok());
+
+  Result<Graph> loaded = ReadGraphFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Graph& g = loaded.value();
+  ASSERT_EQ(g.num_nodes(), original.num_nodes());
+  ASSERT_EQ(g.num_undirected_edges(), original.num_undirected_edges());
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    EXPECT_EQ(g.node_type(id), original.node_type(id));
+    EXPECT_EQ(g.node_name(id), original.node_name(id));
+  }
+  for (size_t e = 0; e < g.edges().size(); ++e) {
+    EXPECT_EQ(g.edges()[e].src, original.edges()[e].src);
+    EXPECT_EQ(g.edges()[e].dst, original.edges()[e].dst);
+    EXPECT_EQ(g.edges()[e].type, original.edges()[e].type);
+    // Weights survive exactly (printed with 17 significant digits).
+    EXPECT_DOUBLE_EQ(g.edges()[e].weight, original.edges()[e].weight);
+  }
+}
+
+TEST(GraphSerializationTest, MissingFileIsNotFound) {
+  Result<Graph> r = ReadGraphFromFile(TempPath("does_not_exist.tsv"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(GraphSerializationTest, RejectsMissingHeader) {
+  const std::string path = TempPath("graph_no_header.tsv");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("node\t0\tdataset\tx\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(ReadGraphFromFile(path).ok());
+}
+
+TEST(GraphSerializationTest, RejectsBadEdgeEndpoint) {
+  const std::string path = TempPath("graph_bad_edge.tsv");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("# transfergraph v1\n", f);
+  std::fputs("node\t0\tdataset\tx\n", f);
+  std::fputs("node\t1\tmodel\ty\n", f);
+  std::fputs("edge\t0\t9\tdd\t0.5\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(ReadGraphFromFile(path).ok());
+}
+
+TEST(GraphSerializationTest, RejectsUnknownTypes) {
+  const std::string path = TempPath("graph_bad_type.tsv");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("# transfergraph v1\n", f);
+  std::fputs("node\t0\tblob\tx\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(ReadGraphFromFile(path).ok());
+}
+
+TEST(GraphSerializationTest, EmptyGraphRoundTrips) {
+  const std::string path = TempPath("graph_empty.tsv");
+  ASSERT_TRUE(WriteGraphToFile(Graph(), path).ok());
+  Result<Graph> loaded = ReadGraphFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_nodes(), 0u);
+}
+
+}  // namespace
+}  // namespace tg

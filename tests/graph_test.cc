@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "graph/graph_stats.h"
+
+namespace tg {
+namespace {
+
+Graph SmallGraph() {
+  // d0 -- d1 (similarity), m0 -- d0 (accuracy), m0 -- d1 (transferability).
+  Graph g;
+  NodeId d0 = g.AddNode(NodeType::kDataset, "d0");
+  NodeId d1 = g.AddNode(NodeType::kDataset, "d1");
+  NodeId m0 = g.AddNode(NodeType::kModel, "m0");
+  g.AddUndirectedEdge(d0, d1, EdgeType::kDatasetDataset, 0.8);
+  g.AddUndirectedEdge(m0, d0, EdgeType::kModelDatasetAccuracy, 0.9);
+  g.AddUndirectedEdge(m0, d1, EdgeType::kModelDatasetTransferability, 0.6);
+  return g;
+}
+
+TEST(GraphTest, NodeAccounting) {
+  Graph g = SmallGraph();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_undirected_edges(), 3u);
+  EXPECT_EQ(g.node_type(0), NodeType::kDataset);
+  EXPECT_EQ(g.node_type(2), NodeType::kModel);
+  EXPECT_EQ(g.node_name(1), "d1");
+}
+
+TEST(GraphTest, FindNode) {
+  Graph g = SmallGraph();
+  Result<NodeId> found = g.FindNode("m0");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), 2u);
+  EXPECT_FALSE(g.FindNode("nope").ok());
+  EXPECT_TRUE(g.HasNode("d0"));
+  EXPECT_FALSE(g.HasNode("d9"));
+}
+
+TEST(GraphTest, AdjacencySymmetric) {
+  Graph g = SmallGraph();
+  EXPECT_EQ(g.degree(0), 2u);  // d0: d1, m0
+  EXPECT_EQ(g.degree(2), 2u);  // m0: d0, d1
+  EXPECT_TRUE(g.HasEdgeBetween(0, 1));
+  EXPECT_TRUE(g.HasEdgeBetween(1, 0));
+  EXPECT_FALSE(g.HasEdgeBetween(0, 0));
+}
+
+TEST(GraphTest, EdgeWeightsAndTypes) {
+  Graph g = SmallGraph();
+  double weighted = g.WeightedDegree(2);
+  EXPECT_NEAR(weighted, 0.9 + 0.6, 1e-12);
+  const auto& edges = g.edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0].type, EdgeType::kDatasetDataset);
+  EXPECT_DOUBLE_EQ(edges[1].weight, 0.9);
+}
+
+TEST(GraphTest, NodesOfType) {
+  Graph g = SmallGraph();
+  EXPECT_EQ(g.NodesOfType(NodeType::kDataset).size(), 2u);
+  EXPECT_EQ(g.NodesOfType(NodeType::kModel).size(), 1u);
+}
+
+TEST(GraphTest, ConnectedComponents) {
+  Graph g = SmallGraph();
+  EXPECT_EQ(g.CountConnectedComponents(), 1u);
+  g.AddNode(NodeType::kModel, "isolated");
+  EXPECT_EQ(g.CountConnectedComponents(), 2u);
+}
+
+TEST(GraphTest, MultipleEdgeTypesBetweenSamePair) {
+  Graph g;
+  NodeId d = g.AddNode(NodeType::kDataset, "d");
+  NodeId m = g.AddNode(NodeType::kModel, "m");
+  g.AddUndirectedEdge(m, d, EdgeType::kModelDatasetAccuracy, 0.8);
+  g.AddUndirectedEdge(m, d, EdgeType::kModelDatasetTransferability, 0.7);
+  EXPECT_EQ(g.degree(m), 2u);
+  EXPECT_TRUE(g.HasEdgeBetween(m, d));
+}
+
+TEST(GraphStatsTest, CountsMatch) {
+  Graph g = SmallGraph();
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.num_nodes, 3u);
+  EXPECT_EQ(stats.num_dataset_nodes, 2u);
+  EXPECT_EQ(stats.num_model_nodes, 1u);
+  // D-D counted as ordered pairs.
+  EXPECT_EQ(stats.dataset_dataset_edges, 2u);
+  EXPECT_EQ(stats.model_dataset_accuracy_edges, 1u);
+  EXPECT_EQ(stats.model_dataset_transferability_edges, 1u);
+  EXPECT_NEAR(stats.average_degree, 6.0 / 3.0, 1e-12);
+  EXPECT_EQ(stats.connected_components, 1u);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(GraphTypeNamesTest, Names) {
+  EXPECT_STREQ(NodeTypeName(NodeType::kDataset), "dataset");
+  EXPECT_STREQ(EdgeTypeName(EdgeType::kModelDatasetAccuracy),
+               "model-dataset-accuracy");
+}
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,176 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "numeric/linalg.h"
+#include "util/rng.h"
+
+namespace tg {
+namespace {
+
+Matrix RandomSpd(size_t n, Rng* rng) {
+  Matrix a = Matrix::Gaussian(n + 4, n, rng);
+  Matrix spd = a.TransposedMatMul(a);
+  for (size_t i = 0; i < n; ++i) spd(i, i) += 0.5;
+  return spd;
+}
+
+TEST(CholeskyTest, FactorReconstructs) {
+  Rng rng(1);
+  Matrix a = RandomSpd(6, &rng);
+  Result<Matrix> l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  Matrix reconstructed = l.value().MatMulTransposed(l.value());
+  EXPECT_LT((reconstructed - a).MaxAbs(), 1e-9);
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  EXPECT_FALSE(CholeskyFactor(Matrix(2, 3)).ok());
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 1}});  // eigenvalues 3, -1
+  Result<Matrix> r = CholeskyFactor(a);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CholeskySolveTest, SolvesKnownSystem) {
+  Matrix a = Matrix::FromRows({{4, 2}, {2, 3}});
+  Matrix b = Matrix::ColumnVector({10, 8});
+  Result<Matrix> x = CholeskySolve(a, b);
+  ASSERT_TRUE(x.ok());
+  // Verify A x = b.
+  Matrix ax = a.MatMul(x.value());
+  EXPECT_NEAR(ax(0, 0), 10.0, 1e-10);
+  EXPECT_NEAR(ax(1, 0), 8.0, 1e-10);
+}
+
+TEST(CholeskySolveTest, MultipleRightHandSides) {
+  Rng rng(3);
+  Matrix a = RandomSpd(5, &rng);
+  Matrix b = Matrix::Gaussian(5, 3, &rng);
+  Result<Matrix> x = CholeskySolve(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_LT((a.MatMul(x.value()) - b).MaxAbs(), 1e-8);
+}
+
+TEST(SymmetricEigenTest, DiagonalMatrix) {
+  Matrix a = Matrix::FromRows({{3, 0}, {0, 1}});
+  Result<EigenDecomposition> eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig.value().eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.value().eigenvalues[1], 3.0, 1e-12);
+}
+
+TEST(SymmetricEigenTest, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  Matrix a = Matrix::FromRows({{2, 1}, {1, 2}});
+  Result<EigenDecomposition> eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig.value().eigenvalues[0], 1.0, 1e-10);
+  EXPECT_NEAR(eig.value().eigenvalues[1], 3.0, 1e-10);
+}
+
+TEST(SymmetricEigenTest, ReconstructsMatrix) {
+  Rng rng(5);
+  Matrix a = RandomSpd(8, &rng);
+  Result<EigenDecomposition> eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  // A = V diag(w) V^T.
+  const Matrix& v = eig.value().eigenvectors;
+  Matrix vd = v;
+  for (size_t r = 0; r < vd.rows(); ++r) {
+    for (size_t c = 0; c < vd.cols(); ++c) {
+      vd(r, c) *= eig.value().eigenvalues[c];
+    }
+  }
+  Matrix reconstructed = vd.MatMulTransposed(v);
+  EXPECT_LT((reconstructed - a).MaxAbs(), 1e-8);
+}
+
+TEST(SymmetricEigenTest, EigenvectorsOrthonormal) {
+  Rng rng(7);
+  Matrix a = RandomSpd(6, &rng);
+  Result<EigenDecomposition> eig = SymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  const Matrix& v = eig.value().eigenvectors;
+  Matrix gram = v.TransposedMatMul(v);
+  EXPECT_LT((gram - Matrix::Identity(6)).MaxAbs(), 1e-9);
+}
+
+TEST(SymmetricEigenTest, RejectsAsymmetric) {
+  Matrix a = Matrix::FromRows({{1, 2}, {0, 1}});
+  EXPECT_FALSE(SymmetricEigen(a).ok());
+}
+
+TEST(ThinSvdTest, ReconstructsTallMatrix) {
+  Rng rng(9);
+  Matrix a = Matrix::Gaussian(20, 6, &rng);
+  Result<SingularValueDecomposition> svd = ThinSvd(a);
+  ASSERT_TRUE(svd.ok());
+  const auto& s = svd.value();
+  ASSERT_EQ(s.singular_values.size(), 6u);
+  // U diag(s) V^T == A.
+  Matrix us = s.u;
+  for (size_t r = 0; r < us.rows(); ++r) {
+    for (size_t c = 0; c < us.cols(); ++c) {
+      us(r, c) *= s.singular_values[c];
+    }
+  }
+  Matrix reconstructed = us.MatMulTransposed(s.v);
+  EXPECT_LT((reconstructed - a).MaxAbs(), 1e-7);
+}
+
+TEST(ThinSvdTest, SingularValuesDescending) {
+  Rng rng(11);
+  Matrix a = Matrix::Gaussian(15, 5, &rng);
+  Result<SingularValueDecomposition> svd = ThinSvd(a);
+  ASSERT_TRUE(svd.ok());
+  for (size_t i = 1; i < svd.value().singular_values.size(); ++i) {
+    EXPECT_GE(svd.value().singular_values[i - 1],
+              svd.value().singular_values[i]);
+  }
+}
+
+TEST(ThinSvdTest, RankDeficientDropsZeroSingulars) {
+  // Two identical columns -> rank 1.
+  Matrix a = Matrix::FromRows({{1, 1}, {2, 2}, {3, 3}});
+  Result<SingularValueDecomposition> svd = ThinSvd(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_EQ(svd.value().singular_values.size(), 1u);
+  EXPECT_NEAR(svd.value().singular_values[0],
+              std::sqrt(2.0 * (1 + 4 + 9)), 1e-9);
+}
+
+TEST(ThinSvdTest, RejectsEmpty) { EXPECT_FALSE(ThinSvd(Matrix()).ok()); }
+
+TEST(RidgeSolveTest, RecoversCoefficientsAtLowPenalty) {
+  Rng rng(13);
+  Matrix x = Matrix::Gaussian(200, 4, &rng);
+  Matrix w_true = Matrix::ColumnVector({1.0, -2.0, 0.5, 3.0});
+  Matrix y = x.MatMul(w_true);
+  Result<Matrix> w = RidgeSolve(x, y, 1e-8);
+  ASSERT_TRUE(w.ok());
+  EXPECT_LT((w.value() - w_true).MaxAbs(), 1e-5);
+}
+
+TEST(RidgeSolveTest, PenaltyShrinksCoefficients) {
+  Rng rng(15);
+  Matrix x = Matrix::Gaussian(50, 3, &rng);
+  Matrix y = Matrix::Gaussian(50, 1, &rng);
+  Matrix w_small = RidgeSolve(x, y, 0.01).value();
+  Matrix w_large = RidgeSolve(x, y, 1000.0).value();
+  EXPECT_LT(w_large.FrobeniusNorm(), w_small.FrobeniusNorm());
+}
+
+TEST(RidgeSolveTest, RejectsNegativePenalty) {
+  EXPECT_FALSE(RidgeSolve(Matrix(3, 2), Matrix(3, 1), -1.0).ok());
+}
+
+TEST(RidgeSolveTest, RejectsRowMismatch) {
+  EXPECT_FALSE(RidgeSolve(Matrix(3, 2), Matrix(4, 1), 1.0).ok());
+}
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,129 @@
+// Edge cases for the tabular learners: degenerate features, few distinct
+// values, collinearity, single-row fits -- the inputs that break naive
+// implementations of histogram binning and normal-equation solvers.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "ml/gbdt.h"
+#include "ml/linear_regression.h"
+#include "ml/random_forest.h"
+#include "util/rng.h"
+
+namespace tg::ml {
+namespace {
+
+TEST(GbdtEdgeCasesTest, ConstantFeaturesOnlyPredictMean) {
+  TabularDataset data;
+  data.x = Matrix(40, 3, 1.0);  // every feature constant
+  data.y.resize(40);
+  for (size_t i = 0; i < 40; ++i) data.y[i] = static_cast<double>(i % 5);
+  Gbdt model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_NEAR(model.Predict({1.0, 1.0, 1.0}), 2.0, 1e-9);  // mean of 0..4
+}
+
+TEST(GbdtEdgeCasesTest, BinaryFeatureSplitsExactly) {
+  TabularDataset data;
+  data.x = Matrix(100, 1);
+  data.y.resize(100);
+  for (size_t i = 0; i < 100; ++i) {
+    data.x(i, 0) = i % 2 == 0 ? 0.0 : 1.0;
+    data.y[i] = i % 2 == 0 ? -3.0 : 3.0;
+  }
+  GbdtConfig config;
+  config.num_trees = 40;
+  Gbdt model(config);
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_NEAR(model.Predict({0.0}), -3.0, 0.1);
+  EXPECT_NEAR(model.Predict({1.0}), 3.0, 0.1);
+}
+
+TEST(GbdtEdgeCasesTest, SingleRowFit) {
+  TabularDataset data;
+  data.x = Matrix(1, 2, 0.5);
+  data.y = {0.7};
+  Gbdt model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_NEAR(model.Predict({0.5, 0.5}), 0.7, 1e-9);
+}
+
+TEST(GbdtEdgeCasesTest, ManyDistinctValuesStillBounded) {
+  // More distinct values than bins: binning must stay within max_bins.
+  Rng rng(1);
+  TabularDataset data;
+  data.x = Matrix(2000, 1);
+  data.y.resize(2000);
+  for (size_t i = 0; i < 2000; ++i) {
+    data.x(i, 0) = rng.NextDouble();
+    data.y[i] = data.x(i, 0) > 0.5 ? 1.0 : 0.0;
+  }
+  GbdtConfig config;
+  config.num_trees = 20;
+  config.max_bins = 8;  // very coarse
+  Gbdt model(config);
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_GT(model.Predict({0.95}), model.Predict({0.05}) + 0.5);
+}
+
+TEST(LinearRegressionEdgeCasesTest, PerfectlyCollinearFeatures) {
+  // x1 = 2 * x0: the ridge term must keep the solve well posed.
+  Rng rng(2);
+  TabularDataset data;
+  data.x = Matrix(100, 2);
+  data.y.resize(100);
+  for (size_t i = 0; i < 100; ++i) {
+    data.x(i, 0) = rng.NextGaussian();
+    data.x(i, 1) = 2.0 * data.x(i, 0);
+    data.y[i] = 3.0 * data.x(i, 0);
+  }
+  LinearRegression model(1e-3);
+  ASSERT_TRUE(model.Fit(data).ok());
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(model.Predict(data.x.Row(i)), data.y[i], 0.05);
+  }
+}
+
+TEST(LinearRegressionEdgeCasesTest, MoreFeaturesThanRows) {
+  Rng rng(3);
+  TabularDataset data;
+  data.x = Matrix::Gaussian(10, 30, &rng);
+  data.y.resize(10);
+  for (size_t i = 0; i < 10; ++i) data.y[i] = data.x(i, 0);
+  LinearRegression model(1.0);  // heavier ridge for the fat case
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_TRUE(std::isfinite(model.Predict(data.x.Row(0))));
+}
+
+TEST(RandomForestEdgeCasesTest, TwoRowFit) {
+  TabularDataset data;
+  data.x = Matrix(2, 1);
+  data.x(0, 0) = 0.0;
+  data.x(1, 0) = 1.0;
+  data.y = {0.2, 0.8};
+  RandomForestConfig config;
+  config.num_trees = 5;
+  RandomForest model(config);
+  ASSERT_TRUE(model.Fit(data).ok());
+  const double p = model.Predict({0.5});
+  EXPECT_GE(p, 0.2 - 1e-9);
+  EXPECT_LE(p, 0.8 + 1e-9);
+}
+
+TEST(AutogradEdgeCasesTest, DeepChainBackpropagates) {
+  // 200 chained operations: the iterative topological sort must not
+  // overflow and gradients must compose exactly ((0.99)^200 per entry).
+  using autograd::MakeParameter;
+  using autograd::Scale;
+  using autograd::Sum;
+  autograd::Var x = MakeParameter(Matrix(2, 2, 1.0));
+  autograd::Var h = x;
+  for (int i = 0; i < 200; ++i) h = Scale(h, 0.99);
+  autograd::Var loss = Sum(h);
+  autograd::Backward(loss);
+  EXPECT_NEAR(x->grad()(0, 0), std::pow(0.99, 200), 1e-12);
+}
+
+}  // namespace
+}  // namespace tg::ml

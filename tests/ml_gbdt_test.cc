@@ -1,0 +1,146 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ml/gbdt.h"
+#include "numeric/stats.h"
+#include "util/rng.h"
+
+namespace tg::ml {
+namespace {
+
+TabularDataset NonlinearData(size_t n, uint64_t seed, double noise = 0.05) {
+  Rng rng(seed);
+  TabularDataset data;
+  data.x = Matrix::Gaussian(n, 5, &rng);
+  data.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    data.y[i] = data.x(i, 0) * data.x(i, 1) + std::cos(data.x(i, 2)) +
+                0.3 * data.x(i, 3) + noise * rng.NextGaussian();
+  }
+  return data;
+}
+
+TEST(GbdtTest, TrainRmseDecreasesMonotonically) {
+  TabularDataset data = NonlinearData(400, 1);
+  GbdtConfig config;
+  config.num_trees = 100;
+  Gbdt model(config);
+  ASSERT_TRUE(model.Fit(data).ok());
+  const auto& curve = model.train_rmse_curve();
+  ASSERT_EQ(curve.size(), 100u);
+  // Squared-loss boosting on training data is non-increasing (up to tiny
+  // histogram-boundary effects).
+  EXPECT_LT(curve.back(), curve.front() * 0.5);
+  int increases = 0;
+  for (size_t i = 1; i < curve.size(); ++i) {
+    if (curve[i] > curve[i - 1] + 1e-9) ++increases;
+  }
+  EXPECT_LE(increases, 2);
+}
+
+TEST(GbdtTest, FitsInteractionTerm) {
+  TabularDataset data = NonlinearData(600, 2);
+  GbdtConfig config;
+  config.num_trees = 200;
+  config.max_depth = 4;
+  Gbdt model(config);
+  ASSERT_TRUE(model.Fit(data).ok());
+  std::vector<double> pred = model.PredictBatch(data.x);
+  EXPECT_GT(PearsonCorrelation(pred, data.y), 0.95);
+}
+
+TEST(GbdtTest, GeneralizesBetterThanMean) {
+  TabularDataset train = NonlinearData(500, 3);
+  TabularDataset test = NonlinearData(300, 4);
+  GbdtConfig config;
+  config.num_trees = 150;
+  Gbdt model(config);
+  ASSERT_TRUE(model.Fit(train).ok());
+  const double model_rmse = Rmse(model.PredictBatch(test.x), test.y);
+  std::vector<double> mean_pred(test.y.size(), Mean(train.y));
+  const double mean_rmse = Rmse(mean_pred, test.y);
+  EXPECT_LT(model_rmse, mean_rmse * 0.6);
+}
+
+TEST(GbdtTest, ShrinkageSlowsFitting) {
+  TabularDataset data = NonlinearData(300, 5);
+  GbdtConfig fast;
+  fast.num_trees = 20;
+  fast.learning_rate = 0.3;
+  GbdtConfig slow;
+  slow.num_trees = 20;
+  slow.learning_rate = 0.01;
+  Gbdt fast_model(fast);
+  Gbdt slow_model(slow);
+  ASSERT_TRUE(fast_model.Fit(data).ok());
+  ASSERT_TRUE(slow_model.Fit(data).ok());
+  EXPECT_LT(fast_model.train_rmse_curve().back(),
+            slow_model.train_rmse_curve().back());
+}
+
+TEST(GbdtTest, LambdaRegularizesLeafValues) {
+  // Heavier L2 on leaves -> less training-set fit per tree.
+  TabularDataset data = NonlinearData(300, 6);
+  GbdtConfig light;
+  light.num_trees = 10;
+  light.lambda = 0.01;
+  GbdtConfig heavy;
+  heavy.num_trees = 10;
+  heavy.lambda = 100.0;
+  Gbdt light_model(light);
+  Gbdt heavy_model(heavy);
+  ASSERT_TRUE(light_model.Fit(data).ok());
+  ASSERT_TRUE(heavy_model.Fit(data).ok());
+  EXPECT_LT(light_model.train_rmse_curve().back(),
+            heavy_model.train_rmse_curve().back());
+}
+
+TEST(GbdtTest, SubsampleWorks) {
+  TabularDataset data = NonlinearData(300, 7);
+  GbdtConfig config;
+  config.num_trees = 50;
+  config.subsample = 0.5;
+  Gbdt model(config);
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_GT(PearsonCorrelation(model.PredictBatch(data.x), data.y), 0.8);
+}
+
+TEST(GbdtTest, ConstantTargetIsExact) {
+  TabularDataset data;
+  Rng rng(8);
+  data.x = Matrix::Gaussian(50, 3, &rng);
+  data.y.assign(50, 2.5);
+  Gbdt model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_NEAR(model.Predict(data.x.Row(0)), 2.5, 1e-9);
+}
+
+TEST(GbdtTest, DeterministicGivenSeed) {
+  TabularDataset data = NonlinearData(200, 9);
+  GbdtConfig config;
+  config.num_trees = 30;
+  Gbdt a(config);
+  Gbdt b(config);
+  ASSERT_TRUE(a.Fit(data).ok());
+  ASSERT_TRUE(b.Fit(data).ok());
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.Predict(data.x.Row(i)), b.Predict(data.x.Row(i)));
+  }
+}
+
+TEST(GbdtTest, PaperDefaults) {
+  // Paper §VI-C: 500 trees, depth 5.
+  GbdtConfig config;
+  EXPECT_EQ(config.num_trees, 500);
+  EXPECT_EQ(config.max_depth, 5);
+}
+
+TEST(GbdtTest, RejectsInvalidInput) {
+  Gbdt model;
+  TabularDataset empty;
+  EXPECT_FALSE(model.Fit(empty).ok());
+}
+
+}  // namespace
+}  // namespace tg::ml

@@ -1,0 +1,118 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ml/linear_regression.h"
+#include "numeric/stats.h"
+#include "util/rng.h"
+
+namespace tg::ml {
+namespace {
+
+TabularDataset MakeLinearData(size_t n, Rng* rng, double noise = 0.0) {
+  TabularDataset data;
+  data.x = Matrix::Gaussian(n, 3, rng);
+  data.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    data.y[i] = 2.0 * data.x(i, 0) - 1.0 * data.x(i, 1) +
+                0.5 * data.x(i, 2) + 4.0 + noise * rng->NextGaussian();
+  }
+  return data;
+}
+
+TEST(LinearRegressionTest, RecoversNoiselessRelation) {
+  Rng rng(1);
+  TabularDataset data = MakeLinearData(300, &rng);
+  LinearRegression model(1e-6);
+  ASSERT_TRUE(model.Fit(data).ok());
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_NEAR(model.Predict(data.x.Row(i)), data.y[i], 1e-4);
+  }
+}
+
+TEST(LinearRegressionTest, InterceptLearned) {
+  Rng rng(2);
+  // Zero features: prediction must be the target mean.
+  TabularDataset data;
+  data.x = Matrix(50, 2);
+  data.y.assign(50, 7.5);
+  LinearRegression model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_NEAR(model.Predict({0.0, 0.0}), 7.5, 1e-9);
+}
+
+TEST(LinearRegressionTest, NoisyFitStillCorrelates) {
+  Rng rng(3);
+  TabularDataset data = MakeLinearData(500, &rng, /*noise=*/0.5);
+  LinearRegression model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  std::vector<double> pred = model.PredictBatch(data.x);
+  EXPECT_GT(PearsonCorrelation(pred, data.y), 0.95);
+}
+
+TEST(LinearRegressionTest, ConstantFeatureColumnHandled) {
+  Rng rng(4);
+  TabularDataset data;
+  data.x = Matrix(100, 2);
+  data.y.resize(100);
+  for (size_t i = 0; i < 100; ++i) {
+    data.x(i, 0) = 1.0;  // constant column
+    data.x(i, 1) = rng.NextGaussian();
+    data.y[i] = 3.0 * data.x(i, 1);
+  }
+  LinearRegression model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  std::vector<double> pred = model.PredictBatch(data.x);
+  EXPECT_GT(PearsonCorrelation(pred, data.y), 0.999);
+}
+
+TEST(LinearRegressionTest, RejectsEmptyData) {
+  LinearRegression model;
+  TabularDataset empty;
+  EXPECT_FALSE(model.Fit(empty).ok());
+}
+
+TEST(LinearRegressionTest, RejectsSizeMismatch) {
+  TabularDataset data;
+  data.x = Matrix(5, 2);
+  data.y.resize(4);
+  LinearRegression model;
+  EXPECT_FALSE(model.Fit(data).ok());
+}
+
+TEST(StandardizerTest, TransformsToZeroMeanUnitVariance) {
+  Rng rng(5);
+  Matrix x = Matrix::Gaussian(400, 3, &rng, 5.0, 2.0);
+  Standardizer standardizer;
+  standardizer.Fit(x);
+  Matrix z = standardizer.Transform(x);
+  for (size_t c = 0; c < 3; ++c) {
+    std::vector<double> col = z.Col(c);
+    EXPECT_NEAR(Mean(col), 0.0, 1e-9);
+    EXPECT_NEAR(StdDev(col), 1.0, 1e-9);
+  }
+}
+
+TEST(StandardizerTest, RowTransformMatchesMatrix) {
+  Rng rng(6);
+  Matrix x = Matrix::Gaussian(50, 4, &rng);
+  Standardizer standardizer;
+  standardizer.Fit(x);
+  Matrix z = standardizer.Transform(x);
+  std::vector<double> row = standardizer.TransformRow(x.Row(7));
+  for (size_t c = 0; c < 4; ++c) EXPECT_NEAR(row[c], z(7, c), 1e-12);
+}
+
+TEST(MetricsTest, RmseAndRSquared) {
+  std::vector<double> pred = {1, 2, 3};
+  std::vector<double> target = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(Rmse(pred, target), 0.0);
+  EXPECT_DOUBLE_EQ(RSquared(pred, target), 1.0);
+
+  std::vector<double> off = {2, 3, 4};
+  EXPECT_DOUBLE_EQ(Rmse(off, target), 1.0);
+  EXPECT_LT(RSquared(off, target), 1.0);
+}
+
+}  // namespace
+}  // namespace tg::ml

@@ -1,0 +1,110 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ml/gbdt.h"
+#include "ml/linear_regression.h"
+#include "ml/model_selection.h"
+#include "util/rng.h"
+
+namespace tg::ml {
+namespace {
+
+TabularDataset LinearData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  TabularDataset data;
+  data.x = Matrix::Gaussian(n, 3, &rng);
+  data.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    data.y[i] = 2.0 * data.x(i, 0) - data.x(i, 2) +
+                0.1 * rng.NextGaussian();
+  }
+  return data;
+}
+
+TabularDataset SteppyData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  TabularDataset data;
+  data.x = Matrix::Gaussian(n, 3, &rng);
+  data.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Sharp nonlinear interaction: trees win, lines lose.
+    data.y[i] = ((data.x(i, 0) > 0) != (data.x(i, 1) > 0) ? 1.0 : -1.0) +
+                0.05 * rng.NextGaussian();
+  }
+  return data;
+}
+
+RegressorFactory LrFactory() {
+  return [] { return std::make_unique<LinearRegression>(); };
+}
+
+RegressorFactory GbdtFactory() {
+  return [] {
+    GbdtConfig config;
+    config.num_trees = 120;
+    return std::make_unique<Gbdt>(config);
+  };
+}
+
+TEST(KFoldTest, FoldCountAndFiniteErrors) {
+  TabularDataset data = LinearData(200, 1);
+  Result<CrossValidationResult> cv =
+      KFoldCrossValidate(LrFactory(), data, 5);
+  ASSERT_TRUE(cv.ok());
+  EXPECT_EQ(cv.value().fold_rmse.size(), 5u);
+  for (double rmse : cv.value().fold_rmse) {
+    EXPECT_TRUE(std::isfinite(rmse));
+    EXPECT_GE(rmse, 0.0);
+  }
+}
+
+TEST(KFoldTest, LinearModelNailsLinearData) {
+  TabularDataset data = LinearData(300, 2);
+  Result<CrossValidationResult> cv =
+      KFoldCrossValidate(LrFactory(), data, 4);
+  ASSERT_TRUE(cv.ok());
+  EXPECT_LT(cv.value().mean_rmse, 0.15);
+}
+
+TEST(KFoldTest, RejectsBadFoldCounts) {
+  TabularDataset data = LinearData(20, 3);
+  EXPECT_FALSE(KFoldCrossValidate(LrFactory(), data, 1).ok());
+  EXPECT_FALSE(KFoldCrossValidate(LrFactory(), data, 21).ok());
+  TabularDataset empty;
+  EXPECT_FALSE(KFoldCrossValidate(LrFactory(), empty, 2).ok());
+}
+
+TEST(KFoldTest, DeterministicForSeed) {
+  TabularDataset data = LinearData(150, 4);
+  auto a = KFoldCrossValidate(LrFactory(), data, 3, 7);
+  auto b = KFoldCrossValidate(LrFactory(), data, 3, 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a.value().mean_rmse, b.value().mean_rmse);
+}
+
+TEST(RankPredictorsTest, LinearWinsOnLinearData) {
+  TabularDataset data = LinearData(300, 5);
+  auto ranked = RankPredictors(
+      {{"LR", LrFactory()}, {"XGB", GbdtFactory()}}, data, 4);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked.value().size(), 2u);
+  EXPECT_EQ(ranked.value()[0].name, "LR");
+}
+
+TEST(RankPredictorsTest, TreesWinOnInteractionData) {
+  TabularDataset data = SteppyData(400, 6);
+  auto ranked = RankPredictors(
+      {{"LR", LrFactory()}, {"XGB", GbdtFactory()}}, data, 4);
+  ASSERT_TRUE(ranked.ok());
+  EXPECT_EQ(ranked.value()[0].name, "XGB");
+}
+
+TEST(RankPredictorsTest, RejectsEmptyCandidates) {
+  TabularDataset data = LinearData(50, 7);
+  EXPECT_FALSE(RankPredictors({}, data, 3).ok());
+}
+
+}  // namespace
+}  // namespace tg::ml

@@ -1,0 +1,90 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/negative_sampler.h"
+
+namespace tg {
+namespace {
+
+Graph RingGraph(size_t n) {
+  Graph g;
+  for (size_t i = 0; i < n; ++i) {
+    g.AddNode(NodeType::kDataset, "n" + std::to_string(i));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    g.AddUndirectedEdge(static_cast<NodeId>(i),
+                        static_cast<NodeId>((i + 1) % n),
+                        EdgeType::kDatasetDataset, 1.0);
+  }
+  return g;
+}
+
+TEST(NegativeSamplerTest, SampledPairsAreNonEdges) {
+  Graph g = RingGraph(12);
+  Rng rng(1);
+  auto negatives = SampleNegativeEdges(g, 20, &rng);
+  EXPECT_EQ(negatives.size(), 20u);
+  for (const auto& [a, b] : negatives) {
+    EXPECT_NE(a, b);
+    EXPECT_FALSE(g.HasEdgeBetween(a, b));
+  }
+}
+
+TEST(NegativeSamplerTest, NoDuplicatesWithinCall) {
+  Graph g = RingGraph(10);
+  Rng rng(2);
+  auto negatives = SampleNegativeEdges(g, 15, &rng);
+  std::set<std::pair<NodeId, NodeId>> seen(negatives.begin(),
+                                           negatives.end());
+  EXPECT_EQ(seen.size(), negatives.size());
+}
+
+TEST(NegativeSamplerTest, SaturatedGraphReturnsFewer) {
+  // Complete graph on 4 nodes has no non-edges.
+  Graph g;
+  for (int i = 0; i < 4; ++i) {
+    g.AddNode(NodeType::kModel, "m" + std::to_string(i));
+  }
+  for (NodeId a = 0; a < 4; ++a) {
+    for (NodeId b = a + 1; b < 4; ++b) {
+      g.AddUndirectedEdge(a, b, EdgeType::kDatasetDataset, 1.0);
+    }
+  }
+  Rng rng(3);
+  auto negatives = SampleNegativeEdges(g, 10, &rng);
+  EXPECT_TRUE(negatives.empty());
+}
+
+TEST(UnigramSamplerTest, HigherDegreeSampledMoreOften) {
+  // Star graph: center has degree n-1, leaves degree 1.
+  Graph g;
+  NodeId center = g.AddNode(NodeType::kModel, "center");
+  for (int i = 0; i < 9; ++i) {
+    NodeId leaf = g.AddNode(NodeType::kDataset, "leaf" + std::to_string(i));
+    g.AddUndirectedEdge(center, leaf, EdgeType::kModelDatasetAccuracy, 1.0);
+  }
+  UnigramNegativeSampler sampler(g, 0.75);
+  Rng rng(4);
+  int center_hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (sampler.Sample(&rng) == center) ++center_hits;
+  }
+  // Center frequency ~ 10^0.75 / (10^0.75 + 9 * 2^0.75) ~ 0.27.
+  EXPECT_GT(center_hits, n / 5);
+  EXPECT_LT(center_hits, n / 2);
+}
+
+TEST(UnigramSamplerTest, FrequencyConstructor) {
+  UnigramNegativeSampler sampler({1.0, 100.0}, 1.0);
+  Rng rng(5);
+  int ones = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (sampler.Sample(&rng) == 1) ++ones;
+  }
+  EXPECT_GT(ones, 9500);
+}
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,121 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+#include "nn/linear.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace tg::nn {
+namespace {
+
+using autograd::MakeConstant;
+using autograd::MakeParameter;
+using autograd::Var;
+
+TEST(InitTest, GlorotUniformBounds) {
+  Rng rng(1);
+  Matrix w = GlorotUniform(100, 50, &rng);
+  const double bound = std::sqrt(6.0 / 150.0);
+  EXPECT_LE(w.MaxAbs(), bound + 1e-12);
+  // Not degenerate.
+  EXPECT_GT(w.MaxAbs(), bound * 0.5);
+}
+
+TEST(InitTest, HeNormalVariance) {
+  Rng rng(2);
+  Matrix w = HeNormal(400, 400, &rng);
+  double sum_sq = 0.0;
+  for (size_t r = 0; r < w.rows(); ++r) {
+    for (size_t c = 0; c < w.cols(); ++c) sum_sq += w(r, c) * w(r, c);
+  }
+  const double var = sum_sq / static_cast<double>(w.size());
+  EXPECT_NEAR(var, 2.0 / 400.0, 2.0 / 400.0 * 0.1);
+}
+
+TEST(LinearTest, ForwardShape) {
+  Rng rng(3);
+  Linear layer(4, 6, &rng);
+  Var x = MakeConstant(Matrix::Gaussian(10, 4, &rng));
+  Var y = layer.Forward(x);
+  EXPECT_EQ(y->value().rows(), 10u);
+  EXPECT_EQ(y->value().cols(), 6u);
+  EXPECT_EQ(layer.Parameters().size(), 2u);
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(4);
+  Linear layer(3, 3, &rng, /*use_bias=*/false);
+  EXPECT_EQ(layer.Parameters().size(), 1u);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  // Minimize ||x - 3||^2 elementwise.
+  Var x = MakeParameter(Matrix(2, 2, 0.0));
+  Sgd opt({x}, 0.1);
+  Var target = MakeConstant(Matrix(2, 2, 3.0));
+  for (int step = 0; step < 200; ++step) {
+    opt.ZeroGrad();
+    Var loss = autograd::MseLoss(x, target);
+    autograd::Backward(loss);
+    opt.Step();
+  }
+  EXPECT_NEAR(x->value()(0, 0), 3.0, 1e-3);
+}
+
+TEST(SgdTest, WeightDecayShrinks) {
+  Var x = MakeParameter(Matrix(1, 1, 5.0));
+  Sgd opt({x}, 0.1, /*weight_decay=*/1.0);
+  // Zero-gradient loss: only decay acts.
+  for (int step = 0; step < 10; ++step) {
+    opt.ZeroGrad();
+    Var loss = autograd::Sum(autograd::Scale(x, 0.0));
+    autograd::Backward(loss);
+    opt.Step();
+  }
+  EXPECT_LT(x->value()(0, 0), 5.0);
+  EXPECT_GT(x->value()(0, 0), 0.0);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Var x = MakeParameter(Matrix(3, 1, -4.0));
+  Adam opt({x}, 0.05);
+  Var target = MakeConstant(Matrix(3, 1, 1.5));
+  for (int step = 0; step < 500; ++step) {
+    opt.ZeroGrad();
+    Var loss = autograd::MseLoss(x, target);
+    autograd::Backward(loss);
+    opt.Step();
+  }
+  EXPECT_NEAR(x->value()(0, 0), 1.5, 1e-2);
+}
+
+TEST(AdamTest, LearnsLinearMap) {
+  // Train y = x W + b on synthetic data with a two-layer setup.
+  Rng rng(7);
+  Matrix x_data = Matrix::Gaussian(64, 3, &rng);
+  Matrix w_true = Matrix::FromRows({{1.0}, {-2.0}, {0.5}});
+  Matrix y_data = x_data.MatMul(w_true);
+  for (size_t r = 0; r < y_data.rows(); ++r) y_data(r, 0) += 0.7;
+
+  Linear layer(3, 1, &rng);
+  Adam opt(layer.Parameters(), 0.05);
+  Var x = MakeConstant(x_data);
+  Var y = MakeConstant(y_data);
+  double final_loss = 1e9;
+  for (int step = 0; step < 400; ++step) {
+    opt.ZeroGrad();
+    Var loss = autograd::MseLoss(layer.Forward(x), y);
+    autograd::Backward(loss);
+    opt.Step();
+    final_loss = loss->value()(0, 0);
+  }
+  EXPECT_LT(final_loss, 1e-3);
+  EXPECT_NEAR(layer.weight()->value()(0, 0), 1.0, 0.05);
+  EXPECT_NEAR(layer.bias()->value()(0, 0), 0.7, 0.05);
+}
+
+}  // namespace
+}  // namespace tg::nn

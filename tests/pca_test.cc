@@ -1,0 +1,103 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "numeric/pca.h"
+#include "numeric/stats.h"
+#include "util/rng.h"
+
+namespace tg {
+namespace {
+
+// Data with variance concentrated along a known direction.
+Matrix AnisotropicData(size_t n, Rng* rng) {
+  Matrix x(n, 4);
+  for (size_t i = 0; i < n; ++i) {
+    const double big = 10.0 * rng->NextGaussian();
+    x(i, 0) = big + 0.1 * rng->NextGaussian();
+    x(i, 1) = -big + 0.1 * rng->NextGaussian();
+    x(i, 2) = 0.1 * rng->NextGaussian();
+    x(i, 3) = 0.1 * rng->NextGaussian();
+  }
+  return x;
+}
+
+TEST(PcaTest, OutputShapeAndExplainedVariance) {
+  Rng rng(1);
+  Matrix x = AnisotropicData(300, &rng);
+  Pca pca;
+  ASSERT_TRUE(pca.Fit(x, 1).ok());
+  EXPECT_EQ(pca.output_dim(), 1u);
+  // Nearly all variance lives on the first component.
+  EXPECT_GT(pca.ExplainedVarianceRatio(), 0.98);
+  Matrix projected = pca.Transform(x);
+  EXPECT_EQ(projected.rows(), 300u);
+  EXPECT_EQ(projected.cols(), 1u);
+}
+
+TEST(PcaTest, FirstComponentCapturesDominantDirection) {
+  Rng rng(2);
+  Matrix x = AnisotropicData(400, &rng);
+  Pca pca;
+  ASSERT_TRUE(pca.Fit(x, 1).ok());
+  // Projection variance onto PC1 should be ~ variance of the big direction.
+  Matrix projected = pca.Transform(x);
+  const double var = Variance(projected.Col(0));
+  EXPECT_GT(var, 150.0);  // 2 * 100 ~ variance of (big, -big) combination
+}
+
+TEST(PcaTest, TransformedDataIsCentered) {
+  Rng rng(3);
+  Matrix x = Matrix::Gaussian(200, 5, &rng, 7.0, 2.0);
+  Pca pca;
+  ASSERT_TRUE(pca.Fit(x, 3).ok());
+  Matrix projected = pca.Transform(x);
+  for (size_t c = 0; c < projected.cols(); ++c) {
+    EXPECT_NEAR(Mean(projected.Col(c)), 0.0, 1e-9);
+  }
+}
+
+TEST(PcaTest, ComponentsAreDecorrelated) {
+  Rng rng(4);
+  Matrix x = Matrix::Gaussian(500, 6, &rng);
+  // Introduce correlation.
+  for (size_t i = 0; i < x.rows(); ++i) x(i, 1) = 0.8 * x(i, 0) + 0.2 * x(i, 1);
+  Pca pca;
+  ASSERT_TRUE(pca.Fit(x, 3).ok());
+  Matrix projected = pca.Transform(x);
+  for (size_t a = 0; a < 3; ++a) {
+    for (size_t b = a + 1; b < 3; ++b) {
+      EXPECT_NEAR(PearsonCorrelation(projected.Col(a), projected.Col(b)),
+                  0.0, 0.05);
+    }
+  }
+}
+
+TEST(PcaTest, ComponentCapAtDataDim) {
+  Rng rng(5);
+  Matrix x = Matrix::Gaussian(50, 3, &rng);
+  Pca pca;
+  ASSERT_TRUE(pca.Fit(x, 10).ok());
+  EXPECT_EQ(pca.output_dim(), 3u);
+  EXPECT_NEAR(pca.ExplainedVarianceRatio(), 1.0, 1e-9);
+}
+
+TEST(PcaTest, RowTransformMatchesMatrixTransform) {
+  Rng rng(6);
+  Matrix x = Matrix::Gaussian(100, 4, &rng);
+  Pca pca;
+  ASSERT_TRUE(pca.Fit(x, 2).ok());
+  Matrix all = pca.Transform(x);
+  std::vector<double> row = pca.TransformRow(x.Row(13));
+  for (size_t c = 0; c < 2; ++c) EXPECT_NEAR(row[c], all(13, c), 1e-12);
+}
+
+TEST(PcaTest, InputValidation) {
+  Pca pca;
+  EXPECT_FALSE(pca.Fit(Matrix(1, 3), 2).ok());
+  EXPECT_FALSE(pca.Fit(Matrix(10, 3), 0).ok());
+  EXPECT_FALSE(pca.fitted());
+}
+
+}  // namespace
+}  // namespace tg

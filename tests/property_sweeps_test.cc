@@ -1,0 +1,218 @@
+// Parameterized property sweeps: invariants that must hold across whole
+// configuration ranges, not just single examples.
+#include <cmath>
+#include <numeric>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "embedding/random_walk.h"
+#include "graph/alias_table.h"
+#include "ml/gbdt.h"
+#include "numeric/linalg.h"
+#include "numeric/stats.h"
+#include "transferability/logme.h"
+#include "util/rng.h"
+
+namespace tg {
+namespace {
+
+// --- Alias table: empirical distribution matches weights for any shape ---
+
+class AliasTableSweep
+    : public ::testing::TestWithParam<std::vector<double>> {};
+
+TEST_P(AliasTableSweep, EmpiricalFrequenciesMatchWeights) {
+  const std::vector<double>& weights = GetParam();
+  AliasTable table(weights);
+  Rng rng(42);
+  std::vector<double> counts(weights.size(), 0.0);
+  const int n = 120000;
+  for (int i = 0; i < n; ++i) counts[table.Sample(&rng)] += 1.0;
+  const double total =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_NEAR(counts[i] / n, weights[i] / total, 0.012)
+        << "outcome " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WeightShapes, AliasTableSweep,
+    ::testing::Values(std::vector<double>{1.0},
+                      std::vector<double>{1.0, 1.0, 1.0, 1.0},
+                      std::vector<double>{0.1, 0.9},
+                      std::vector<double>{5.0, 1.0, 3.0, 0.5, 0.5},
+                      std::vector<double>{100.0, 1.0, 1.0},
+                      std::vector<double>{0.0, 2.0, 0.0, 2.0}));
+
+// --- Random walks: every step follows an edge for any (p, q, extended) ---
+
+class WalkConfigSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, bool>> {};
+
+TEST_P(WalkConfigSweep, WalksStayOnEdgesAndReachFullLength) {
+  const auto [p, q, extended] = GetParam();
+  Graph g;
+  Rng build_rng(7);
+  for (int i = 0; i < 30; ++i) {
+    g.AddNode(NodeType::kDataset, "n" + std::to_string(i));
+  }
+  // Random connected-ish graph: ring + chords with random weights.
+  for (NodeId i = 0; i < 30; ++i) {
+    g.AddUndirectedEdge(i, (i + 1) % 30, EdgeType::kDatasetDataset,
+                        0.1 + build_rng.NextDouble());
+  }
+  for (int c = 0; c < 25; ++c) {
+    NodeId a = static_cast<NodeId>(build_rng.NextBelow(30));
+    NodeId b = static_cast<NodeId>(build_rng.NextBelow(30));
+    if (a != b) {
+      g.AddUndirectedEdge(a, b, EdgeType::kDatasetDataset,
+                          0.1 + build_rng.NextDouble());
+    }
+  }
+
+  WalkConfig config;
+  config.p = p;
+  config.q = q;
+  config.extended = extended;
+  config.walk_length = 25;
+  RandomWalkGenerator walker(g, config);
+  Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto walk =
+        walker.Walk(static_cast<NodeId>(rng.NextBelow(30)), &rng);
+    EXPECT_EQ(walk.size(), 25u);
+    for (size_t s = 0; s + 1 < walk.size(); ++s) {
+      EXPECT_TRUE(g.HasEdgeBetween(walk[s], walk[s + 1]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PqGrid, WalkConfigSweep,
+    ::testing::Combine(::testing::Values(0.25, 1.0, 4.0),
+                       ::testing::Values(0.25, 1.0, 4.0),
+                       ::testing::Bool()));
+
+// --- LogME: monotone in class separation for various (dim, classes) ---
+
+class LogMeSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, int>> {};
+
+TEST_P(LogMeSweep, MonotoneInSeparation) {
+  const auto [dim, classes] = GetParam();
+  Rng rng(1000 + dim * 10 + static_cast<size_t>(classes));
+  auto score_at = [&](double separation) {
+    Matrix features(240, dim);
+    std::vector<int> labels(240);
+    std::vector<std::vector<double>> centers(classes,
+                                             std::vector<double>(dim));
+    for (auto& c : centers) {
+      for (double& v : c) v = separation * rng.NextGaussian();
+    }
+    for (size_t i = 0; i < 240; ++i) {
+      const int y = static_cast<int>(i) % classes;
+      labels[i] = y;
+      for (size_t d = 0; d < dim; ++d) {
+        features(i, d) = centers[y][d] + rng.NextGaussian();
+      }
+    }
+    return LogMeScore(features, labels, classes).value();
+  };
+  const double low = score_at(0.2);
+  const double high = score_at(3.0);
+  EXPECT_GT(high, low);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndClasses, LogMeSweep,
+    ::testing::Combine(::testing::Values<size_t>(4, 16, 48),
+                       ::testing::Values(2, 5, 12)));
+
+// --- GBDT: training error shrinks vs the mean for any config ---
+
+class GbdtConfigSweep
+    : public ::testing::TestWithParam<std::tuple<int, double, double>> {};
+
+TEST_P(GbdtConfigSweep, TrainRmseBeatsConstantPredictor) {
+  const auto [depth, lr, lambda] = GetParam();
+  Rng rng(5);
+  ml::TabularDataset data;
+  data.x = Matrix::Gaussian(300, 6, &rng);
+  data.y.resize(300);
+  for (size_t i = 0; i < 300; ++i) {
+    data.y[i] = std::sin(data.x(i, 0)) + 0.4 * data.x(i, 1);
+  }
+  ml::GbdtConfig config;
+  config.num_trees = 80;
+  config.max_depth = depth;
+  config.learning_rate = lr;
+  config.lambda = lambda;
+  ml::Gbdt model(config);
+  ASSERT_TRUE(model.Fit(data).ok());
+  const double baseline = StdDev(data.y);  // RMSE of predicting the mean
+  EXPECT_LT(model.train_rmse_curve().back(), baseline * 0.8)
+      << "depth=" << depth << " lr=" << lr << " lambda=" << lambda;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, GbdtConfigSweep,
+    ::testing::Combine(::testing::Values(2, 4, 6),
+                       ::testing::Values(0.05, 0.2),
+                       ::testing::Values(0.1, 1.0, 10.0)));
+
+// --- SVD: reconstruction holds across shapes ---
+
+class SvdShapeSweep
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(SvdShapeSweep, ReconstructsInput) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(17 + rows + cols);
+  Matrix a = Matrix::Gaussian(rows, cols, &rng);
+  Result<SingularValueDecomposition> svd = ThinSvd(a);
+  ASSERT_TRUE(svd.ok());
+  Matrix us = svd.value().u;
+  for (size_t r = 0; r < us.rows(); ++r) {
+    for (size_t c = 0; c < us.cols(); ++c) {
+      us(r, c) *= svd.value().singular_values[c];
+    }
+  }
+  Matrix reconstructed = us.MatMulTransposed(svd.value().v);
+  EXPECT_LT((reconstructed - a).MaxAbs(), 1e-6)
+      << rows << "x" << cols;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SvdShapeSweep,
+    ::testing::Values(std::make_pair<size_t, size_t>(5, 5),
+                      std::make_pair<size_t, size_t>(40, 8),
+                      std::make_pair<size_t, size_t>(8, 8),
+                      std::make_pair<size_t, size_t>(100, 3),
+                      std::make_pair<size_t, size_t>(64, 32)));
+
+// --- Pearson: bounds and symmetry on random data of any size ---
+
+class PearsonSizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PearsonSizeSweep, BoundsAndSymmetry) {
+  const size_t n = GetParam();
+  Rng rng(23 + n);
+  std::vector<double> a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.NextGaussian();
+    b[i] = 0.3 * a[i] + rng.NextGaussian();
+  }
+  const double ab = PearsonCorrelation(a, b);
+  EXPECT_GE(ab, -1.0);
+  EXPECT_LE(ab, 1.0);
+  EXPECT_DOUBLE_EQ(ab, PearsonCorrelation(b, a));
+  EXPECT_NEAR(PearsonCorrelation(a, a), 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PearsonSizeSweep,
+                         ::testing::Values<size_t>(2, 3, 10, 185, 1000));
+
+}  // namespace
+}  // namespace tg

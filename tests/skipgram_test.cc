@@ -1,0 +1,158 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "embedding/node2vec.h"
+#include "embedding/skipgram.h"
+#include "numeric/stats.h"
+#include "util/rng.h"
+
+namespace tg {
+namespace {
+
+// Two disjoint cliques: tokens 0-3 co-occur, tokens 4-7 co-occur.
+std::vector<std::vector<uint32_t>> TwoClusterCorpus(Rng* rng,
+                                                    int walks = 300) {
+  std::vector<std::vector<uint32_t>> corpus;
+  for (int w = 0; w < walks; ++w) {
+    const uint32_t base = (w % 2 == 0) ? 0 : 4;
+    std::vector<uint32_t> walk;
+    for (int t = 0; t < 20; ++t) {
+      walk.push_back(base + static_cast<uint32_t>(rng->NextBelow(4)));
+    }
+    corpus.push_back(std::move(walk));
+  }
+  return corpus;
+}
+
+double CosineOfRows(const Matrix& emb, uint32_t a, uint32_t b) {
+  return CosineSimilarity(emb.Row(a), emb.Row(b));
+}
+
+TEST(SkipGramTest, EmbeddingShape) {
+  SkipGramConfig config;
+  config.dim = 16;
+  config.epochs = 1;
+  SkipGramTrainer trainer(10, config);
+  EXPECT_EQ(trainer.embeddings().rows(), 10u);
+  EXPECT_EQ(trainer.embeddings().cols(), 16u);
+}
+
+TEST(SkipGramTest, ClusteredTokensEndUpCloser) {
+  Rng rng(1);
+  auto corpus = TwoClusterCorpus(&rng);
+  SkipGramConfig config;
+  config.dim = 16;
+  config.epochs = 3;
+  SkipGramTrainer trainer(8, config);
+  trainer.Train(corpus, &rng);
+  const Matrix& emb = trainer.embeddings();
+
+  // Average within-cluster vs cross-cluster cosine similarity.
+  double within = 0.0;
+  double across = 0.0;
+  int wn = 0;
+  int an = 0;
+  for (uint32_t a = 0; a < 8; ++a) {
+    for (uint32_t b = a + 1; b < 8; ++b) {
+      const bool same = (a < 4) == (b < 4);
+      if (same) {
+        within += CosineOfRows(emb, a, b);
+        ++wn;
+      } else {
+        across += CosineOfRows(emb, a, b);
+        ++an;
+      }
+    }
+  }
+  EXPECT_GT(within / wn, across / an + 0.3);
+}
+
+TEST(SkipGramTest, PairProbabilityReflectsCooccurrence) {
+  Rng rng(2);
+  auto corpus = TwoClusterCorpus(&rng);
+  SkipGramConfig config;
+  config.dim = 16;
+  config.epochs = 3;
+  SkipGramTrainer trainer(8, config);
+  trainer.Train(corpus, &rng);
+  EXPECT_GT(trainer.PairProbability(0, 1), trainer.PairProbability(0, 5));
+}
+
+TEST(SkipGramTest, DeterministicGivenSeed) {
+  auto run = [] {
+    Rng rng(3);
+    auto corpus = TwoClusterCorpus(&rng, 50);
+    SkipGramConfig config;
+    config.dim = 8;
+    config.epochs = 1;
+    SkipGramTrainer trainer(8, config);
+    trainer.Train(corpus, &rng);
+    return trainer.embeddings();
+  };
+  Matrix a = run();
+  Matrix b = run();
+  EXPECT_LT((a - b).MaxAbs(), 1e-15);
+}
+
+TEST(SkipGramTest, EmptyCorpusIsNoop) {
+  SkipGramConfig config;
+  config.dim = 4;
+  SkipGramTrainer trainer(5, config);
+  Matrix before = trainer.embeddings();
+  Rng rng(4);
+  trainer.Train({}, &rng);
+  EXPECT_LT((trainer.embeddings() - before).MaxAbs(), 1e-15);
+}
+
+// --- End-to-end Node2Vec over a graph ---
+
+Graph TwoCliquesBridge() {
+  Graph g;
+  for (int i = 0; i < 10; ++i) {
+    g.AddNode(NodeType::kDataset, "n" + std::to_string(i));
+  }
+  auto clique = [&](NodeId lo, NodeId hi) {
+    for (NodeId a = lo; a <= hi; ++a) {
+      for (NodeId b = a + 1; b <= hi; ++b) {
+        g.AddUndirectedEdge(a, b, EdgeType::kDatasetDataset, 1.0);
+      }
+    }
+  };
+  clique(0, 4);
+  clique(5, 9);
+  g.AddUndirectedEdge(4, 5, EdgeType::kDatasetDataset, 0.2);  // weak bridge
+  return g;
+}
+
+TEST(Node2VecTest, CommunityStructureInEmbeddings) {
+  Graph g = TwoCliquesBridge();
+  Node2VecConfig config;
+  config.walk.walks_per_node = 20;
+  config.walk.walk_length = 20;
+  config.skipgram.dim = 16;
+  config.skipgram.epochs = 3;
+  Matrix emb = Node2VecEmbed(g, config, /*seed=*/11);
+  ASSERT_EQ(emb.rows(), 10u);
+
+  double within = CosineSimilarity(emb.Row(0), emb.Row(3));
+  double across = CosineSimilarity(emb.Row(0), emb.Row(8));
+  EXPECT_GT(within, across + 0.2);
+}
+
+TEST(Node2VecTest, PlusVariantAlsoRecoversCommunities) {
+  Graph g = TwoCliquesBridge();
+  Node2VecConfig config;
+  config.walk.walks_per_node = 20;
+  config.walk.walk_length = 20;
+  config.walk.extended = true;
+  config.skipgram.dim = 16;
+  config.skipgram.epochs = 3;
+  Matrix emb = Node2VecEmbed(g, config, /*seed=*/13);
+  double within = CosineSimilarity(emb.Row(1), emb.Row(2));
+  double across = CosineSimilarity(emb.Row(1), emb.Row(7));
+  EXPECT_GT(within, across + 0.2);
+}
+
+}  // namespace
+}  // namespace tg

@@ -1,0 +1,236 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "transferability/hscore.h"
+#include "transferability/leep.h"
+#include "transferability/logme.h"
+#include "transferability/nce.h"
+#include "transferability/parc.h"
+#include "util/rng.h"
+
+namespace tg {
+namespace {
+
+// Features with class structure: centers +/- separation along each dim.
+struct LabeledFeatures {
+  Matrix features;
+  std::vector<int> labels;
+};
+
+LabeledFeatures MakeSeparable(size_t n, size_t dim, int classes,
+                              double separation, uint64_t seed) {
+  Rng rng(seed);
+  LabeledFeatures data;
+  data.features = Matrix(n, dim);
+  data.labels.resize(n);
+  std::vector<std::vector<double>> centers(classes);
+  for (auto& c : centers) {
+    c.resize(dim);
+    for (double& v : c) v = separation * rng.NextGaussian();
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const int y = static_cast<int>(i % classes);
+    data.labels[i] = y;
+    for (size_t d = 0; d < dim; ++d) {
+      data.features(i, d) = centers[y][d] + rng.NextGaussian();
+    }
+  }
+  return data;
+}
+
+// --- LogME ---
+
+TEST(LogMeTest, InformativeFeaturesScoreHigher) {
+  LabeledFeatures good = MakeSeparable(300, 16, 4, 3.0, 1);
+  LabeledFeatures noise = MakeSeparable(300, 16, 4, 0.0, 2);
+  double s_good = LogMeScore(good.features, good.labels, 4).value();
+  double s_noise = LogMeScore(noise.features, noise.labels, 4).value();
+  EXPECT_GT(s_good, s_noise + 0.05);
+}
+
+TEST(LogMeTest, MonotoneInSeparation) {
+  double prev = -1e18;
+  for (double sep : {0.0, 1.0, 3.0}) {
+    LabeledFeatures data = MakeSeparable(400, 12, 3, sep, 3);
+    double score = LogMeScore(data.features, data.labels, 3).value();
+    EXPECT_GT(score, prev);
+    prev = score;
+  }
+}
+
+TEST(LogMeTest, EvidenceOfPerfectlyPredictableTargetIsHigh) {
+  Rng rng(4);
+  Matrix f = Matrix::Gaussian(200, 8, &rng);
+  std::vector<double> target(200);
+  for (size_t i = 0; i < 200; ++i) target[i] = f(i, 0) * 2.0 - f(i, 3);
+  std::vector<double> random_target(200);
+  for (double& t : random_target) t = rng.NextGaussian();
+  double predictable = LogMeEvidence(f, target).value();
+  double random = LogMeEvidence(f, random_target).value();
+  EXPECT_GT(predictable, random);
+}
+
+TEST(LogMeTest, InputValidation) {
+  Matrix f(10, 4);
+  std::vector<int> labels(10, 0);
+  EXPECT_FALSE(LogMeScore(Matrix(), labels, 2).ok());
+  EXPECT_FALSE(LogMeScore(f, std::vector<int>(5, 0), 2).ok());
+  EXPECT_FALSE(LogMeScore(f, labels, 1).ok());
+  std::vector<int> bad = labels;
+  bad[0] = 7;
+  EXPECT_FALSE(LogMeScore(f, bad, 2).ok());
+}
+
+TEST(LogMeTest, DeterministicScore) {
+  LabeledFeatures data = MakeSeparable(150, 8, 3, 2.0, 5);
+  double a = LogMeScore(data.features, data.labels, 3).value();
+  double b = LogMeScore(data.features, data.labels, 3).value();
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+// --- LEEP ---
+
+TEST(LeepTest, AlignedSourcePredictionsScoreHigher) {
+  const size_t n = 300;
+  Rng rng(6);
+  // Aligned: source class z == target label y with prob 0.9.
+  Matrix aligned(n, 3);
+  Matrix uninformative(n, 3, 1.0 / 3.0);
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int y = static_cast<int>(i % 3);
+    labels[i] = y;
+    for (int z = 0; z < 3; ++z) aligned(i, z) = z == y ? 0.9 : 0.05;
+  }
+  double s_aligned = LeepScore(aligned, labels, 3).value();
+  double s_flat = LeepScore(uninformative, labels, 3).value();
+  EXPECT_GT(s_aligned, s_flat + 0.1);
+}
+
+TEST(LeepTest, ScoreIsNonPositiveLogLikelihood) {
+  Matrix probs(10, 2, 0.5);
+  std::vector<int> labels(10, 0);
+  for (size_t i = 5; i < 10; ++i) labels[i] = 1;
+  double score = LeepScore(probs, labels, 2).value();
+  EXPECT_LE(score, 0.0);
+  // With flat predictions the empirical predictor equals the marginal: log 0.5.
+  EXPECT_NEAR(score, std::log(0.5), 1e-9);
+}
+
+TEST(LeepTest, InputValidation) {
+  EXPECT_FALSE(LeepScore(Matrix(), {0}, 2).ok());
+  EXPECT_FALSE(LeepScore(Matrix(3, 2), {0, 1}, 2).ok());
+  EXPECT_FALSE(LeepScore(Matrix(2, 2), {0, 5}, 2).ok());
+}
+
+// --- NCE ---
+
+TEST(NceTest, PerfectAlignmentGivesZero) {
+  std::vector<int> z = {0, 1, 2, 0, 1, 2};
+  // y is a deterministic function of z -> H(Y|Z) = 0 -> NCE = 0.
+  std::vector<int> y = {5, 6, 7, 5, 6, 7};
+  EXPECT_NEAR(NceScore(z, y).value(), 0.0, 1e-12);
+}
+
+TEST(NceTest, IndependentLabelsGiveNegative) {
+  Rng rng(7);
+  std::vector<int> z(2000);
+  std::vector<int> y(2000);
+  for (size_t i = 0; i < z.size(); ++i) {
+    z[i] = static_cast<int>(rng.NextBelow(4));
+    y[i] = static_cast<int>(rng.NextBelow(4));
+  }
+  const double score = NceScore(z, y).value();
+  // H(Y|Z) ~ log 4.
+  EXPECT_NEAR(score, -std::log(4.0), 0.05);
+}
+
+TEST(NceTest, MoreInformativeSourceScoresHigher) {
+  Rng rng(8);
+  std::vector<int> y(1000);
+  std::vector<int> z_good(1000);
+  std::vector<int> z_bad(1000);
+  for (size_t i = 0; i < y.size(); ++i) {
+    y[i] = static_cast<int>(rng.NextBelow(3));
+    z_good[i] = rng.NextBernoulli(0.9) ? y[i] : static_cast<int>(
+                                                    rng.NextBelow(3));
+    z_bad[i] = static_cast<int>(rng.NextBelow(3));
+  }
+  EXPECT_GT(NceScore(z_good, y).value(), NceScore(z_bad, y).value() + 0.2);
+}
+
+TEST(NceTest, InputValidation) {
+  EXPECT_FALSE(NceScore({}, {}).ok());
+  EXPECT_FALSE(NceScore({0, 1}, {0}).ok());
+}
+
+// --- PARC ---
+
+TEST(ParcTest, SeparableFeaturesScoreHigher) {
+  LabeledFeatures good = MakeSeparable(200, 12, 4, 4.0, 9);
+  LabeledFeatures noise = MakeSeparable(200, 12, 4, 0.0, 10);
+  double s_good = ParcScore(good.features, good.labels, 4).value();
+  double s_noise = ParcScore(noise.features, noise.labels, 4).value();
+  EXPECT_GT(s_good, s_noise + 10.0);  // PARC is scaled by 100
+}
+
+TEST(ParcTest, BoundedByHundred) {
+  LabeledFeatures data = MakeSeparable(100, 8, 2, 5.0, 11);
+  double score = ParcScore(data.features, data.labels, 2).value();
+  EXPECT_LE(score, 100.0);
+  EXPECT_GE(score, -100.0);
+}
+
+TEST(ParcTest, SubsamplingKeepsScoreStable) {
+  LabeledFeatures data = MakeSeparable(800, 10, 3, 3.0, 12);
+  ParcOptions small;
+  small.max_samples = 128;
+  ParcOptions large;
+  large.max_samples = 512;
+  double a = ParcScore(data.features, data.labels, 3, small).value();
+  double b = ParcScore(data.features, data.labels, 3, large).value();
+  EXPECT_NEAR(a, b, 15.0);
+}
+
+TEST(ParcTest, InputValidation) {
+  EXPECT_FALSE(ParcScore(Matrix(2, 3), {0, 1}, 2).ok());  // too few samples
+  EXPECT_FALSE(ParcScore(Matrix(5, 3), {0, 1, 0, 1}, 2).ok());
+}
+
+// --- H-Score ---
+
+TEST(HScoreTest, SeparableFeaturesScoreHigher) {
+  LabeledFeatures good = MakeSeparable(300, 10, 4, 3.0, 13);
+  LabeledFeatures noise = MakeSeparable(300, 10, 4, 0.0, 14);
+  double s_good = HScore(good.features, good.labels, 4).value();
+  double s_noise = HScore(noise.features, noise.labels, 4).value();
+  EXPECT_GT(s_good, s_noise + 0.5);
+}
+
+TEST(HScoreTest, NonNegativeAndBoundedByDim) {
+  // tr(cov^{-1} cov_between) is between 0 and d (between <= total).
+  LabeledFeatures data = MakeSeparable(400, 8, 3, 2.0, 15);
+  double score = HScore(data.features, data.labels, 3).value();
+  EXPECT_GE(score, 0.0);
+  EXPECT_LE(score, 8.0 + 1e-6);
+}
+
+TEST(HScoreTest, InvariantToFeatureScaling) {
+  LabeledFeatures data = MakeSeparable(300, 6, 3, 2.0, 16);
+  double base = HScore(data.features, data.labels, 3).value();
+  Matrix scaled = data.features * 10.0;
+  double after = HScore(scaled, data.labels, 3).value();
+  // Whitening makes H-Score scale invariant (up to the tiny ridge term).
+  EXPECT_NEAR(base, after, 0.05);
+}
+
+TEST(HScoreTest, InputValidation) {
+  EXPECT_FALSE(HScore(Matrix(), {}, 2).ok());
+  EXPECT_FALSE(HScore(Matrix(4, 2), {0, 1}, 2).ok());
+  EXPECT_FALSE(HScore(Matrix(4, 2), {0, 1, 0, 1}, 1).ok());
+  EXPECT_FALSE(HScore(Matrix(4, 2), {0, 9, 0, 1}, 2).ok());
+}
+
+}  // namespace
+}  // namespace tg

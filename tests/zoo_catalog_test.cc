@@ -1,0 +1,138 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "zoo/catalog.h"
+
+namespace tg::zoo {
+namespace {
+
+TEST(CatalogTest, PaperScaleRoster) {
+  Catalog catalog = BuildCatalog();
+  // 12 public image + 61 image sources + 8 public text + 16 text sources.
+  EXPECT_EQ(catalog.datasets.size(), 12u + 61u + 8u + 16u);
+
+  int image_public = 0, image_targets = 0, image_sources = 0;
+  int text_public = 0, text_targets = 0, text_sources = 0;
+  for (const DatasetInfo& d : catalog.datasets) {
+    if (d.modality == Modality::kImage) {
+      if (d.is_public) ++image_public;
+      else ++image_sources;
+      if (d.is_evaluation_target) ++image_targets;
+    } else {
+      if (d.is_public) ++text_public;
+      else ++text_sources;
+      if (d.is_evaluation_target) ++text_targets;
+    }
+  }
+  EXPECT_EQ(image_public, 12);
+  EXPECT_EQ(image_targets, 8);
+  EXPECT_EQ(image_sources, 61);
+  EXPECT_EQ(text_public, 8);
+  EXPECT_EQ(text_targets, 8);
+  EXPECT_EQ(text_sources, 16);
+}
+
+TEST(CatalogTest, PaperModelCounts) {
+  Catalog catalog = BuildCatalog();
+  int image_models = 0;
+  int text_models = 0;
+  for (const ModelInfo& m : catalog.models) {
+    (m.modality == Modality::kImage ? image_models : text_models)++;
+  }
+  EXPECT_EQ(image_models, 185);
+  EXPECT_EQ(text_models, 163);
+}
+
+TEST(CatalogTest, TableThreeExactCounts) {
+  Catalog catalog = BuildCatalog();
+  auto find = [&](const std::string& name) -> const DatasetInfo& {
+    for (const DatasetInfo& d : catalog.datasets) {
+      if (d.name == name) return d;
+    }
+    static DatasetInfo missing;
+    ADD_FAILURE() << "dataset not found: " << name;
+    return missing;
+  };
+  EXPECT_EQ(find("stanfordcars").num_samples, 8144u);
+  EXPECT_EQ(find("stanfordcars").num_classes, 196);
+  EXPECT_EQ(find("svhn").num_samples, 73257u);
+  EXPECT_EQ(find("cifar100").num_classes, 100);
+  EXPECT_EQ(find("glue/cola").num_samples, 8550u);
+  EXPECT_EQ(find("tweet_eval/sentiment").num_classes, 3);
+  EXPECT_EQ(find("smallnorb_elevation").num_samples, 24300u);
+}
+
+TEST(CatalogTest, ModelNamesUnique) {
+  Catalog catalog = BuildCatalog();
+  std::set<std::string> names;
+  for (const ModelInfo& m : catalog.models) {
+    EXPECT_TRUE(names.insert(m.name).second) << "duplicate " << m.name;
+  }
+}
+
+TEST(CatalogTest, ModelsPretrainOnSourceDatasetsOfSameModality) {
+  Catalog catalog = BuildCatalog();
+  for (const ModelInfo& m : catalog.models) {
+    ASSERT_LT(m.source_dataset, catalog.datasets.size());
+    const DatasetInfo& source = catalog.datasets[m.source_dataset];
+    EXPECT_EQ(source.modality, m.modality) << m.name;
+    EXPECT_FALSE(source.is_public) << m.name;
+  }
+}
+
+TEST(CatalogTest, ArchitectureDiversity) {
+  Catalog catalog = BuildCatalog();
+  std::set<Architecture> image_archs;
+  std::set<Architecture> text_archs;
+  for (const ModelInfo& m : catalog.models) {
+    (m.modality == Modality::kImage ? image_archs : text_archs)
+        .insert(m.architecture);
+  }
+  EXPECT_EQ(image_archs.size(), 8u);
+  EXPECT_EQ(text_archs.size(), 8u);
+}
+
+TEST(CatalogTest, ModelMetadataSane) {
+  Catalog catalog = BuildCatalog();
+  for (const ModelInfo& m : catalog.models) {
+    EXPECT_GT(m.num_parameters_millions, 0.0);
+    EXPECT_GT(m.memory_mb, 0.0);
+    EXPECT_GT(m.input_size, 0);
+  }
+}
+
+TEST(CatalogTest, DeterministicForSeed) {
+  Catalog a = BuildCatalog();
+  Catalog b = BuildCatalog();
+  ASSERT_EQ(a.models.size(), b.models.size());
+  for (size_t i = 0; i < a.models.size(); ++i) {
+    EXPECT_EQ(a.models[i].name, b.models[i].name);
+    EXPECT_EQ(a.models[i].source_dataset, b.models[i].source_dataset);
+    EXPECT_DOUBLE_EQ(a.models[i].num_parameters_millions,
+                     b.models[i].num_parameters_millions);
+  }
+}
+
+TEST(CatalogTest, CustomModelCounts) {
+  CatalogOptions options;
+  options.num_image_models = 30;
+  options.num_text_models = 20;
+  Catalog catalog = BuildCatalog(options);
+  int image = 0;
+  int text = 0;
+  for (const ModelInfo& m : catalog.models) {
+    (m.modality == Modality::kImage ? image : text)++;
+  }
+  EXPECT_EQ(image, 30);
+  EXPECT_EQ(text, 20);
+}
+
+TEST(TypesTest, Names) {
+  EXPECT_STREQ(ModalityName(Modality::kImage), "image");
+  EXPECT_STREQ(ArchitectureName(Architecture::kViT), "vit");
+  EXPECT_STREQ(FineTuneMethodName(FineTuneMethod::kLora), "lora");
+}
+
+}  // namespace
+}  // namespace tg::zoo

@@ -1,0 +1,82 @@
+#include <cstdio>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "util/string_util.h"
+#include "zoo/history_export.h"
+
+namespace tg::zoo {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  EXPECT_NE(f, nullptr);
+  std::string content;
+  char buffer[512];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    content.append(buffer, n);
+  }
+  std::fclose(f);
+  return content;
+}
+
+TEST(HistoryExportTest, WritesOneRowPerPair) {
+  ModelZooConfig config;
+  config.catalog.num_image_models = 12;
+  config.catalog.num_text_models = 8;
+  config.world.max_samples_per_dataset = 64;
+  ModelZoo zoo(config);
+
+  const std::string path = ::testing::TempDir() + "/history.csv";
+  HistoryExportOptions options;
+  options.include_logme = false;  // keep the test fast
+  ASSERT_TRUE(ExportTrainingHistoryCsv(&zoo, Modality::kImage, path,
+                                       options)
+                  .ok());
+
+  const std::string content = ReadFile(path);
+  const std::vector<std::string> lines = Split(Trim(content), '\n');
+  // Header + 12 models x 12 public image datasets.
+  EXPECT_EQ(lines.size(), 1u + 12u * 12u);
+  EXPECT_EQ(lines[0],
+            "model,architecture,source_dataset,dataset,finetune_accuracy");
+  // Every data row has 5 fields and a parsable accuracy in (0, 1).
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const std::vector<std::string> fields = Split(lines[i], ',');
+    ASSERT_EQ(fields.size(), 5u) << lines[i];
+    const double acc = std::stod(fields[4]);
+    EXPECT_GT(acc, 0.0);
+    EXPECT_LT(acc, 1.0);
+  }
+}
+
+TEST(HistoryExportTest, LogMeColumnIncludedWhenRequested) {
+  ModelZooConfig config;
+  config.catalog.num_image_models = 6;
+  config.catalog.num_text_models = 4;
+  config.world.max_samples_per_dataset = 64;
+  ModelZoo zoo(config);
+
+  const std::string path = ::testing::TempDir() + "/history_logme.csv";
+  ASSERT_TRUE(ExportTrainingHistoryCsv(&zoo, Modality::kText, path).ok());
+  const std::string content = ReadFile(path);
+  const std::vector<std::string> lines = Split(Trim(content), '\n');
+  EXPECT_EQ(lines.size(), 1u + 4u * 8u);
+  EXPECT_NE(lines[0].find(",logme"), std::string::npos);
+  EXPECT_EQ(Split(lines[1], ',').size(), 6u);
+}
+
+TEST(HistoryExportTest, BadPathFails) {
+  ModelZooConfig config;
+  config.catalog.num_image_models = 4;
+  config.catalog.num_text_models = 4;
+  ModelZoo zoo(config);
+  EXPECT_FALSE(ExportTrainingHistoryCsv(&zoo, Modality::kImage,
+                                        "/nonexistent-dir/foo.csv")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace tg::zoo

@@ -1,0 +1,135 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "numeric/stats.h"
+#include "zoo/finetune_simulator.h"
+
+namespace tg::zoo {
+namespace {
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  SimulatorTest() {
+    CatalogOptions catalog_options;
+    catalog_options.num_image_models = 60;
+    catalog_options.num_text_models = 30;
+    catalog_ = BuildCatalog(catalog_options);
+    WorldConfig world_config;
+    world_config.max_samples_per_dataset = 100;
+    world_ = std::make_unique<SyntheticWorld>(catalog_, world_config);
+    simulator_ = std::make_unique<FineTuneSimulator>(*world_);
+  }
+
+  size_t FindDataset(const std::string& name) const {
+    for (size_t d = 0; d < catalog_.datasets.size(); ++d) {
+      if (catalog_.datasets[d].name == name) return d;
+    }
+    ADD_FAILURE() << "missing dataset " << name;
+    return 0;
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<SyntheticWorld> world_;
+  std::unique_ptr<FineTuneSimulator> simulator_;
+};
+
+TEST_F(SimulatorTest, AccuraciesInValidRange) {
+  for (size_t d = 0; d < catalog_.datasets.size(); ++d) {
+    for (size_t m = 0; m < catalog_.models.size(); ++m) {
+      if (catalog_.models[m].modality != catalog_.datasets[d].modality) {
+        continue;
+      }
+      const double acc = simulator_->Accuracy(m, d);
+      EXPECT_GT(acc, 0.0);
+      EXPECT_LT(acc, 1.0);
+    }
+  }
+}
+
+TEST_F(SimulatorTest, LowVarianceDatasetsHaveTinySpread) {
+  const size_t eurosat = FindDataset("eurosat");
+  std::vector<double> accs = simulator_->AccuracyColumn(eurosat);
+  EXPECT_LT(StdDev(accs), 0.05);
+
+  const size_t cars = FindDataset("stanfordcars");
+  std::vector<double> cars_accs = simulator_->AccuracyColumn(cars);
+  EXPECT_GT(StdDev(cars_accs), StdDev(accs));
+}
+
+TEST_F(SimulatorTest, AffinityDrivesAccuracy) {
+  const size_t target = FindDataset("pets");
+  std::vector<double> affinity;
+  std::vector<double> accuracy;
+  for (size_t m = 0; m < catalog_.models.size(); ++m) {
+    if (catalog_.models[m].modality != Modality::kImage) continue;
+    affinity.push_back(world_->Affinity(m, target));
+    accuracy.push_back(simulator_->Accuracy(m, target));
+  }
+  EXPECT_GT(PearsonCorrelation(affinity, accuracy), 0.3);
+}
+
+TEST_F(SimulatorTest, HiddenQualityDrivesAccuracy) {
+  const size_t target = FindDataset("cifar100");
+  std::vector<double> quality;
+  std::vector<double> accuracy;
+  for (size_t m = 0; m < catalog_.models.size(); ++m) {
+    if (catalog_.models[m].modality != Modality::kImage) continue;
+    quality.push_back(world_->Quality(m));
+    accuracy.push_back(simulator_->Accuracy(m, target));
+  }
+  EXPECT_GT(PearsonCorrelation(quality, accuracy), 0.2);
+}
+
+TEST_F(SimulatorTest, LoraCorrelatedButNotIdentical) {
+  const size_t target = FindDataset("glue/sst2");
+  std::vector<double> full;
+  std::vector<double> lora;
+  for (size_t m = 0; m < catalog_.models.size(); ++m) {
+    if (catalog_.models[m].modality != Modality::kText) continue;
+    full.push_back(
+        simulator_->Accuracy(m, target, FineTuneMethod::kFullFineTune));
+    lora.push_back(simulator_->Accuracy(m, target, FineTuneMethod::kLora));
+  }
+  const double corr = PearsonCorrelation(full, lora);
+  EXPECT_GT(corr, 0.5);
+  EXPECT_LT(corr, 0.999);
+  // Systematic drop on average.
+  EXPECT_LT(Mean(lora), Mean(full));
+}
+
+TEST_F(SimulatorTest, DeterministicAcrossInstances) {
+  FineTuneSimulator second(*world_);
+  const size_t target = FindDataset("dtd");
+  for (size_t m = 0; m < catalog_.models.size(); ++m) {
+    if (catalog_.models[m].modality != Modality::kImage) continue;
+    EXPECT_DOUBLE_EQ(simulator_->Accuracy(m, target),
+                     second.Accuracy(m, target));
+  }
+}
+
+TEST_F(SimulatorTest, AccuracyColumnMatchesPerPairQueries) {
+  const size_t target = FindDataset("svhn");
+  std::vector<double> column = simulator_->AccuracyColumn(target);
+  size_t i = 0;
+  for (size_t m = 0; m < catalog_.models.size(); ++m) {
+    if (catalog_.models[m].modality != Modality::kImage) continue;
+    EXPECT_DOUBLE_EQ(column[i], simulator_->Accuracy(m, target));
+    ++i;
+  }
+  EXPECT_EQ(i, column.size());
+}
+
+TEST_F(SimulatorTest, BaseAccuracyFallsWithDifficulty) {
+  // Across datasets, base accuracy anti-correlates with difficulty.
+  std::vector<double> base;
+  std::vector<double> difficulty;
+  for (size_t d = 0; d < catalog_.datasets.size(); ++d) {
+    base.push_back(simulator_->base_accuracy(d));
+    difficulty.push_back(world_->Difficulty(d));
+  }
+  EXPECT_LT(PearsonCorrelation(base, difficulty), -0.95);
+}
+
+}  // namespace
+}  // namespace tg::zoo

@@ -1,0 +1,252 @@
+// tg_cli: command-line front end for the TransferGraph library.
+//
+// Subcommands:
+//   catalog                         list datasets and models of the zoo
+//   rank --target D [options]       rank models for a target dataset
+//   graph-stats [--modality M]      Table II-style graph statistics
+//   export-graph --out FILE         write the constructed graph as TSV
+//   export-history --out FILE       write the training history as CSV
+//
+// Common options:
+//   --modality image|text           (default image)
+//   --learner n2v|n2v+|sage|gat     graph learner      (default n2v)
+//   --predictor lr|rf|xgb|auto      prediction model   (default xgb)
+//   --features metadata|all|graph   feature set        (default all)
+//   --top K                         list length for rank (default 10)
+//   --models N                      zoo size knob (default 185/163)
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/baselines.h"
+#include "core/graph_builder.h"
+#include "core/pipeline.h"
+#include "core/recommender.h"
+#include "graph/graph_stats.h"
+#include "graph/serialization.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "zoo/history_export.h"
+#include "zoo/model_zoo.h"
+
+namespace tg {
+namespace {
+
+struct CliArgs {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tg_cli <catalog|rank|graph-stats|export-graph|"
+               "export-history> [--option value ...]\n"
+               "  rank requires --target <dataset name>\n"
+               "  export-* require --out <path>\n");
+  return 2;
+}
+
+Result<CliArgs> ParseArgs(int argc, char** argv) {
+  if (argc < 2) return Status::InvalidArgument("missing command");
+  CliArgs args;
+  args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      return Status::InvalidArgument(std::string("expected --option, got ") +
+                                     argv[i]);
+    }
+    args.options[argv[i] + 2] = argv[i + 1];
+  }
+  if (argc > 2 && (argc % 2) != 0) {
+    return Status::InvalidArgument("dangling option without a value");
+  }
+  return args;
+}
+
+Result<zoo::Modality> ParseModality(const std::string& text) {
+  if (text == "image") return zoo::Modality::kImage;
+  if (text == "text") return zoo::Modality::kText;
+  return Status::InvalidArgument("unknown modality: " + text);
+}
+
+Result<core::GraphLearner> ParseLearner(const std::string& text) {
+  if (text == "n2v") return core::GraphLearner::kNode2Vec;
+  if (text == "n2v+") return core::GraphLearner::kNode2VecPlus;
+  if (text == "sage") return core::GraphLearner::kGraphSage;
+  if (text == "gat") return core::GraphLearner::kGat;
+  if (text == "none") return core::GraphLearner::kNone;
+  return Status::InvalidArgument("unknown learner: " + text);
+}
+
+Result<core::PredictorKind> ParsePredictor(const std::string& text) {
+  if (text == "lr") return core::PredictorKind::kLinearRegression;
+  if (text == "rf") return core::PredictorKind::kRandomForest;
+  if (text == "xgb") return core::PredictorKind::kXgboost;
+  if (text == "auto") return core::PredictorKind::kAuto;
+  return Status::InvalidArgument("unknown predictor: " + text);
+}
+
+Result<core::FeatureSet> ParseFeatures(const std::string& text) {
+  if (text == "metadata") return core::FeatureSet::kMetadataOnly;
+  if (text == "all") return core::FeatureSet::kAll;
+  if (text == "graph") return core::FeatureSet::kGraphOnly;
+  if (text == "all+logme") return core::FeatureSet::kAllWithLogMe;
+  return Status::InvalidArgument("unknown feature set: " + text);
+}
+
+zoo::ModelZooConfig ZooConfigFrom(const CliArgs& args) {
+  zoo::ModelZooConfig config;
+  const std::string models = args.Get("models", "");
+  if (!models.empty()) {
+    config.catalog.num_image_models = std::stoi(models);
+    config.catalog.num_text_models = std::stoi(models);
+  }
+  return config;
+}
+
+int RunCatalog(const CliArgs& args) {
+  zoo::ModelZoo zoo(ZooConfigFrom(args));
+  TablePrinter datasets({"dataset", "modality", "samples", "classes",
+                         "role"});
+  for (const zoo::DatasetInfo& d : zoo.datasets()) {
+    datasets.AddRow({d.name, zoo::ModalityName(d.modality),
+                     std::to_string(d.num_samples),
+                     std::to_string(d.num_classes),
+                     d.is_evaluation_target ? "evaluation target"
+                     : d.is_public          ? "public"
+                                            : "source"});
+  }
+  datasets.Print();
+  std::printf("\n%zu models (%zu image / %zu text)\n", zoo.num_models(),
+              zoo.ModelsOfModality(zoo::Modality::kImage).size(),
+              zoo.ModelsOfModality(zoo::Modality::kText).size());
+  return 0;
+}
+
+int RunRank(const CliArgs& args) {
+  const std::string target_name = args.Get("target", "");
+  if (target_name.empty()) return Usage();
+
+  zoo::ModelZoo zoo(ZooConfigFrom(args));
+  size_t target = 0;
+  bool found = false;
+  for (size_t d = 0; d < zoo.num_datasets(); ++d) {
+    if (zoo.datasets()[d].name == target_name && zoo.datasets()[d].is_public) {
+      target = d;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "unknown public dataset: %s\n", target_name.c_str());
+    return 1;
+  }
+
+  core::PipelineConfig config;
+  Result<core::GraphLearner> learner = ParseLearner(args.Get("learner",
+                                                             "n2v"));
+  Result<core::PredictorKind> predictor =
+      ParsePredictor(args.Get("predictor", "xgb"));
+  Result<core::FeatureSet> features = ParseFeatures(args.Get("features",
+                                                             "all"));
+  if (!learner.ok() || !predictor.ok() || !features.ok()) return Usage();
+  config.strategy.learner = learner.value();
+  config.strategy.predictor = predictor.value();
+  config.strategy.features = features.value();
+
+  core::Pipeline pipeline(&zoo, zoo.datasets()[target].modality);
+  core::TargetEvaluation evaluation =
+      pipeline.EvaluateTarget(config, target);
+  std::printf("strategy %s on %s: pearson %.3f, top-5 accuracy %.3f\n\n",
+              config.strategy.DisplayName().c_str(), target_name.c_str(),
+              evaluation.pearson, evaluation.TopKMeanAccuracy(5));
+
+  const int top = std::stoi(args.Get("top", "10"));
+  TablePrinter table({"rank", "model", "predicted", "actual"});
+  int rank = 1;
+  for (const core::Recommendation& rec :
+       core::TopModels(evaluation, zoo, static_cast<size_t>(top))) {
+    table.AddRow({std::to_string(rank++), rec.model_name,
+                  FormatDouble(rec.predicted_score, 3),
+                  FormatDouble(zoo.FineTuneAccuracy(rec.model_index, target),
+                               3)});
+  }
+  table.Print();
+  return 0;
+}
+
+int RunGraphStats(const CliArgs& args) {
+  zoo::ModelZoo zoo(ZooConfigFrom(args));
+  Result<zoo::Modality> modality = ParseModality(args.Get("modality",
+                                                          "image"));
+  if (!modality.ok()) return Usage();
+  core::BuiltGraph built = core::BuildModelZooGraph(
+      &zoo, modality.value(), core::GraphBuildOptions{});
+  std::printf("%s\n", ComputeGraphStats(built.graph).ToString().c_str());
+  return 0;
+}
+
+int RunExportGraph(const CliArgs& args) {
+  const std::string out = args.Get("out", "");
+  if (out.empty()) return Usage();
+  zoo::ModelZoo zoo(ZooConfigFrom(args));
+  Result<zoo::Modality> modality = ParseModality(args.Get("modality",
+                                                          "image"));
+  if (!modality.ok()) return Usage();
+  core::BuiltGraph built = core::BuildModelZooGraph(
+      &zoo, modality.value(), core::GraphBuildOptions{});
+  Status status = WriteGraphToFile(built.graph, out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu nodes, %zu edges)\n", out.c_str(),
+              built.graph.num_nodes(), built.graph.num_undirected_edges());
+  return 0;
+}
+
+int RunExportHistory(const CliArgs& args) {
+  const std::string out = args.Get("out", "");
+  if (out.empty()) return Usage();
+  zoo::ModelZoo zoo(ZooConfigFrom(args));
+  Result<zoo::Modality> modality = ParseModality(args.Get("modality",
+                                                          "image"));
+  if (!modality.ok()) return Usage();
+  zoo::HistoryExportOptions options;
+  options.include_logme = args.Get("logme", "true") != "false";
+  Status status =
+      zoo::ExportTrainingHistoryCsv(&zoo, modality.value(), out, options);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  Result<CliArgs> parsed = ParseArgs(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return Usage();
+  }
+  const CliArgs& args = parsed.value();
+  SetLogLevel(LogLevel::kWarning);
+  if (args.command == "catalog") return RunCatalog(args);
+  if (args.command == "rank") return RunRank(args);
+  if (args.command == "graph-stats") return RunGraphStats(args);
+  if (args.command == "export-graph") return RunExportGraph(args);
+  if (args.command == "export-history") return RunExportHistory(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace tg
+
+int main(int argc, char** argv) { return tg::Run(argc, argv); }
