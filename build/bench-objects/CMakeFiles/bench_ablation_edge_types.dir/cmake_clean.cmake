@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_edge_types"
+  "../bench/bench_ablation_edge_types.pdb"
+  "CMakeFiles/bench_ablation_edge_types.dir/bench_ablation_edge_types.cc.o"
+  "CMakeFiles/bench_ablation_edge_types.dir/bench_ablation_edge_types.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_edge_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_finetuning_method"
+  "../bench/bench_fig11_finetuning_method.pdb"
+  "CMakeFiles/bench_fig11_finetuning_method.dir/bench_fig11_finetuning_method.cc.o"
+  "CMakeFiles/bench_fig11_finetuning_method.dir/bench_fig11_finetuning_method.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_finetuning_method.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

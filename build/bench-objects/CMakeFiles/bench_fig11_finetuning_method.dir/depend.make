@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig11_finetuning_method.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_dataset_representations"
+  "../bench/bench_fig12_dataset_representations.pdb"
+  "CMakeFiles/bench_fig12_dataset_representations.dir/bench_fig12_dataset_representations.cc.o"
+  "CMakeFiles/bench_fig12_dataset_representations.dir/bench_fig12_dataset_representations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_dataset_representations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_graph_learners"
+  "../bench/bench_fig9_graph_learners.pdb"
+  "CMakeFiles/bench_fig9_graph_learners.dir/bench_fig9_graph_learners.cc.o"
+  "CMakeFiles/bench_fig9_graph_learners.dir/bench_fig9_graph_learners.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_graph_learners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

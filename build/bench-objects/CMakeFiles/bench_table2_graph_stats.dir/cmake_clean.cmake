@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_graph_stats"
+  "../bench/bench_table2_graph_stats.pdb"
+  "CMakeFiles/bench_table2_graph_stats.dir/bench_table2_graph_stats.cc.o"
+  "CMakeFiles/bench_table2_graph_stats.dir/bench_table2_graph_stats.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_graph_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_zoo.dir/custom_zoo.cpp.o"
+  "CMakeFiles/example_custom_zoo.dir/custom_zoo.cpp.o.d"
+  "custom_zoo"
+  "custom_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_image_model_selection.dir/image_model_selection.cpp.o"
+  "CMakeFiles/example_image_model_selection.dir/image_model_selection.cpp.o.d"
+  "image_model_selection"
+  "image_model_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_image_model_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

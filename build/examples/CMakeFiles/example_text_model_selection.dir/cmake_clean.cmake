@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_text_model_selection.dir/text_model_selection.cpp.o"
+  "CMakeFiles/example_text_model_selection.dir/text_model_selection.cpp.o.d"
+  "text_model_selection"
+  "text_model_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_text_model_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

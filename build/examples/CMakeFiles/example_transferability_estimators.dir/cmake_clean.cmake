@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_transferability_estimators.dir/transferability_estimators.cpp.o"
+  "CMakeFiles/example_transferability_estimators.dir/transferability_estimators.cpp.o.d"
+  "transferability_estimators"
+  "transferability_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_transferability_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autograd/ops.cc" "src/CMakeFiles/transfergraph.dir/autograd/ops.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/autograd/ops.cc.o.d"
+  "/root/repo/src/autograd/tape.cc" "src/CMakeFiles/transfergraph.dir/autograd/tape.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/autograd/tape.cc.o.d"
+  "/root/repo/src/core/baselines.cc" "src/CMakeFiles/transfergraph.dir/core/baselines.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/core/baselines.cc.o.d"
+  "/root/repo/src/core/budget_search.cc" "src/CMakeFiles/transfergraph.dir/core/budget_search.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/core/budget_search.cc.o.d"
+  "/root/repo/src/core/evaluation.cc" "src/CMakeFiles/transfergraph.dir/core/evaluation.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/core/evaluation.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/CMakeFiles/transfergraph.dir/core/explain.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/core/explain.cc.o.d"
+  "/root/repo/src/core/feature_table.cc" "src/CMakeFiles/transfergraph.dir/core/feature_table.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/core/feature_table.cc.o.d"
+  "/root/repo/src/core/graph_builder.cc" "src/CMakeFiles/transfergraph.dir/core/graph_builder.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/core/graph_builder.cc.o.d"
+  "/root/repo/src/core/incremental.cc" "src/CMakeFiles/transfergraph.dir/core/incremental.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/core/incremental.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/transfergraph.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/recommender.cc" "src/CMakeFiles/transfergraph.dir/core/recommender.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/core/recommender.cc.o.d"
+  "/root/repo/src/core/strategy.cc" "src/CMakeFiles/transfergraph.dir/core/strategy.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/core/strategy.cc.o.d"
+  "/root/repo/src/embedding/node2vec.cc" "src/CMakeFiles/transfergraph.dir/embedding/node2vec.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/embedding/node2vec.cc.o.d"
+  "/root/repo/src/embedding/random_walk.cc" "src/CMakeFiles/transfergraph.dir/embedding/random_walk.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/embedding/random_walk.cc.o.d"
+  "/root/repo/src/embedding/skipgram.cc" "src/CMakeFiles/transfergraph.dir/embedding/skipgram.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/embedding/skipgram.cc.o.d"
+  "/root/repo/src/features/domain_similarity.cc" "src/CMakeFiles/transfergraph.dir/features/domain_similarity.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/features/domain_similarity.cc.o.d"
+  "/root/repo/src/features/probe_network.cc" "src/CMakeFiles/transfergraph.dir/features/probe_network.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/features/probe_network.cc.o.d"
+  "/root/repo/src/features/task2vec.cc" "src/CMakeFiles/transfergraph.dir/features/task2vec.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/features/task2vec.cc.o.d"
+  "/root/repo/src/gnn/gat.cc" "src/CMakeFiles/transfergraph.dir/gnn/gat.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/gnn/gat.cc.o.d"
+  "/root/repo/src/gnn/link_prediction.cc" "src/CMakeFiles/transfergraph.dir/gnn/link_prediction.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/gnn/link_prediction.cc.o.d"
+  "/root/repo/src/gnn/sage.cc" "src/CMakeFiles/transfergraph.dir/gnn/sage.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/gnn/sage.cc.o.d"
+  "/root/repo/src/graph/alias_table.cc" "src/CMakeFiles/transfergraph.dir/graph/alias_table.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/graph/alias_table.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/transfergraph.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/graph_stats.cc" "src/CMakeFiles/transfergraph.dir/graph/graph_stats.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/graph/graph_stats.cc.o.d"
+  "/root/repo/src/graph/negative_sampler.cc" "src/CMakeFiles/transfergraph.dir/graph/negative_sampler.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/graph/negative_sampler.cc.o.d"
+  "/root/repo/src/graph/serialization.cc" "src/CMakeFiles/transfergraph.dir/graph/serialization.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/graph/serialization.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/CMakeFiles/transfergraph.dir/ml/decision_tree.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/ml/decision_tree.cc.o.d"
+  "/root/repo/src/ml/gbdt.cc" "src/CMakeFiles/transfergraph.dir/ml/gbdt.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/ml/gbdt.cc.o.d"
+  "/root/repo/src/ml/linear_regression.cc" "src/CMakeFiles/transfergraph.dir/ml/linear_regression.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/ml/linear_regression.cc.o.d"
+  "/root/repo/src/ml/model_selection.cc" "src/CMakeFiles/transfergraph.dir/ml/model_selection.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/ml/model_selection.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/CMakeFiles/transfergraph.dir/ml/random_forest.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/ml/random_forest.cc.o.d"
+  "/root/repo/src/ml/tabular.cc" "src/CMakeFiles/transfergraph.dir/ml/tabular.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/ml/tabular.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/CMakeFiles/transfergraph.dir/nn/init.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/nn/init.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/transfergraph.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/transfergraph.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/numeric/linalg.cc" "src/CMakeFiles/transfergraph.dir/numeric/linalg.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/numeric/linalg.cc.o.d"
+  "/root/repo/src/numeric/matrix.cc" "src/CMakeFiles/transfergraph.dir/numeric/matrix.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/numeric/matrix.cc.o.d"
+  "/root/repo/src/numeric/pca.cc" "src/CMakeFiles/transfergraph.dir/numeric/pca.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/numeric/pca.cc.o.d"
+  "/root/repo/src/numeric/stats.cc" "src/CMakeFiles/transfergraph.dir/numeric/stats.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/numeric/stats.cc.o.d"
+  "/root/repo/src/transferability/hscore.cc" "src/CMakeFiles/transfergraph.dir/transferability/hscore.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/transferability/hscore.cc.o.d"
+  "/root/repo/src/transferability/leep.cc" "src/CMakeFiles/transfergraph.dir/transferability/leep.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/transferability/leep.cc.o.d"
+  "/root/repo/src/transferability/logme.cc" "src/CMakeFiles/transfergraph.dir/transferability/logme.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/transferability/logme.cc.o.d"
+  "/root/repo/src/transferability/nce.cc" "src/CMakeFiles/transfergraph.dir/transferability/nce.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/transferability/nce.cc.o.d"
+  "/root/repo/src/transferability/parc.cc" "src/CMakeFiles/transfergraph.dir/transferability/parc.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/transferability/parc.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/transfergraph.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/transfergraph.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/transfergraph.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/transfergraph.dir/util/status.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/transfergraph.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/transfergraph.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/util/table_printer.cc.o.d"
+  "/root/repo/src/zoo/catalog.cc" "src/CMakeFiles/transfergraph.dir/zoo/catalog.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/zoo/catalog.cc.o.d"
+  "/root/repo/src/zoo/finetune_simulator.cc" "src/CMakeFiles/transfergraph.dir/zoo/finetune_simulator.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/zoo/finetune_simulator.cc.o.d"
+  "/root/repo/src/zoo/history_export.cc" "src/CMakeFiles/transfergraph.dir/zoo/history_export.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/zoo/history_export.cc.o.d"
+  "/root/repo/src/zoo/model_zoo.cc" "src/CMakeFiles/transfergraph.dir/zoo/model_zoo.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/zoo/model_zoo.cc.o.d"
+  "/root/repo/src/zoo/synthetic_world.cc" "src/CMakeFiles/transfergraph.dir/zoo/synthetic_world.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/zoo/synthetic_world.cc.o.d"
+  "/root/repo/src/zoo/types.cc" "src/CMakeFiles/transfergraph.dir/zoo/types.cc.o" "gcc" "src/CMakeFiles/transfergraph.dir/zoo/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_incremental_test.dir/core_incremental_test.cc.o"
+  "CMakeFiles/core_incremental_test.dir/core_incremental_test.cc.o.d"
+  "core_incremental_test"
+  "core_incremental_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_incremental_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_edge_cases_test.dir/ml_edge_cases_test.cc.o"
+  "CMakeFiles/ml_edge_cases_test.dir/ml_edge_cases_test.cc.o.d"
+  "ml_edge_cases_test"
+  "ml_edge_cases_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_edge_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_gbdt_test.dir/ml_gbdt_test.cc.o"
+  "CMakeFiles/ml_gbdt_test.dir/ml_gbdt_test.cc.o.d"
+  "ml_gbdt_test"
+  "ml_gbdt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_gbdt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

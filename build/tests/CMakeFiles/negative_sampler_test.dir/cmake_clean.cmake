@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/negative_sampler_test.dir/negative_sampler_test.cc.o"
+  "CMakeFiles/negative_sampler_test.dir/negative_sampler_test.cc.o.d"
+  "negative_sampler_test"
+  "negative_sampler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/negative_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skipgram_test.dir/skipgram_test.cc.o"
+  "CMakeFiles/skipgram_test.dir/skipgram_test.cc.o.d"
+  "skipgram_test"
+  "skipgram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skipgram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

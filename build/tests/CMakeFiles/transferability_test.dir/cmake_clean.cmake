@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transferability_test.dir/transferability_test.cc.o"
+  "CMakeFiles/transferability_test.dir/transferability_test.cc.o.d"
+  "transferability_test"
+  "transferability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transferability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

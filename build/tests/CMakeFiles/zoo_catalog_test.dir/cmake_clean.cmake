@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoo_catalog_test.dir/zoo_catalog_test.cc.o"
+  "CMakeFiles/zoo_catalog_test.dir/zoo_catalog_test.cc.o.d"
+  "zoo_catalog_test"
+  "zoo_catalog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoo_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

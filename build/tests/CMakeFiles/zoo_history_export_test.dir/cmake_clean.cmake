@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoo_history_export_test.dir/zoo_history_export_test.cc.o"
+  "CMakeFiles/zoo_history_export_test.dir/zoo_history_export_test.cc.o.d"
+  "zoo_history_export_test"
+  "zoo_history_export_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoo_history_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

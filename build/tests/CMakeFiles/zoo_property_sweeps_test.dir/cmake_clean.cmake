@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoo_property_sweeps_test.dir/zoo_property_sweeps_test.cc.o"
+  "CMakeFiles/zoo_property_sweeps_test.dir/zoo_property_sweeps_test.cc.o.d"
+  "zoo_property_sweeps_test"
+  "zoo_property_sweeps_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoo_property_sweeps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

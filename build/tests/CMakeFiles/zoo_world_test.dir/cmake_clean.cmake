@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoo_world_test.dir/zoo_world_test.cc.o"
+  "CMakeFiles/zoo_world_test.dir/zoo_world_test.cc.o.d"
+  "zoo_world_test"
+  "zoo_world_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoo_world_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

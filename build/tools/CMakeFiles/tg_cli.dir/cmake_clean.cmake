@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_cli.dir/tg_cli.cc.o"
+  "CMakeFiles/tg_cli.dir/tg_cli.cc.o.d"
+  "tg_cli"
+  "tg_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
