@@ -120,6 +120,50 @@ inline void PrintSectionHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
 
+// --- Machine-readable component timings (bench_csv/bench_timings.json) ---
+// Benches call RecordTiming() per measured component and WriteTimingsJson()
+// once before exiting; plots and CI diffing consume the JSON.
+
+struct TimingRecord {
+  std::string component;
+  size_t threads = 1;
+  double wall_seconds = 0.0;
+};
+
+inline std::vector<TimingRecord>& TimingRecords() {
+  static std::vector<TimingRecord> records;
+  return records;
+}
+
+inline void RecordTiming(const std::string& component, size_t threads,
+                         double wall_seconds) {
+  TimingRecords().push_back({component, threads, wall_seconds});
+}
+
+inline void WriteTimingsJson(
+    const std::string& filename = "bench_timings.json") {
+  const std::vector<TimingRecord>& records = TimingRecords();
+  if (records.empty()) return;
+  const std::string path = CsvPath(filename);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    TG_LOG(Warning) << "could not open " << path;
+    return;
+  }
+  std::fprintf(f, "{\n  \"timings\": [\n");
+  for (size_t i = 0; i < records.size(); ++i) {
+    const TimingRecord& r = records[i];
+    std::fprintf(f,
+                 "    {\"component\": \"%s\", \"threads\": %zu, "
+                 "\"wall_seconds\": %.6f}%s\n",
+                 r.component.c_str(), r.threads, r.wall_seconds,
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("[json] wrote %s\n", path.c_str());
+}
+
 }  // namespace tg::bench
 
 #endif  // TG_BENCH_BENCH_COMMON_H_

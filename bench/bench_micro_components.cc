@@ -1,11 +1,17 @@
 // Component micro-benchmarks (google-benchmark): the building blocks whose
 // cost dominates the pipeline -- alias sampling, biased walks, skip-gram
 // training, LogME scoring, GBDT fitting, one GNN training epoch, and graph
-// construction.
+// construction. Before the google-benchmark suite runs, a parallel-speedup
+// section times the ParallelFor-backed components at 1 thread vs the
+// configured TG_THREADS count and writes bench_csv/bench_timings.json.
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
+#include "bench_common.h"
 #include "core/graph_builder.h"
 #include "embedding/node2vec.h"
+#include "embedding/skipgram.h"
 #include "gnn/link_prediction.h"
 #include "gnn/sage.h"
 #include "ml/gbdt.h"
@@ -13,6 +19,8 @@
 #include "numeric/stats.h"
 #include "transferability/logme.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
 #include "zoo/model_zoo.h"
 
 namespace tg {
@@ -174,7 +182,91 @@ void BM_GraphConstruction(benchmark::State& state) {
 }
 BENCHMARK(BM_GraphConstruction)->Unit(benchmark::kMillisecond);
 
+// Times one component at 1 thread and at the configured thread count
+// (TG_THREADS / hardware), prints the speedup, and records both timings for
+// bench_csv/bench_timings.json. Each configuration gets one warmup run.
+void ReportOneSpeedup(const std::string& name,
+                      const std::function<void()>& run) {
+  const size_t n_threads = ThreadCount();
+  auto timed = [&](size_t threads) {
+    SetThreadCount(threads);
+    run();  // warmup
+    Stopwatch timer;
+    run();
+    const double seconds = timer.ElapsedSeconds();
+    bench::RecordTiming(name, threads, seconds);
+    return seconds;
+  };
+  const double t1 = timed(1);
+  const double tn = timed(n_threads);
+  SetThreadCount(0);
+  std::printf("  %-24s %8.3fs (1 thread) %8.3fs (%zu threads)  %.2fx\n",
+              name.c_str(), t1, tn, n_threads, tn > 0.0 ? t1 / tn : 0.0);
+}
+
+void ReportParallelSpeedups() {
+  bench::PrintSectionHeader("parallel speedup: 1 thread vs TG_THREADS=" +
+                            std::to_string(ThreadCount()));
+
+  Graph g = MakeBenchmarkGraph(260, 20);
+  WalkConfig walk_config;
+  walk_config.walks_per_node = 8;
+  walk_config.walk_length = 40;
+  walk_config.q = 0.5;
+  RandomWalkGenerator walker(g, walk_config);
+  ReportOneSpeedup("random_walk_corpus", [&] {
+    Rng rng(11);
+    benchmark::DoNotOptimize(walker.GenerateAll(&rng));
+  });
+
+  std::vector<std::vector<uint32_t>> corpus;
+  {
+    Rng rng(11);
+    for (const std::vector<NodeId>& walk : walker.GenerateAll(&rng)) {
+      corpus.emplace_back(walk.begin(), walk.end());
+    }
+  }
+  SkipGramConfig sg_config;
+  sg_config.dim = 128;
+  sg_config.epochs = 2;
+  ReportOneSpeedup("skipgram_sharded", [&] {
+    Rng rng(12);
+    SkipGramTrainer trainer(g.num_nodes(), sg_config);
+    trainer.Train(corpus, &rng);
+    benchmark::DoNotOptimize(trainer.embeddings());
+  });
+
+  Rng data_rng(13);
+  ml::TabularDataset data;
+  data.x = Matrix::Gaussian(2000, 64, &data_rng);
+  data.y.resize(2000);
+  for (size_t i = 0; i < data.y.size(); ++i) {
+    data.y[i] = data.x(i, 3) + data_rng.NextGaussian(0.0, 0.1);
+  }
+  ml::RandomForestConfig rf_config;
+  rf_config.num_trees = 50;
+  ReportOneSpeedup("random_forest_fit", [&] {
+    ml::RandomForest model(rf_config);
+    benchmark::DoNotOptimize(model.Fit(data));
+  });
+
+  ml::GbdtConfig gbdt_config;
+  gbdt_config.num_trees = 50;
+  ReportOneSpeedup("gbdt_fit", [&] {
+    ml::Gbdt model(gbdt_config);
+    benchmark::DoNotOptimize(model.Fit(data));
+  });
+}
+
 }  // namespace
 }  // namespace tg
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  tg::ReportParallelSpeedups();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  tg::bench::WriteTimingsJson();
+  return 0;
+}

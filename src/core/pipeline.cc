@@ -9,6 +9,7 @@
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace tg::core {
 
@@ -17,10 +18,13 @@ double TargetEvaluation::TopKMeanAccuracy(int k) const {
   TG_CHECK(!predicted.empty());
   std::vector<size_t> order(predicted.size());
   std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return predicted[a] > predicted[b];
-  });
+  // Only the top k matter; partial_sort is O(n log k) vs O(n log n).
   const size_t take = std::min<size_t>(static_cast<size_t>(k), order.size());
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<ptrdiff_t>(take), order.end(),
+                    [&](size_t a, size_t b) {
+                      return predicted[a] > predicted[b];
+                    });
   double acc = 0.0;
   for (size_t i = 0; i < take; ++i) acc += actual[order[i]];
   return acc / static_cast<double>(take);
@@ -108,9 +112,14 @@ const Matrix& Pipeline::EmbeddingsFor(const PipelineConfig& config,
                                       const BuiltGraph& built) {
   TG_CHECK(config.strategy.learner != GraphLearner::kNone);
   const std::string key = EmbeddingCacheKey(config);
-  auto it = embedding_cache_.find(key);
-  if (it != embedding_cache_.end()) return it->second;
-
+  {
+    std::lock_guard<std::mutex> lock(embedding_mu_);
+    auto it = embedding_cache_.find(key);
+    if (it != embedding_cache_.end()) return it->second;
+  }
+  // Train outside the lock so concurrent targets (distinct keys in the
+  // leave-one-out sweep) overlap; duplicate work on the same key is
+  // deterministic-identical and the first insert wins.
   Stopwatch timer;
   Matrix embeddings;
   switch (config.strategy.learner) {
@@ -151,6 +160,7 @@ const Matrix& Pipeline::EmbeddingsFor(const PipelineConfig& config,
   }
   TG_LOG(Debug) << "graph learner " << GraphLearnerName(config.strategy.learner)
                 << " trained in " << timer.ElapsedSeconds() << "s";
+  std::lock_guard<std::mutex> lock(embedding_mu_);
   return embedding_cache_.emplace(key, std::move(embeddings)).first->second;
 }
 
@@ -236,10 +246,19 @@ TargetEvaluation Pipeline::EvaluateTarget(const PipelineConfig& config,
 
 std::vector<TargetEvaluation> Pipeline::EvaluateAllTargets(
     const PipelineConfig& config) {
-  std::vector<TargetEvaluation> out;
-  for (size_t target : zoo_->EvaluationTargets(modality_)) {
-    out.push_back(EvaluateTarget(config, target));
-  }
+  // The leave-one-out cells are independent (MetaGL/GLEMOS-style benchmark
+  // shape): fan targets out across the pool. Every per-target computation
+  // seeds its own randomness from the config, and the shared caches (zoo
+  // scores, embeddings) memoize deterministic values, so the output is
+  // bit-identical for any thread count.
+  const std::vector<size_t> targets = zoo_->EvaluationTargets(modality_);
+  std::vector<TargetEvaluation> out(targets.size());
+  ParallelFor(0, targets.size(), 1,
+              [&](size_t begin, size_t end, size_t /*chunk*/) {
+                for (size_t i = begin; i < end; ++i) {
+                  out[i] = EvaluateTarget(config, targets[i]);
+                }
+              });
   return out;
 }
 

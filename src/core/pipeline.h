@@ -5,6 +5,7 @@
 #ifndef TG_CORE_PIPELINE_H_
 #define TG_CORE_PIPELINE_H_
 
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -63,11 +64,14 @@ class Pipeline {
   // The zoo must outlive the pipeline. One pipeline per modality.
   Pipeline(zoo::ModelZoo* zoo, zoo::Modality modality);
 
-  // Full leave-one-out evaluation of one target dataset.
+  // Full leave-one-out evaluation of one target dataset. Thread-safe: the
+  // embedding cache and the zoo's score caches are internally synchronized.
   TargetEvaluation EvaluateTarget(const PipelineConfig& config,
                                   size_t target_dataset);
 
-  // Evaluates every evaluation-target dataset of the modality.
+  // Evaluates every evaluation-target dataset of the modality, in parallel
+  // across the global thread pool (TG_THREADS). Bit-identical results for
+  // any thread count given a fixed config seed.
   std::vector<TargetEvaluation> EvaluateAllTargets(
       const PipelineConfig& config);
 
@@ -88,6 +92,9 @@ class Pipeline {
 
   zoo::ModelZoo* zoo_;
   zoo::Modality modality_;
+  // Guarded by embedding_mu_: concurrent targets insert distinct keys;
+  // references stay valid under unordered_map insertion.
+  std::mutex embedding_mu_;
   std::unordered_map<std::string, Matrix> embedding_cache_;
 };
 

@@ -5,8 +5,16 @@
 #include <unordered_map>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace tg {
+namespace {
+
+// Stream-id base separating per-walk forks from other forks callers may
+// derive from the same seed (e.g. the skip-gram position streams).
+constexpr uint64_t kWalkStreamBase = 0x57A1C000ULL;
+
+}  // namespace
 
 RandomWalkGenerator::RandomWalkGenerator(const Graph& graph,
                                          const WalkConfig& config)
@@ -101,16 +109,28 @@ std::vector<NodeId> RandomWalkGenerator::Walk(NodeId start, Rng* rng) const {
 
 std::vector<std::vector<NodeId>> RandomWalkGenerator::GenerateAll(
     Rng* rng) const {
+  // The start schedule (node order per pass) is drawn sequentially from the
+  // caller's rng; the walks themselves each run on an Rng forked from the
+  // walk's global index, so the fan-out below is bit-identical for any
+  // thread count (chunking only affects scheduling, never the streams).
   std::vector<NodeId> nodes(graph_.num_nodes());
   std::iota(nodes.begin(), nodes.end(), 0);
-  std::vector<std::vector<NodeId>> walks;
-  walks.reserve(nodes.size() * static_cast<size_t>(config_.walks_per_node));
+  std::vector<NodeId> starts;
+  starts.reserve(nodes.size() * static_cast<size_t>(config_.walks_per_node));
   for (int pass = 0; pass < config_.walks_per_node; ++pass) {
     rng->Shuffle(&nodes);
-    for (NodeId start : nodes) {
-      walks.push_back(Walk(start, rng));
-    }
+    starts.insert(starts.end(), nodes.begin(), nodes.end());
   }
+
+  std::vector<std::vector<NodeId>> walks(starts.size());
+  constexpr size_t kWalkGrain = 64;
+  ParallelFor(0, starts.size(), kWalkGrain,
+              [&](size_t begin, size_t end, size_t /*chunk*/) {
+                for (size_t i = begin; i < end; ++i) {
+                  Rng walk_rng = rng->Fork(kWalkStreamBase + i);
+                  walks[i] = Walk(starts[i], &walk_rng);
+                }
+              });
   return walks;
 }
 

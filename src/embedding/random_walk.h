@@ -43,6 +43,9 @@ class RandomWalkGenerator {
   std::vector<NodeId> Walk(NodeId start, Rng* rng) const;
 
   // walks_per_node walks from every node, in node-shuffled order per pass.
+  // Walks are generated in parallel on the global pool; each walk runs on an
+  // Rng forked from (rng's seed, walk index), so the output is bit-identical
+  // for any thread count given a fixed seed.
   std::vector<std::vector<NodeId>> GenerateAll(Rng* rng) const;
 
   // Exposed for tests: the unnormalized transition bias of candidate x given

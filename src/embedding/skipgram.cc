@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "graph/negative_sampler.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace tg {
 namespace {
@@ -15,7 +17,91 @@ double StableSigmoid(double x) {
   return e / (1.0 + e);
 }
 
+// Stream-id base for per-position Rng forks; far above the per-walk stream
+// range used by RandomWalkGenerator::GenerateAll on the same seed.
+constexpr uint64_t kPositionStreamBase = 0x5C1B6000000ULL;
+
+// One epoch's token positions in shuffled-walk order: (walk index, offset).
+std::vector<std::pair<uint32_t, uint32_t>> FlattenPositions(
+    const std::vector<std::vector<uint32_t>>& corpus,
+    const std::vector<size_t>& order) {
+  std::vector<std::pair<uint32_t, uint32_t>> positions;
+  size_t total = 0;
+  for (const auto& walk : corpus) total += walk.size();
+  positions.reserve(total);
+  for (size_t wi : order) {
+    for (size_t pos = 0; pos < corpus[wi].size(); ++pos) {
+      positions.emplace_back(static_cast<uint32_t>(wi),
+                             static_cast<uint32_t>(pos));
+    }
+  }
+  return positions;
+}
+
+// Online SGD update for one token position against (input, output): sample a
+// context radius, then for each context word train the positive pair plus
+// `negatives` negative samples, applying the center gradient after each pair
+// (word2vec update order). Shared by both parallel modes; all randomness
+// comes from `prng`, which callers fork off the position's global index.
+void UpdateOnePosition(const std::vector<uint32_t>& walk, uint32_t pos,
+                       double lr, int window, int negatives,
+                       const UnigramNegativeSampler& sampler, Rng* prng,
+                       size_t dim, Matrix* input, Matrix* output,
+                       std::vector<double>* center_grad_buf) {
+  const int radius =
+      1 + static_cast<int>(prng->NextBelow(static_cast<uint64_t>(window)));
+  const uint32_t center = walk[pos];
+  const size_t lo_ctx = pos >= static_cast<uint32_t>(radius)
+                            ? pos - static_cast<uint32_t>(radius)
+                            : 0;
+  const size_t hi_ctx =
+      std::min(walk.size(),
+               static_cast<size_t>(pos) + static_cast<size_t>(radius) + 1);
+  double* w = input->RowPtr(center);
+  std::vector<double>& center_grad = *center_grad_buf;
+  auto train_pair = [&](uint32_t context, double label) {
+    double* c = output->RowPtr(context);
+    double dot = 0.0;
+    for (size_t d = 0; d < dim; ++d) dot += w[d] * c[d];
+    const double g = (label - StableSigmoid(dot)) * lr;
+    for (size_t d = 0; d < dim; ++d) {
+      center_grad[d] += g * c[d];
+      c[d] += g * w[d];
+    }
+  };
+  for (size_t ctx_pos = lo_ctx; ctx_pos < hi_ctx; ++ctx_pos) {
+    if (ctx_pos == pos) continue;
+    std::fill(center_grad.begin(), center_grad.end(), 0.0);
+    train_pair(walk[ctx_pos], 1.0);
+    for (int k = 0; k < negatives; ++k) {
+      const uint32_t neg = static_cast<uint32_t>(sampler.Sample(prng));
+      if (neg == walk[ctx_pos] || neg == center) continue;
+      train_pair(neg, 0.0);
+    }
+    for (size_t d = 0; d < dim; ++d) w[d] += center_grad[d];
+  }
+}
+
 }  // namespace
+
+// Shared sampling state for one Train call. Every position derives its
+// learning rate from its global index and its randomness (window radius,
+// negative draws) from an Rng forked off that index, so results do not
+// depend on which thread processes which position.
+struct SkipGramTrainer::PairStream {
+  const UnigramNegativeSampler* sampler = nullptr;
+  double lr0 = 0.0;
+  double lr_min = 0.0;
+  size_t total_work = 0;
+  int window = 1;
+  int negatives = 0;
+
+  double LrAt(size_t global_position) const {
+    const double progress = static_cast<double>(global_position) /
+                            static_cast<double>(total_work);
+    return std::max(lr_min, lr0 * (1.0 - progress));
+  }
+};
 
 SkipGramTrainer::SkipGramTrainer(size_t vocab_size,
                                  const SkipGramConfig& config)
@@ -27,20 +113,6 @@ SkipGramTrainer::SkipGramTrainer(size_t vocab_size,
   const double bound = 0.5 / static_cast<double>(config.dim);
   input_ = Matrix::Uniform(vocab_size, config.dim, &init_rng, -bound, bound);
   output_ = Matrix(vocab_size, config.dim);
-}
-
-void SkipGramTrainer::TrainPair(uint32_t center, uint32_t context,
-                                double label, double lr,
-                                std::vector<double>* center_grad) {
-  double* w = input_.RowPtr(center);
-  double* c = output_.RowPtr(context);
-  double dot = 0.0;
-  for (size_t d = 0; d < config_.dim; ++d) dot += w[d] * c[d];
-  const double g = (label - StableSigmoid(dot)) * lr;
-  for (size_t d = 0; d < config_.dim; ++d) {
-    (*center_grad)[d] += g * c[d];
-    c[d] += g * w[d];
-  }
 }
 
 void SkipGramTrainer::Train(const std::vector<std::vector<uint32_t>>& corpus,
@@ -58,48 +130,107 @@ void SkipGramTrainer::Train(const std::vector<std::vector<uint32_t>>& corpus,
   if (total_tokens == 0) return;
   UnigramNegativeSampler sampler(freqs, config_.sampling_power);
 
+  PairStream stream;
+  stream.sampler = &sampler;
+  stream.lr0 = config_.initial_lr;
+  stream.lr_min = config_.initial_lr * config_.min_lr_fraction;
+  stream.total_work = total_tokens * static_cast<size_t>(config_.epochs);
+  stream.window = config_.window;
+  stream.negatives = config_.negatives;
+
+  if (config_.parallel == SkipGramParallelMode::kHogwild) {
+    TrainHogwild(corpus, stream, rng);
+  } else {
+    TrainSharded(corpus, stream, rng);
+  }
+}
+
+void SkipGramTrainer::TrainSharded(
+    const std::vector<std::vector<uint32_t>>& corpus, const PairStream& stream,
+    Rng* rng) {
+  const size_t dim = config_.dim;
   std::vector<size_t> order(corpus.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
-  const double lr0 = config_.initial_lr;
-  const double lr_min = lr0 * config_.min_lr_fraction;
-  const size_t total_work =
-      total_tokens * static_cast<size_t>(config_.epochs);
-  size_t done = 0;
-  std::vector<double> center_grad(config_.dim);
-
+  size_t epoch_base = 0;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     rng->Shuffle(&order);
-    for (size_t wi : order) {
-      const auto& walk = corpus[wi];
-      for (size_t pos = 0; pos < walk.size(); ++pos, ++done) {
-        const double progress =
-            static_cast<double>(done) / static_cast<double>(total_work);
-        const double lr = std::max(lr_min, lr0 * (1.0 - progress));
-        // Randomized effective window, as in word2vec.
-        const int radius =
-            1 + static_cast<int>(rng->NextBelow(
-                    static_cast<uint64_t>(config_.window)));
-        const uint32_t center = walk[pos];
-        const size_t lo = pos >= static_cast<size_t>(radius)
-                              ? pos - static_cast<size_t>(radius)
-                              : 0;
-        const size_t hi =
-            std::min(walk.size(), pos + static_cast<size_t>(radius) + 1);
-        for (size_t ctx_pos = lo; ctx_pos < hi; ++ctx_pos) {
-          if (ctx_pos == pos) continue;
-          std::fill(center_grad.begin(), center_grad.end(), 0.0);
-          TrainPair(center, walk[ctx_pos], 1.0, lr, &center_grad);
-          for (int k = 0; k < config_.negatives; ++k) {
-            uint32_t neg = sampler.Sample(rng);
-            if (neg == walk[ctx_pos] || neg == center) continue;
-            TrainPair(center, neg, 0.0, lr, &center_grad);
-          }
-          double* w = input_.RowPtr(center);
-          for (size_t d = 0; d < config_.dim; ++d) w[d] += center_grad[d];
+    const auto positions = FlattenPositions(corpus, order);
+    if (positions.empty()) continue;
+
+    // Contiguous position blocks, one per shard; the count is clamped by
+    // the data size but NEVER by the thread count (determinism contract).
+    const size_t want = std::max<size_t>(1, config_.num_shards);
+    const size_t block =
+        (positions.size() + want - 1) / std::min(want, positions.size());
+    const size_t shards = (positions.size() + block - 1) / block;
+
+    // Each shard trains online on its own replica of the parameters.
+    std::vector<Matrix> rep_in(shards, input_);
+    std::vector<Matrix> rep_out(shards, output_);
+    ParallelFor(0, shards, 1, [&](size_t s0, size_t s1, size_t /*chunk*/) {
+      std::vector<double> center_grad(dim);
+      for (size_t s = s0; s < s1; ++s) {
+        const size_t lo = s * block;
+        const size_t hi = std::min(positions.size(), lo + block);
+        for (size_t i = lo; i < hi; ++i) {
+          const auto& [wi, pos] = positions[i];
+          Rng prng = rng->Fork(kPositionStreamBase + epoch_base + i);
+          UpdateOnePosition(corpus[wi], pos, stream.LrAt(epoch_base + i),
+                            stream.window, stream.negatives, *stream.sampler,
+                            &prng, dim, &rep_in[s], &rep_out[s], &center_grad);
         }
       }
+    });
+
+    // Parameter mixing: overwrite the shared parameters with the replica
+    // average, accumulating in shard order (fixed floating-point order).
+    const double inv = 1.0 / static_cast<double>(shards);
+    double* in = input_.data();
+    double* out = output_.data();
+    const size_t n = input_.size();
+    for (size_t j = 0; j < n; ++j) {
+      double acc_in = 0.0;
+      double acc_out = 0.0;
+      for (size_t s = 0; s < shards; ++s) {
+        acc_in += rep_in[s].data()[j];
+        acc_out += rep_out[s].data()[j];
+      }
+      in[j] = acc_in * inv;
+      out[j] = acc_out * inv;
     }
+    epoch_base += positions.size();
+  }
+}
+
+void SkipGramTrainer::TrainHogwild(
+    const std::vector<std::vector<uint32_t>>& corpus, const PairStream& stream,
+    Rng* rng) {
+  const size_t dim = config_.dim;
+  std::vector<size_t> order(corpus.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  size_t epoch_base = 0;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng->Shuffle(&order);
+    const auto positions = FlattenPositions(corpus, order);
+
+    // Lock-free updates straight into the shared matrices; races between
+    // positions touching the same rows are the accepted Hogwild tradeoff.
+    ParallelFor(0, positions.size(), 256,
+                [&](size_t lo, size_t hi, size_t /*chunk*/) {
+                  std::vector<double> center_grad(dim);
+                  for (size_t i = lo; i < hi; ++i) {
+                    const auto& [wi, pos] = positions[i];
+                    Rng prng = rng->Fork(kPositionStreamBase + epoch_base + i);
+                    UpdateOnePosition(corpus[wi], pos,
+                                      stream.LrAt(epoch_base + i),
+                                      stream.window, stream.negatives,
+                                      *stream.sampler, &prng, dim, &input_,
+                                      &output_, &center_grad);
+                  }
+                });
+    epoch_base += positions.size();
   }
 }
 

@@ -1,16 +1,32 @@
 // Skip-gram with negative sampling (Mikolov et al. 2013) over walk corpora.
 // Random-walk node embedding methods treat walks as sentences and nodes as
 // words; the trained input embeddings are the node representations.
+//
+// Two parallel training modes (docs/threading.md):
+//   * kSharded (default): deterministic parameter-mixing SGD. Each epoch
+//     splits the shuffled position stream into a fixed number of shards;
+//     every shard trains online on its own replica of the parameters (each
+//     position's randomness forked from its global index), and the replicas
+//     are averaged in shard order at the epoch boundary. The shard count
+//     never depends on the thread count, so results are bit-identical for
+//     any TG_THREADS value.
+//   * kHogwild (opt-in): lock-free asynchronous updates on the shared
+//     parameters across the pool (Recht et al. 2011). Fastest and closest
+//     to sequential SGD dynamics, but update interleaving makes results
+//     run-to-run nondeterministic when more than one thread is used.
 #ifndef TG_EMBEDDING_SKIPGRAM_H_
 #define TG_EMBEDDING_SKIPGRAM_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "numeric/matrix.h"
 #include "util/rng.h"
 
 namespace tg {
+
+enum class SkipGramParallelMode { kSharded, kHogwild };
 
 struct SkipGramConfig {
   size_t dim = 128;
@@ -20,6 +36,11 @@ struct SkipGramConfig {
   double initial_lr = 0.025;
   double min_lr_fraction = 1e-3;  // lr decays linearly to initial*fraction
   double sampling_power = 0.75;   // unigram exponent for negatives
+  SkipGramParallelMode parallel = SkipGramParallelMode::kSharded;
+  // Sharded mode: parameter replicas trained per epoch (clamped to the
+  // number of token positions). Part of the determinism contract -- never
+  // derived from the thread count.
+  size_t num_shards = 8;
 };
 
 class SkipGramTrainer {
@@ -27,8 +48,9 @@ class SkipGramTrainer {
   // vocab_size must exceed every token id in the corpus.
   SkipGramTrainer(size_t vocab_size, const SkipGramConfig& config);
 
-  // Trains on the corpus (list of token sequences). Deterministic for a
-  // fixed (corpus, seed).
+  // Trains on the corpus (list of token sequences). In kSharded mode the
+  // result is deterministic for a fixed (corpus, seed) at any thread count;
+  // in kHogwild mode it is deterministic only with a single thread.
   void Train(const std::vector<std::vector<uint32_t>>& corpus, Rng* rng);
 
   // Input ("center") embeddings: vocab_size x dim.
@@ -38,8 +60,12 @@ class SkipGramTrainer {
   double PairProbability(uint32_t center, uint32_t context) const;
 
  private:
-  void TrainPair(uint32_t center, uint32_t context, double label, double lr,
-                 std::vector<double>* center_grad);
+  struct PairStream;  // per-position sampling state (defined in the .cc)
+
+  void TrainSharded(const std::vector<std::vector<uint32_t>>& corpus,
+                    const PairStream& stream, Rng* rng);
+  void TrainHogwild(const std::vector<std::vector<uint32_t>>& corpus,
+                    const PairStream& stream, Rng* rng);
 
   size_t vocab_size_;
   SkipGramConfig config_;

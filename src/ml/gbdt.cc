@@ -7,6 +7,7 @@
 
 #include "numeric/stats.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace tg::ml {
 namespace {
@@ -76,13 +77,18 @@ Status Gbdt::Fit(const TabularDataset& data) {
   base_score_ = Mean(data.y);
 
   // Bin the feature matrix once (column major for histogram accumulation).
+  // Features bin independently; parallel over features.
   std::vector<std::vector<double>> edges(d);
   std::vector<std::vector<uint16_t>> binned(d);
-  for (size_t f = 0; f < d; ++f) {
-    edges[f] = ComputeBinEdges(data.x, f, config_.max_bins);
-    binned[f].resize(n);
-    for (size_t r = 0; r < n; ++r) binned[f][r] = BinOf(data.x(r, f), edges[f]);
-  }
+  ParallelFor(0, d, 1, [&](size_t begin, size_t end, size_t /*chunk*/) {
+    for (size_t f = begin; f < end; ++f) {
+      edges[f] = ComputeBinEdges(data.x, f, config_.max_bins);
+      binned[f].resize(n);
+      for (size_t r = 0; r < n; ++r) {
+        binned[f][r] = BinOf(data.x(r, f), edges[f]);
+      }
+    }
+  });
 
   std::vector<double> predictions(n, base_score_);
   std::vector<double> grad(n);
@@ -134,25 +140,28 @@ Status Gbdt::Fit(const TabularDataset& data) {
           return node_index;
         }
 
-        // Best histogram split across all features.
-        double best_gain = 0.0;
-        size_t best_feature = 0;
-        uint16_t best_bin = 0;
+        // Best histogram split across all features. Each feature's scan is
+        // independent, so the search fans out over the pool; the arg-best
+        // reduction below runs in feature order with the same strict `>` as
+        // a sequential scan, keeping the chosen split bit-identical for any
+        // thread count.
         const double parent_score = total.g * total.g / (total.h + lambda);
-        std::vector<NodeStats> hist;
-        for (size_t f = 0; f < binned.size(); ++f) {
-          if (edges[f].empty()) continue;
-          hist.assign(edges[f].size() + 1, NodeStats{});
+        const size_t num_features = binned.size();
+        std::vector<double> feature_best_gain(num_features, 0.0);
+        std::vector<uint16_t> feature_best_bin(num_features, 0);
+        const auto scan_feature = [&](size_t f, std::vector<NodeStats>* hist) {
+          if (edges[f].empty()) return;
+          hist->assign(edges[f].size() + 1, NodeStats{});
           for (size_t i = begin; i < end; ++i) {
             const size_t r = rows[i];
-            NodeStats& s = hist[binned[f][r]];
+            NodeStats& s = (*hist)[binned[f][r]];
             s.g += grad[r];
             s.h += 1.0;
           }
           NodeStats left;
-          for (size_t b = 0; b + 1 < hist.size(); ++b) {
-            left.g += hist[b].g;
-            left.h += hist[b].h;
+          for (size_t b = 0; b + 1 < hist->size(); ++b) {
+            left.g += (*hist)[b].g;
+            left.h += (*hist)[b].h;
             const NodeStats right{total.g - left.g, total.h - left.h};
             if (left.h < config.min_child_weight ||
                 right.h < config.min_child_weight) {
@@ -163,11 +172,34 @@ Status Gbdt::Fit(const TabularDataset& data) {
                        right.g * right.g / (right.h + lambda) -
                        parent_score) -
                 config.gamma;
-            if (gain > best_gain) {
-              best_gain = gain;
-              best_feature = f;
-              best_bin = static_cast<uint16_t>(b);
+            if (gain > feature_best_gain[f]) {
+              feature_best_gain[f] = gain;
+              feature_best_bin[f] = static_cast<uint16_t>(b);
             }
+          }
+        };
+        // Histogram work is (rows x features); fan out only when the node is
+        // large enough for the dispatch to pay for itself.
+        if ((end - begin) * num_features >= 16384) {
+          ParallelFor(0, num_features, 1,
+                      [&](size_t f_begin, size_t f_end, size_t /*chunk*/) {
+                        std::vector<NodeStats> hist;
+                        for (size_t f = f_begin; f < f_end; ++f) {
+                          scan_feature(f, &hist);
+                        }
+                      });
+        } else {
+          std::vector<NodeStats> hist;
+          for (size_t f = 0; f < num_features; ++f) scan_feature(f, &hist);
+        }
+        double best_gain = 0.0;
+        size_t best_feature = 0;
+        uint16_t best_bin = 0;
+        for (size_t f = 0; f < num_features; ++f) {
+          if (feature_best_gain[f] > best_gain) {
+            best_gain = feature_best_gain[f];
+            best_feature = f;
+            best_bin = feature_best_bin[f];
           }
         }
         if (best_gain <= 0.0) return node_index;
@@ -196,10 +228,13 @@ Status Gbdt::Fit(const TabularDataset& data) {
                     tree,    rows,   lambda,        feature_gains_};
     builder.Build(0, rows.size(), 0);
 
-    // Update predictions on all rows with the new tree.
-    for (size_t r = 0; r < n; ++r) {
-      predictions[r] += tree.PredictRow(data.x.RowPtr(r));
-    }
+    // Update predictions on all rows with the new tree (disjoint writes).
+    ParallelFor(0, n, 512, [&](size_t r_begin, size_t r_end,
+                               size_t /*chunk*/) {
+      for (size_t r = r_begin; r < r_end; ++r) {
+        predictions[r] += tree.PredictRow(data.x.RowPtr(r));
+      }
+    });
     trees_.push_back(std::move(tree));
     rmse_curve_.push_back(Rmse(predictions, data.y));
   }

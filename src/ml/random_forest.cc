@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace tg::ml {
 
@@ -25,17 +26,25 @@ Status RandomForest::Fit(const TabularDataset& data) {
                                              data.num_features()))));
   }
 
-  Rng rng(config_.seed);
+  // Trees are independent given their own random stream: tree t draws its
+  // bootstrap sample and split-feature subsets from Fork(t) of the config
+  // seed, so the fitted forest is bit-identical for any thread count.
+  const Rng base_rng(config_.seed);
   const size_t n = data.num_rows();
-  std::vector<size_t> bootstrap(n);
-  for (int t = 0; t < config_.num_trees; ++t) {
-    for (size_t i = 0; i < n; ++i) {
-      bootstrap[i] = static_cast<size_t>(rng.NextBelow(n));
-    }
-    DecisionTree tree(tree_config);
-    tree.Fit(data.x, data.y, bootstrap, &rng);
-    trees_.push_back(std::move(tree));
-  }
+  trees_.resize(static_cast<size_t>(config_.num_trees),
+                DecisionTree(tree_config));
+  ParallelFor(0, static_cast<size_t>(config_.num_trees), 1,
+              [&](size_t begin, size_t end, size_t /*chunk*/) {
+                std::vector<size_t> bootstrap(n);
+                for (size_t t = begin; t < end; ++t) {
+                  Rng tree_rng = base_rng.Fork(t);
+                  for (size_t i = 0; i < n; ++i) {
+                    bootstrap[i] =
+                        static_cast<size_t>(tree_rng.NextBelow(n));
+                  }
+                  trees_[t].Fit(data.x, data.y, bootstrap, &tree_rng);
+                }
+              });
   return Status::OK();
 }
 

@@ -77,9 +77,13 @@ const std::vector<double>& ModelZoo::DatasetEmbedding(
   auto& cache = repr == DatasetRepresentation::kDomainSimilarity
                     ? domain_embeddings_
                     : task2vec_embeddings_;
-  auto it = cache.find(dataset);
-  if (it != cache.end()) return it->second;
-
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = cache.find(dataset);
+    if (it != cache.end()) return it->second;
+  }
+  // Compute outside the lock; concurrent misses on the same key produce
+  // identical values and the first emplace wins.
   const DatasetSamples& samples = world_->Samples(dataset);
   std::vector<double> embedding;
   if (repr == DatasetRepresentation::kDomainSimilarity) {
@@ -91,6 +95,7 @@ const std::vector<double>& ModelZoo::DatasetEmbedding(
     TG_CHECK_MSG(result.ok(), result.status().ToString().c_str());
     embedding = std::move(result).value();
   }
+  std::lock_guard<std::mutex> lock(cache_mu_);
   return cache.emplace(dataset, std::move(embedding)).first->second;
 }
 
@@ -103,63 +108,83 @@ double ModelZoo::DatasetSimilarityScore(size_t a, size_t b,
 
 double ModelZoo::LogMe(size_t model, size_t dataset) {
   const uint64_t key = PairKey(model, dataset);
-  auto it = logme_cache_.find(key);
-  if (it != logme_cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = logme_cache_.find(key);
+    if (it != logme_cache_.end()) return it->second;
+  }
   const DatasetSamples& samples = world_->Samples(dataset);
   const Matrix features = world_->ExtractFeatures(model, dataset);
   Result<double> score =
       LogMeScore(features, samples.labels, samples.num_classes);
   TG_CHECK_MSG(score.ok(), score.status().ToString().c_str());
-  logme_cache_[key] = score.value();
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  logme_cache_.emplace(key, score.value());
   return score.value();
 }
 
 double ModelZoo::Leep(size_t model, size_t dataset) {
   const uint64_t key = PairKey(model, dataset);
-  auto it = leep_cache_.find(key);
-  if (it != leep_cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = leep_cache_.find(key);
+    if (it != leep_cache_.end()) return it->second;
+  }
   const DatasetSamples& samples = world_->Samples(dataset);
   const Matrix probs = world_->SourceProbabilities(model, dataset);
   Result<double> score = LeepScore(probs, samples.labels, samples.num_classes);
   TG_CHECK_MSG(score.ok(), score.status().ToString().c_str());
-  leep_cache_[key] = score.value();
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  leep_cache_.emplace(key, score.value());
   return score.value();
 }
 
 double ModelZoo::Nce(size_t model, size_t dataset) {
   const uint64_t key = PairKey(model, dataset);
-  auto it = nce_cache_.find(key);
-  if (it != nce_cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = nce_cache_.find(key);
+    if (it != nce_cache_.end()) return it->second;
+  }
   const DatasetSamples& samples = world_->Samples(dataset);
   const std::vector<int> source = world_->SourceHardLabels(model, dataset);
   Result<double> score = NceScore(source, samples.labels);
   TG_CHECK_MSG(score.ok(), score.status().ToString().c_str());
-  nce_cache_[key] = score.value();
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  nce_cache_.emplace(key, score.value());
   return score.value();
 }
 
 double ModelZoo::Parc(size_t model, size_t dataset) {
   const uint64_t key = PairKey(model, dataset);
-  auto it = parc_cache_.find(key);
-  if (it != parc_cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = parc_cache_.find(key);
+    if (it != parc_cache_.end()) return it->second;
+  }
   const DatasetSamples& samples = world_->Samples(dataset);
   const Matrix features = world_->ExtractFeatures(model, dataset);
   Result<double> score =
       ParcScore(features, samples.labels, samples.num_classes);
   TG_CHECK_MSG(score.ok(), score.status().ToString().c_str());
-  parc_cache_[key] = score.value();
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  parc_cache_.emplace(key, score.value());
   return score.value();
 }
 
 double ModelZoo::HScoreOf(size_t model, size_t dataset) {
   const uint64_t key = PairKey(model, dataset);
-  auto it = hscore_cache_.find(key);
-  if (it != hscore_cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = hscore_cache_.find(key);
+    if (it != hscore_cache_.end()) return it->second;
+  }
   const DatasetSamples& samples = world_->Samples(dataset);
   const Matrix features = world_->ExtractFeatures(model, dataset);
   Result<double> score = HScore(features, samples.labels, samples.num_classes);
   TG_CHECK_MSG(score.ok(), score.status().ToString().c_str());
-  hscore_cache_[key] = score.value();
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  hscore_cache_.emplace(key, score.value());
   return score.value();
 }
 

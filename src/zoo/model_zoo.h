@@ -7,6 +7,7 @@
 #define TG_ZOO_MODEL_ZOO_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -58,6 +59,10 @@ class ModelZoo {
   double PretrainAccuracy(size_t model) const;
 
   // --- Dataset representations & similarity ---
+  // Memoized accessors below are thread-safe: scores are deterministic per
+  // key, so concurrent misses may compute redundantly but always agree, and
+  // the first inserted value wins (parallel leave-one-out targets hit these
+  // caches concurrently; see docs/threading.md).
   const std::vector<double>& DatasetEmbedding(size_t dataset,
                                               DatasetRepresentation repr);
   double DatasetSimilarityScore(size_t a, size_t b,
@@ -85,6 +90,9 @@ class ModelZoo {
   std::unique_ptr<FineTuneSimulator> simulator_;
   std::unique_ptr<ProbeNetwork> probe_;
 
+  // Guards every memoization map below. References into the maps stay valid
+  // under concurrent insertion (unordered_map never moves elements).
+  std::mutex cache_mu_;
   std::unordered_map<size_t, std::vector<double>> domain_embeddings_;
   std::unordered_map<size_t, std::vector<double>> task2vec_embeddings_;
   std::unordered_map<uint64_t, double> logme_cache_;

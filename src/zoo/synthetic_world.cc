@@ -223,6 +223,7 @@ std::vector<double> SyntheticWorld::ClassCenter(size_t dataset,
 
 const DatasetSamples& SyntheticWorld::Samples(size_t dataset) {
   TG_CHECK_LT(dataset, samples_cache_.size());
+  std::lock_guard<std::mutex> lock(samples_mu_);
   if (samples_ready_[dataset]) return samples_cache_[dataset];
 
   const DatasetInfo& info = catalog_->datasets[dataset];

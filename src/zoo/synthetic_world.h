@@ -25,6 +25,7 @@
 #define TG_ZOO_SYNTHETIC_WORLD_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "numeric/matrix.h"
@@ -86,7 +87,8 @@ class SyntheticWorld {
   const std::vector<double>& DatasetLatent(size_t dataset) const;
 
   // --- Sample-level simulation ---
-  // Synthetic samples (lazily generated, cached).
+  // Synthetic samples (lazily generated, cached; thread-safe -- generation
+  // is seeded per dataset, so concurrent callers observe identical data).
   const DatasetSamples& Samples(size_t dataset);
   // Model-extracted features on the dataset's samples: n x feature_dim.
   Matrix ExtractFeatures(size_t model, size_t dataset);
@@ -120,6 +122,9 @@ class SyntheticWorld {
   std::vector<double> pretrain_accuracy_;
   // arch x domain bias table.
   std::vector<std::vector<double>> arch_domain_bias_;
+  // Guards the lazily-filled sample cache (entries are immutable once
+  // ready); the cache vector itself is pre-sized so references stay stable.
+  std::mutex samples_mu_;
   std::vector<bool> samples_ready_;
   std::vector<DatasetSamples> samples_cache_;
 };
