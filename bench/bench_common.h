@@ -14,7 +14,9 @@
 #include "core/evaluation.h"
 #include "core/pipeline.h"
 #include "core/recommender.h"
+#include "obs/metrics.h"
 #include "util/csv.h"
+#include "util/json_util.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -154,12 +156,13 @@ inline void WriteTimingsJson(
   for (size_t i = 0; i < records.size(); ++i) {
     const TimingRecord& r = records[i];
     std::fprintf(f,
-                 "    {\"component\": \"%s\", \"threads\": %zu, "
+                 "    {\"component\": %s, \"threads\": %zu, "
                  "\"wall_seconds\": %.6f}%s\n",
-                 r.component.c_str(), r.threads, r.wall_seconds,
+                 JsonQuote(r.component).c_str(), r.threads, r.wall_seconds,
                  i + 1 < records.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n  \"metrics\": %s\n}\n",
+               obs::MetricsRegistry::Instance().ToJson().c_str());
   std::fclose(f);
   std::printf("[json] wrote %s\n", path.c_str());
 }

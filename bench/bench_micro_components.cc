@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include <functional>
+#include <string_view>
 
 #include "bench_common.h"
 #include "core/graph_builder.h"
@@ -17,9 +18,9 @@
 #include "ml/gbdt.h"
 #include "ml/random_forest.h"
 #include "numeric/stats.h"
+#include "obs/trace.h"
 #include "transferability/logme.h"
 #include "util/rng.h"
-#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 #include "zoo/model_zoo.h"
 
@@ -185,15 +186,24 @@ BENCHMARK(BM_GraphConstruction)->Unit(benchmark::kMillisecond);
 // Times one component at 1 thread and at the configured thread count
 // (TG_THREADS / hardware), prints the speedup, and records both timings for
 // bench_csv/bench_timings.json. Each configuration gets one warmup run.
-void ReportOneSpeedup(const std::string& name,
+// Timings come from the span tracer rather than an external stopwatch: the
+// measured interval is the component's own `span_name` root spans, so setup
+// work inside the lambda (RNG seeding, corpus copies) is excluded.
+void ReportOneSpeedup(const std::string& name, std::string_view span_name,
                       const std::function<void()>& run) {
   const size_t n_threads = ThreadCount();
   auto timed = [&](size_t threads) {
     SetThreadCount(threads);
     run();  // warmup
-    Stopwatch timer;
+    obs::ResetSpans();
     run();
-    const double seconds = timer.ElapsedSeconds();
+    double seconds = 0.0;
+    for (const obs::SpanRecord& span : obs::SnapshotSpans()) {
+      if (span.parent == 0 && span_name == span.name) {
+        seconds +=
+            static_cast<double>(span.end_ns - span.start_ns) * 1e-9;
+      }
+    }
     bench::RecordTiming(name, threads, seconds);
     return seconds;
   };
@@ -214,7 +224,7 @@ void ReportParallelSpeedups() {
   walk_config.walk_length = 40;
   walk_config.q = 0.5;
   RandomWalkGenerator walker(g, walk_config);
-  ReportOneSpeedup("random_walk_corpus", [&] {
+  ReportOneSpeedup("random_walk_corpus", "walk_corpus", [&] {
     Rng rng(11);
     benchmark::DoNotOptimize(walker.GenerateAll(&rng));
   });
@@ -229,7 +239,7 @@ void ReportParallelSpeedups() {
   SkipGramConfig sg_config;
   sg_config.dim = 128;
   sg_config.epochs = 2;
-  ReportOneSpeedup("skipgram_sharded", [&] {
+  ReportOneSpeedup("skipgram_sharded", "skipgram_train", [&] {
     Rng rng(12);
     SkipGramTrainer trainer(g.num_nodes(), sg_config);
     trainer.Train(corpus, &rng);
@@ -245,14 +255,14 @@ void ReportParallelSpeedups() {
   }
   ml::RandomForestConfig rf_config;
   rf_config.num_trees = 50;
-  ReportOneSpeedup("random_forest_fit", [&] {
+  ReportOneSpeedup("random_forest_fit", "forest_fit", [&] {
     ml::RandomForest model(rf_config);
     benchmark::DoNotOptimize(model.Fit(data));
   });
 
   ml::GbdtConfig gbdt_config;
   gbdt_config.num_trees = 50;
-  ReportOneSpeedup("gbdt_fit", [&] {
+  ReportOneSpeedup("gbdt_fit", "gbdt_fit", [&] {
     ml::Gbdt model(gbdt_config);
     benchmark::DoNotOptimize(model.Fit(data));
   });
@@ -264,7 +274,15 @@ void ReportParallelSpeedups() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // The speedup section reads its timings from span records; tracing goes
+  // back off for the google-benchmark loops so their iterations don't
+  // accumulate span buffers. Metrics stay on: stage histograms and pool
+  // counters land next to the timings in bench_timings.json.
+  tg::obs::SetMetricsEnabled(true);
+  tg::obs::SetTraceEnabled(true);
   tg::ReportParallelSpeedups();
+  tg::obs::SetTraceEnabled(false);
+  tg::obs::ResetSpans();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   tg::bench::WriteTimingsJson();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "numeric/stats.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -11,6 +12,7 @@ namespace tg::core {
 BuiltGraph BuildModelZooGraph(zoo::ModelZoo* zoo, zoo::Modality modality,
                               const GraphBuildOptions& options) {
   TG_CHECK_GT(options.history_ratio, 0.0);
+  TG_TRACE_SPAN("graph_build");
   BuiltGraph built;
   Rng rng(options.seed);
 

@@ -6,6 +6,8 @@
 
 #include "numeric/pca.h"
 #include "numeric/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -55,6 +57,7 @@ std::string Pipeline::EmbeddingCacheKey(const PipelineConfig& config) const {
 
 Matrix Pipeline::BuildNodeFeatures(const PipelineConfig& config,
                                    const BuiltGraph& built) {
+  TG_TRACE_SPAN("node_features");
   // Feature layout: [type(2) | dataset representation | model metadata].
   // Collect the dataset representations (optionally PCA-reduced).
   std::vector<size_t> dataset_ids;
@@ -111,16 +114,27 @@ Matrix Pipeline::BuildNodeFeatures(const PipelineConfig& config,
 const Matrix& Pipeline::EmbeddingsFor(const PipelineConfig& config,
                                       const BuiltGraph& built) {
   TG_CHECK(config.strategy.learner != GraphLearner::kNone);
+  static obs::Counter& cache_hit = obs::MetricsRegistry::Instance().GetCounter(
+      "pipeline.embedding_cache.hit");
+  static obs::Counter& cache_miss =
+      obs::MetricsRegistry::Instance().GetCounter(
+          "pipeline.embedding_cache.miss");
   const std::string key = EmbeddingCacheKey(config);
   {
     std::lock_guard<std::mutex> lock(embedding_mu_);
     auto it = embedding_cache_.find(key);
-    if (it != embedding_cache_.end()) return it->second;
+    if (it != embedding_cache_.end()) {
+      cache_hit.Increment();
+      return it->second;
+    }
   }
+  cache_miss.Increment();
   // Train outside the lock so concurrent targets (distinct keys in the
   // leave-one-out sweep) overlap; duplicate work on the same key is
   // deterministic-identical and the first insert wins.
   Stopwatch timer;
+  TG_TRACE_SPAN2("embedding_train",
+                 GraphLearnerName(config.strategy.learner));
   Matrix embeddings;
   switch (config.strategy.learner) {
     case GraphLearner::kNode2Vec:
@@ -168,6 +182,7 @@ TargetEvaluation Pipeline::EvaluateTarget(const PipelineConfig& config,
                                           size_t target_dataset) {
   TG_CHECK_LT(target_dataset, zoo_->num_datasets());
   TG_CHECK(zoo_->datasets()[target_dataset].modality == modality_);
+  TG_TRACE_SPAN2("evaluate_target", zoo_->datasets()[target_dataset].name);
 
   PipelineConfig cfg = config;
   cfg.graph.exclude_target = target_dataset;
@@ -205,8 +220,10 @@ TargetEvaluation Pipeline::EvaluateTarget(const PipelineConfig& config,
     }
     if (!kept.empty()) train_pairs = std::move(kept);
   }
-  ml::TabularDataset train =
-      assembler.BuildTable(train_pairs, cfg.graph.history_method);
+  ml::TabularDataset train = [&] {
+    TG_TRACE_SPAN("train_table");
+    return assembler.BuildTable(train_pairs, cfg.graph.history_method);
+  }();
   if (cfg.use_transferability_labels) {
     for (size_t i = 0; i < train_pairs.size(); ++i) {
       train.y[i] = assembler.NormalizedLogMe(train_pairs[i].first,
@@ -223,8 +240,11 @@ TargetEvaluation Pipeline::EvaluateTarget(const PipelineConfig& config,
   }
   std::unique_ptr<ml::Regressor> predictor = MakePredictor(kind,
                                                            cfg.predictor);
-  Status fit = predictor->Fit(train);
-  TG_CHECK_MSG(fit.ok(), fit.ToString().c_str());
+  {
+    TG_TRACE_SPAN2("predictor_fit", PredictorKindName(kind));
+    Status fit = predictor->Fit(train);
+    TG_CHECK_MSG(fit.ok(), fit.ToString().c_str());
+  }
 
   // --- Prediction set: every model against the target ---
   TargetEvaluation eval;
@@ -233,11 +253,14 @@ TargetEvaluation Pipeline::EvaluateTarget(const PipelineConfig& config,
   eval.model_indices = model_ids;
   eval.predicted.reserve(model_ids.size());
   eval.actual.reserve(model_ids.size());
-  for (size_t m : model_ids) {
-    eval.predicted.push_back(predictor->Predict(assembler.Row(m,
-                                                              target_dataset)));
-    eval.actual.push_back(
-        zoo_->FineTuneAccuracy(m, target_dataset, cfg.evaluation_method));
+  {
+    TG_TRACE_SPAN("target_scoring");
+    for (size_t m : model_ids) {
+      eval.predicted.push_back(
+          predictor->Predict(assembler.Row(m, target_dataset)));
+      eval.actual.push_back(
+          zoo_->FineTuneAccuracy(m, target_dataset, cfg.evaluation_method));
+    }
   }
   eval.pearson = PearsonCorrelation(eval.predicted, eval.actual);
   eval.spearman = SpearmanCorrelation(eval.predicted, eval.actual);
@@ -252,6 +275,7 @@ std::vector<TargetEvaluation> Pipeline::EvaluateAllTargets(
   // scores, embeddings) memoize deterministic values, so the output is
   // bit-identical for any thread count.
   const std::vector<size_t> targets = zoo_->EvaluationTargets(modality_);
+  TG_TRACE_SPAN("evaluate_all_targets");
   std::vector<TargetEvaluation> out(targets.size());
   ParallelFor(0, targets.size(), 1,
               [&](size_t begin, size_t end, size_t /*chunk*/) {

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -109,6 +110,7 @@ std::vector<NodeId> RandomWalkGenerator::Walk(NodeId start, Rng* rng) const {
 
 std::vector<std::vector<NodeId>> RandomWalkGenerator::GenerateAll(
     Rng* rng) const {
+  TG_TRACE_SPAN("walk_corpus");
   // The start schedule (node order per pass) is drawn sequentially from the
   // caller's rng; the walks themselves each run on an Rng forked from the
   // walk's global index, so the fan-out below is bit-identical for any

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "graph/negative_sampler.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -117,6 +118,7 @@ SkipGramTrainer::SkipGramTrainer(size_t vocab_size,
 
 void SkipGramTrainer::Train(const std::vector<std::vector<uint32_t>>& corpus,
                             Rng* rng) {
+  TG_TRACE_SPAN("skipgram_train");
   // Token frequencies drive the negative-sampling distribution.
   std::vector<double> freqs(vocab_size_, 1.0);  // +1 smoothing
   size_t total_tokens = 0;
@@ -154,6 +156,7 @@ void SkipGramTrainer::TrainSharded(
 
   size_t epoch_base = 0;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    TG_TRACE_SPAN("skipgram_epoch");
     rng->Shuffle(&order);
     const auto positions = FlattenPositions(corpus, order);
     if (positions.empty()) continue;
@@ -212,6 +215,7 @@ void SkipGramTrainer::TrainHogwild(
 
   size_t epoch_base = 0;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    TG_TRACE_SPAN("skipgram_epoch");
     rng->Shuffle(&order);
     const auto positions = FlattenPositions(corpus, order);
 

@@ -3,6 +3,7 @@
 #include "autograd/ops.h"
 #include "graph/negative_sampler.h"
 #include "nn/optimizer.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace tg::gnn {
@@ -13,6 +14,7 @@ LinkPredictionResult TrainLinkPrediction(
     const LinkPredictionConfig& config, Rng* rng) {
   using namespace autograd;  // NOLINT(build/namespaces)
   TG_CHECK_EQ(features.rows(), graph.num_nodes());
+  TG_TRACE_SPAN("link_prediction_train");
 
   std::vector<std::pair<NodeId, NodeId>> positives;
   positives.reserve(graph.edges().size());

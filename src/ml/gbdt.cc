@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "numeric/stats.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -62,6 +63,7 @@ double Gbdt::Tree::PredictRow(const double* row) const {
 }
 
 Status Gbdt::Fit(const TabularDataset& data) {
+  TG_TRACE_SPAN("gbdt_fit");
   if (data.num_rows() == 0) {
     return Status::InvalidArgument("empty training set");
   }

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace tg::ml {
 
 Status RandomForest::Fit(const TabularDataset& data) {
+  TG_TRACE_SPAN("forest_fit");
   if (data.num_rows() == 0) {
     return Status::InvalidArgument("empty training set");
   }

@@ -1,0 +1,278 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.h"
+#include "util/json_util.h"
+
+namespace tg::obs {
+namespace {
+
+constexpr uint32_t kTraceBit = 1u;
+constexpr uint32_t kMetricsBit = 2u;
+
+bool EnvFlagSet(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && *value != '\0' && std::strcmp(value, "0") != 0;
+}
+
+std::atomic<uint32_t>& Mode() {
+  // Function-local so first use (from any TU, any time) is well-defined;
+  // seeded once from the environment knobs.
+  static std::atomic<uint32_t> mode{
+      (EnvFlagSet("TG_TRACE") ? kTraceBit : 0u) |
+      (EnvFlagSet("TG_METRICS") ? kMetricsBit : 0u)};
+  return mode;
+}
+
+uint64_t NowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch)
+          .count());
+}
+
+// --- Per-thread record buffers ---------------------------------------------
+//
+// Each thread appends to its own chain of fixed-size blocks; a record
+// becomes visible to readers via a release store of the published count, so
+// the writer takes no lock and never blocks on a flush. Blocks are only ever
+// appended, never moved, so readers can walk the chain concurrently.
+
+constexpr size_t kBlockSize = 256;
+
+struct Block {
+  SpanRecord slots[kBlockSize];
+  std::atomic<Block*> next{nullptr};
+};
+
+struct ThreadBuffer {
+  uint32_t tid = 0;
+  std::string name;  // guarded by Buffers().mu
+  Block head;
+  Block* write_block = &head;   // owner thread only
+  uint64_t write_count = 0;     // owner thread only
+  std::atomic<uint64_t> published{0};
+  std::atomic<uint64_t> consumed{0};  // flush side only
+
+  ~ThreadBuffer() {
+    Block* b = head.next.load(std::memory_order_acquire);
+    while (b != nullptr) {
+      Block* next = b->next.load(std::memory_order_acquire);
+      delete b;
+      b = next;
+    }
+  }
+
+  void Append(SpanRecord&& record) {
+    record.tid = tid;
+    const size_t slot = write_count % kBlockSize;
+    if (slot == 0 && write_count != 0) {
+      Block* fresh = new Block;
+      write_block->next.store(fresh, std::memory_order_release);
+      write_block = fresh;
+    }
+    write_block->slots[slot] = std::move(record);
+    ++write_count;
+    published.store(write_count, std::memory_order_release);
+  }
+};
+
+struct BufferRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+BufferRegistry& Buffers() {
+  static BufferRegistry* registry = new BufferRegistry;
+  return *registry;
+}
+
+// The registry keeps buffers alive past thread exit so spans recorded by
+// short-lived threads survive until the final flush.
+ThreadBuffer* LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto fresh = std::make_shared<ThreadBuffer>();
+    BufferRegistry& registry = Buffers();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    fresh->tid = static_cast<uint32_t>(registry.buffers.size());
+    fresh->name = "thread-" + std::to_string(fresh->tid);
+    registry.buffers.push_back(fresh);
+    return fresh;
+  }();
+  return buffer.get();
+}
+
+std::atomic<uint64_t> g_next_span_id{1};
+
+thread_local uint64_t t_current_span = 0;
+
+}  // namespace
+
+void SetTraceEnabled(bool enabled) {
+  if (enabled) {
+    Mode().fetch_or(kTraceBit, std::memory_order_relaxed);
+  } else {
+    Mode().fetch_and(~kTraceBit, std::memory_order_relaxed);
+  }
+}
+
+bool TraceEnabled() {
+  return (Mode().load(std::memory_order_relaxed) & kTraceBit) != 0;
+}
+
+void SetMetricsEnabled(bool enabled) {
+  if (enabled) {
+    Mode().fetch_or(kMetricsBit, std::memory_order_relaxed);
+  } else {
+    Mode().fetch_and(~kMetricsBit, std::memory_order_relaxed);
+  }
+}
+
+bool MetricsEnabled() {
+  return (Mode().load(std::memory_order_relaxed) & kMetricsBit) != 0;
+}
+
+Span::Span(const char* name) : Span(name, std::string()) {}
+
+Span::Span(const char* name, std::string detail) {
+  if (Mode().load(std::memory_order_relaxed) == 0) return;  // the fast path
+  active_ = true;
+  name_ = name;
+  detail_ = std::move(detail);
+  id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  prev_current_ = t_current_span;
+  t_current_span = id_;
+  start_ns_ = NowNs();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const uint64_t end_ns = NowNs();
+  t_current_span = prev_current_;
+  const uint32_t mode = Mode().load(std::memory_order_relaxed);
+  if ((mode & kMetricsBit) != 0) {
+    StageHistogram(name_).Observe(static_cast<double>(end_ns - start_ns_) *
+                                  1e-9);
+  }
+  if ((mode & kTraceBit) != 0) {
+    SpanRecord record;
+    record.name = name_;
+    record.detail = std::move(detail_);
+    record.id = id_;
+    record.parent = prev_current_;
+    record.start_ns = start_ns_;
+    record.end_ns = end_ns;
+    LocalBuffer()->Append(std::move(record));
+  }
+}
+
+uint64_t CurrentSpanId() { return t_current_span; }
+
+ParentScope::ParentScope(uint64_t parent_span) : prev_(t_current_span) {
+  t_current_span = parent_span;
+}
+
+ParentScope::~ParentScope() { t_current_span = prev_; }
+
+void SetCurrentThreadName(std::string name) {
+  ThreadBuffer* buffer = LocalBuffer();
+  BufferRegistry& registry = Buffers();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  buffer->name = std::move(name);
+}
+
+std::vector<std::pair<uint32_t, std::string>> ThreadNames() {
+  std::vector<std::pair<uint32_t, std::string>> names;
+  BufferRegistry& registry = Buffers();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  names.reserve(registry.buffers.size());
+  for (const auto& buffer : registry.buffers) {
+    names.emplace_back(buffer->tid, buffer->name);
+  }
+  return names;
+}
+
+std::vector<SpanRecord> SnapshotSpans() {
+  std::vector<SpanRecord> out;
+  BufferRegistry& registry = Buffers();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& buffer : registry.buffers) {
+    const uint64_t published =
+        buffer->published.load(std::memory_order_acquire);
+    const uint64_t consumed = buffer->consumed.load(std::memory_order_relaxed);
+    const Block* block = &buffer->head;
+    for (uint64_t i = 0; i < published; ++i) {
+      const size_t slot = i % kBlockSize;
+      if (slot == 0 && i != 0) {
+        block = block->next.load(std::memory_order_acquire);
+      }
+      if (i >= consumed) out.push_back(block->slots[slot]);
+    }
+  }
+  return out;
+}
+
+void ResetSpans() {
+  BufferRegistry& registry = Buffers();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& buffer : registry.buffers) {
+    buffer->consumed.store(buffer->published.load(std::memory_order_acquire),
+                           std::memory_order_relaxed);
+  }
+}
+
+std::string ChromeTraceJson() {
+  const std::vector<SpanRecord> spans = SnapshotSpans();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [tid, name] : ThreadNames()) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":" + JsonQuote(name) +
+           "}}";
+  }
+  for (const SpanRecord& span : spans) {
+    if (!first) out += ",";
+    first = false;
+    // Chrome expects microsecond ts/dur; keep ns precision as fractions.
+    out += "{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(span.tid);
+    out += ",\"name\":" + JsonQuote(span.name);
+    out += ",\"ts\":" + JsonNumber(static_cast<double>(span.start_ns) / 1e3,
+                                   15);
+    out += ",\"dur\":" +
+           JsonNumber(static_cast<double>(span.end_ns - span.start_ns) / 1e3,
+                      15);
+    out += ",\"args\":{\"id\":" + std::to_string(span.id);
+    out += ",\"parent\":" + std::to_string(span.parent);
+    if (!span.detail.empty()) out += ",\"detail\":" + JsonQuote(span.detail);
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  const std::string json = ChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("could not open trace file: " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::Internal("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace tg::obs

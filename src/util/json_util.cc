@@ -1,0 +1,236 @@
+#include "util/json_util.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace tg {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonQuote(const std::string& text) {
+  return "\"" + JsonEscape(text) + "\"";
+}
+
+std::string JsonNumber(double value, int precision) {
+  if (!std::isfinite(value)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+  return buf;
+}
+
+namespace {
+
+// Recursive-descent JSON checker over [p, end). Each Parse* advances p past
+// the value it consumed or returns false leaving p at the first bad byte.
+struct JsonChecker {
+  const char* p;
+  const char* end;
+  int depth = 0;
+
+  static constexpr int kMaxDepth = 256;
+
+  void SkipWs() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  bool Literal(const char* lit) {
+    const size_t n = std::strlen(lit);
+    if (static_cast<size_t>(end - p) < n || std::strncmp(p, lit, n) != 0) {
+      return false;
+    }
+    p += n;
+    return true;
+  }
+
+  bool ParseString() {
+    if (p >= end || *p != '"') return false;
+    ++p;
+    while (p < end) {
+      const unsigned char c = static_cast<unsigned char>(*p);
+      if (c == '"') {
+        ++p;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control char inside a string
+      if (c == '\\') {
+        ++p;
+        if (p >= end) return false;
+        const char e = *p;
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++p;
+            if (p >= end || !std::isxdigit(static_cast<unsigned char>(*p))) {
+              return false;
+            }
+          }
+        } else if (std::strchr("\"\\/bfnrt", e) == nullptr) {
+          return false;
+        }
+      }
+      ++p;
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber() {
+    const char* start = p;
+    if (p < end && *p == '-') ++p;
+    if (p >= end || !std::isdigit(static_cast<unsigned char>(*p))) return false;
+    if (*p == '0') {
+      ++p;
+    } else {
+      while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    }
+    if (p < end && *p == '.') {
+      ++p;
+      if (p >= end || !std::isdigit(static_cast<unsigned char>(*p))) {
+        return false;
+      }
+      while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    }
+    if (p < end && (*p == 'e' || *p == 'E')) {
+      ++p;
+      if (p < end && (*p == '+' || *p == '-')) ++p;
+      if (p >= end || !std::isdigit(static_cast<unsigned char>(*p))) {
+        return false;
+      }
+      while (p < end && std::isdigit(static_cast<unsigned char>(*p))) ++p;
+    }
+    return p > start;
+  }
+
+  bool ParseValue() {
+    SkipWs();
+    if (p >= end || ++depth > kMaxDepth) return false;
+    bool ok = false;
+    switch (*p) {
+      case '{':
+        ok = ParseObject();
+        break;
+      case '[':
+        ok = ParseArray();
+        break;
+      case '"':
+        ok = ParseString();
+        break;
+      case 't':
+        ok = Literal("true");
+        break;
+      case 'f':
+        ok = Literal("false");
+        break;
+      case 'n':
+        ok = Literal("null");
+        break;
+      default:
+        ok = ParseNumber();
+    }
+    --depth;
+    return ok;
+  }
+
+  bool ParseObject() {
+    ++p;  // '{'
+    SkipWs();
+    if (p < end && *p == '}') {
+      ++p;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!ParseString()) return false;
+      SkipWs();
+      if (p >= end || *p != ':') return false;
+      ++p;
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (p < end && *p == ',') {
+        ++p;
+        continue;
+      }
+      if (p < end && *p == '}') {
+        ++p;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseArray() {
+    ++p;  // '['
+    SkipWs();
+    if (p < end && *p == ']') {
+      ++p;
+      return true;
+    }
+    for (;;) {
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (p < end && *p == ',') {
+        ++p;
+        continue;
+      }
+      if (p < end && *p == ']') {
+        ++p;
+        return true;
+      }
+      return false;
+    }
+  }
+};
+
+}  // namespace
+
+Status JsonValidate(const std::string& text) {
+  JsonChecker checker{text.data(), text.data() + text.size()};
+  const bool ok = checker.ParseValue();
+  if (ok) {
+    checker.SkipWs();
+    if (checker.p == checker.end) return Status::OK();
+  }
+  return Status::InvalidArgument(
+      "invalid JSON at byte offset " +
+      std::to_string(checker.p - text.data()));
+}
+
+}  // namespace tg

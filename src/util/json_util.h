@@ -1,0 +1,36 @@
+// Minimal JSON output + validation helpers shared by every exporter that
+// hand-writes JSON (trace/metrics exporters, bench timing writer). This is
+// deliberately not a full JSON library: writers compose strings with
+// JsonEscape/JsonQuote, and JsonValidate is a strict syntax checker used by
+// tests and the CLI to assert that emitted files actually parse.
+#ifndef TG_UTIL_JSON_UTIL_H_
+#define TG_UTIL_JSON_UTIL_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace tg {
+
+// Escapes a string for inclusion inside a JSON string literal: quotes,
+// backslashes, and control characters (incl. \n, \t) become escape
+// sequences. Does not add the surrounding quotes.
+std::string JsonEscape(const std::string& text);
+
+// JsonEscape plus surrounding double quotes: ready to splice into JSON.
+std::string JsonQuote(const std::string& text);
+
+// Formats a double as a valid JSON number: finite values use shortest-ish
+// %.17g repr trimmed to %.*g precision, non-finite values (which JSON cannot
+// represent) become 0 with no error -- exporters must not emit NaN/Inf.
+std::string JsonNumber(double value, int precision = 6);
+
+// Strict recursive-descent validation of a complete JSON document (object,
+// array, string, number, true/false/null; UTF-8 passthrough). Returns OK if
+// `text` is exactly one valid JSON value plus optional trailing whitespace,
+// otherwise InvalidArgument with the byte offset of the first error.
+Status JsonValidate(const std::string& text);
+
+}  // namespace tg
+
+#endif  // TG_UTIL_JSON_UTIL_H_

@@ -1,11 +1,15 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace tg {
 namespace {
 
-LogLevel g_level = LogLevel::kInfo;
+// Atomic because benches flip the level (SetLogLevel) while pool workers may
+// be logging concurrently; relaxed is enough -- the level is an independent
+// filter knob, not a synchronization point.
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,12 +28,10 @@ const char* LevelName(LogLevel level) {
 }  // namespace
 
 LogLevel SetLogLevel(LogLevel level) {
-  LogLevel old = g_level;
-  g_level = level;
-  return old;
+  return g_level.exchange(level, std::memory_order_relaxed);
 }
 
-LogLevel GetLogLevel() { return g_level; }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 namespace internal_logging {
 
@@ -39,7 +41,10 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (static_cast<int>(level_) < static_cast<int>(g_level)) return;
+  if (static_cast<int>(level_) <
+      static_cast<int>(g_level.load(std::memory_order_relaxed))) {
+    return;
+  }
   std::fprintf(stderr, "%s\n", stream_.str().c_str());
 }
 

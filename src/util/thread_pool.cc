@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tg {
 namespace {
@@ -41,7 +45,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, i] {
+      obs::SetCurrentThreadName("tg-worker-" + std::to_string(i));
+      WorkerLoop();
+    });
   }
 }
 
@@ -55,6 +62,9 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  static obs::Counter& tasks =
+      obs::MetricsRegistry::Instance().GetCounter("thread_pool.tasks");
+  tasks.Increment();
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push(std::move(task));
@@ -75,7 +85,17 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    if (obs::MetricsEnabled()) {
+      static obs::Gauge& busy = obs::MetricsRegistry::Instance().GetGauge(
+          "thread_pool.worker_busy_seconds");
+      const auto start = std::chrono::steady_clock::now();
+      task();
+      busy.Add(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             start)
+                   .count());
+    } else {
+      task();
+    }
   }
 }
 
@@ -103,10 +123,24 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
     fn(lo, std::min(end, lo + grain), c);
   };
 
+  static obs::Counter& pf_calls = obs::MetricsRegistry::Instance().GetCounter(
+      "thread_pool.parallel_for.calls");
+  static obs::Counter& pf_chunks = obs::MetricsRegistry::Instance().GetCounter(
+      "thread_pool.parallel_for.chunks");
+  pf_calls.Increment();
+  pf_chunks.Increment(num_chunks);
+
   if (num_chunks == 1 || ThreadCount() == 1 || ThreadPool::InWorker()) {
+    // Inline execution stays on the calling thread, so spans opened inside
+    // fn already nest under the caller's current span.
     for (size_t c = 0; c < num_chunks; ++c) run_chunk(c);
     return;
   }
+
+  // Spans opened by fn on a pool worker must attach to the span that
+  // enqueued this region, not to whatever the worker traced last: capture
+  // the caller's current span and re-establish it inside each drain.
+  const uint64_t parent_span = obs::CurrentSpanId();
 
   struct Shared {
     std::atomic<size_t> next{0};
@@ -122,7 +156,9 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
   // Each drain loop claims chunk indices until exhausted. A late-running
   // submitted copy after the caller returned claims nothing and never calls
   // run_chunk (whose captured references would be dangling by then).
-  const auto drain = [shared, run_chunk] {
+  const auto drain = [shared, run_chunk, parent_span] {
+    obs::ParentScope handoff(parent_span);
+    obs::Span drain_span("pool_drain");
     for (;;) {
       const size_t c = shared->next.fetch_add(1, std::memory_order_relaxed);
       if (c >= shared->total) return;

@@ -2,6 +2,7 @@
 
 #include "features/domain_similarity.h"
 #include "features/task2vec.h"
+#include "obs/metrics.h"
 #include "transferability/hscore.h"
 #include "transferability/leep.h"
 #include "transferability/logme.h"
@@ -11,6 +12,28 @@
 #include "util/logging.h"
 
 namespace tg::zoo {
+namespace {
+
+// One hit/miss counter pair covers all five transferability-score caches
+// (LogME/LEEP/NCE/PARC/H-score): they share the zoo-wide memoization policy
+// and the interesting signal is whether *any* score was recomputed.
+void CountScoreCache(bool hit) {
+  static obs::Counter& hits =
+      obs::MetricsRegistry::Instance().GetCounter("zoo.score_cache.hit");
+  static obs::Counter& misses =
+      obs::MetricsRegistry::Instance().GetCounter("zoo.score_cache.miss");
+  (hit ? hits : misses).Increment();
+}
+
+void CountEmbeddingCache(bool hit) {
+  static obs::Counter& hits = obs::MetricsRegistry::Instance().GetCounter(
+      "zoo.dataset_embedding_cache.hit");
+  static obs::Counter& misses = obs::MetricsRegistry::Instance().GetCounter(
+      "zoo.dataset_embedding_cache.miss");
+  (hit ? hits : misses).Increment();
+}
+
+}  // namespace
 
 ModelZoo::ModelZoo(const ModelZooConfig& config)
     : config_(config), catalog_(BuildCatalog(config.catalog)) {
@@ -80,8 +103,12 @@ const std::vector<double>& ModelZoo::DatasetEmbedding(
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
     auto it = cache.find(dataset);
-    if (it != cache.end()) return it->second;
+    if (it != cache.end()) {
+      CountEmbeddingCache(true);
+      return it->second;
+    }
   }
+  CountEmbeddingCache(false);
   // Compute outside the lock; concurrent misses on the same key produce
   // identical values and the first emplace wins.
   const DatasetSamples& samples = world_->Samples(dataset);
@@ -111,8 +138,12 @@ double ModelZoo::LogMe(size_t model, size_t dataset) {
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
     auto it = logme_cache_.find(key);
-    if (it != logme_cache_.end()) return it->second;
+    if (it != logme_cache_.end()) {
+      CountScoreCache(true);
+      return it->second;
+    }
   }
+  CountScoreCache(false);
   const DatasetSamples& samples = world_->Samples(dataset);
   const Matrix features = world_->ExtractFeatures(model, dataset);
   Result<double> score =
@@ -128,8 +159,12 @@ double ModelZoo::Leep(size_t model, size_t dataset) {
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
     auto it = leep_cache_.find(key);
-    if (it != leep_cache_.end()) return it->second;
+    if (it != leep_cache_.end()) {
+      CountScoreCache(true);
+      return it->second;
+    }
   }
+  CountScoreCache(false);
   const DatasetSamples& samples = world_->Samples(dataset);
   const Matrix probs = world_->SourceProbabilities(model, dataset);
   Result<double> score = LeepScore(probs, samples.labels, samples.num_classes);
@@ -144,8 +179,12 @@ double ModelZoo::Nce(size_t model, size_t dataset) {
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
     auto it = nce_cache_.find(key);
-    if (it != nce_cache_.end()) return it->second;
+    if (it != nce_cache_.end()) {
+      CountScoreCache(true);
+      return it->second;
+    }
   }
+  CountScoreCache(false);
   const DatasetSamples& samples = world_->Samples(dataset);
   const std::vector<int> source = world_->SourceHardLabels(model, dataset);
   Result<double> score = NceScore(source, samples.labels);
@@ -160,8 +199,12 @@ double ModelZoo::Parc(size_t model, size_t dataset) {
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
     auto it = parc_cache_.find(key);
-    if (it != parc_cache_.end()) return it->second;
+    if (it != parc_cache_.end()) {
+      CountScoreCache(true);
+      return it->second;
+    }
   }
+  CountScoreCache(false);
   const DatasetSamples& samples = world_->Samples(dataset);
   const Matrix features = world_->ExtractFeatures(model, dataset);
   Result<double> score =
@@ -177,8 +220,12 @@ double ModelZoo::HScoreOf(size_t model, size_t dataset) {
   {
     std::lock_guard<std::mutex> lock(cache_mu_);
     auto it = hscore_cache_.find(key);
-    if (it != hscore_cache_.end()) return it->second;
+    if (it != hscore_cache_.end()) {
+      CountScoreCache(true);
+      return it->second;
+    }
   }
+  CountScoreCache(false);
   const DatasetSamples& samples = world_->Samples(dataset);
   const Matrix features = world_->ExtractFeatures(model, dataset);
   Result<double> score = HScore(features, samples.labels, samples.num_classes);

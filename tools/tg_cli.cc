@@ -14,6 +14,15 @@
 //   --features metadata|all|graph   feature set        (default all)
 //   --top K                         list length for rank (default 10)
 //   --models N                      zoo size knob (default 185/163)
+//   --log-level debug|info|warning|error   stderr verbosity (default warning)
+//
+// Observability (see docs/observability.md):
+//   --trace FILE    write a Chrome trace-event JSON of the run (open in
+//                   chrome://tracing or https://ui.perfetto.dev)
+//   --metrics       after `rank`, re-evaluate the target once more (warm
+//                   caches), print the per-stage timing table (cold vs warm)
+//                   and the full metrics dump
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -25,6 +34,10 @@
 #include "core/recommender.h"
 #include "graph/graph_stats.h"
 #include "graph/serialization.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/check.h"
+#include "util/json_util.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -42,14 +55,22 @@ struct CliArgs {
     auto it = options.find(key);
     return it == options.end() ? fallback : it->second;
   }
+
+  bool Flag(const std::string& key) const {
+    auto it = options.find(key);
+    return it != options.end() && it->second != "false" && it->second != "0";
+  }
 };
 
 int Usage() {
   std::fprintf(stderr,
                "usage: tg_cli <catalog|rank|graph-stats|export-graph|"
                "export-history> [--option value ...]\n"
-               "  rank requires --target <dataset name>\n"
-               "  export-* require --out <path>\n");
+               "  rank requires --target <dataset name | evaluation index>\n"
+               "  export-* require --out <path>\n"
+               "  observability: --trace FILE (Chrome trace JSON), "
+               "--metrics (stage table + counters after rank),\n"
+               "                 --log-level debug|info|warning|error\n");
   return 2;
 }
 
@@ -57,15 +78,21 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
   if (argc < 2) return Status::InvalidArgument("missing command");
   CliArgs args;
   args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc;) {
     if (std::strncmp(argv[i], "--", 2) != 0) {
       return Status::InvalidArgument(std::string("expected --option, got ") +
                                      argv[i]);
     }
-    args.options[argv[i] + 2] = argv[i + 1];
-  }
-  if (argc > 2 && (argc % 2) != 0) {
-    return Status::InvalidArgument("dangling option without a value");
+    const std::string key = argv[i] + 2;
+    // Boolean flags (e.g. --metrics) take no value: the next token is either
+    // absent or another --option.
+    if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
+      args.options[key] = "true";
+      i += 1;
+    } else {
+      args.options[key] = argv[i + 1];
+      i += 2;
+    }
   }
   return args;
 }
@@ -101,6 +128,14 @@ Result<core::FeatureSet> ParseFeatures(const std::string& text) {
   return Status::InvalidArgument("unknown feature set: " + text);
 }
 
+Result<LogLevel> ParseLogLevel(const std::string& text) {
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warning") return LogLevel::kWarning;
+  if (text == "error") return LogLevel::kError;
+  return Status::InvalidArgument("unknown log level: " + text);
+}
+
 zoo::ModelZooConfig ZooConfigFrom(const CliArgs& args) {
   zoo::ModelZooConfig config;
   const std::string models = args.Get("models", "");
@@ -130,21 +165,69 @@ int RunCatalog(const CliArgs& args) {
   return 0;
 }
 
+// Prints the per-stage wall-clock table from the stage histograms: the cold
+// column is the first evaluation, the warm column the cached re-evaluation
+// (the delta between the two registry snapshots). This is the CLI view of
+// the paper's Fig. 5 stage costs.
+void PrintStageTable(const obs::MetricsSnapshot& cold,
+                     const obs::MetricsSnapshot& warm) {
+  constexpr const char* kPrefix = "stage.";
+  constexpr const char* kSuffix = ".seconds";
+  TablePrinter table({"stage", "cold calls", "cold s", "warm calls",
+                      "warm s"});
+  for (const auto& [name, total] : warm.histograms) {
+    if (!StartsWith(name, kPrefix)) continue;
+    const size_t body = name.size() - std::strlen(kPrefix) -
+                        std::strlen(kSuffix);
+    const std::string stage = name.substr(std::strlen(kPrefix), body);
+    obs::HistogramStats first;  // zero when the stage only ran warm
+    auto it = cold.histograms.find(name);
+    if (it != cold.histograms.end()) first = it->second;
+    table.AddRow({stage, std::to_string(first.count),
+                  FormatDouble(first.sum, 4),
+                  std::to_string(total.count - first.count),
+                  FormatDouble(total.sum - first.sum, 4)});
+  }
+  table.Print();
+}
+
 int RunRank(const CliArgs& args) {
   const std::string target_name = args.Get("target", "");
-  if (target_name.empty()) return Usage();
+  if (target_name.empty() || target_name == "true") return Usage();
+
+  Result<zoo::Modality> modality = ParseModality(args.Get("modality",
+                                                          "image"));
+  if (!modality.ok()) return Usage();
 
   zoo::ModelZoo zoo(ZooConfigFrom(args));
   size_t target = 0;
   bool found = false;
-  for (size_t d = 0; d < zoo.num_datasets(); ++d) {
-    if (zoo.datasets()[d].name == target_name && zoo.datasets()[d].is_public) {
-      target = d;
+  const bool numeric = !target_name.empty() &&
+                       std::isdigit(static_cast<unsigned char>(
+                           target_name[0]));
+  if (numeric) {
+    // Numeric targets index the modality's evaluation-target roster (the
+    // paper's Table III rows): `--modality image --target 0` = caltech101.
+    const std::vector<size_t> eval_targets =
+        zoo.EvaluationTargets(modality.value());
+    const size_t index = static_cast<size_t>(std::stoul(target_name));
+    if (index < eval_targets.size()) {
+      target = eval_targets[index];
       found = true;
+    }
+  } else {
+    for (size_t d = 0; d < zoo.num_datasets(); ++d) {
+      if (zoo.datasets()[d].name == target_name &&
+          zoo.datasets()[d].is_public) {
+        target = d;
+        found = true;
+      }
     }
   }
   if (!found) {
-    std::fprintf(stderr, "unknown public dataset: %s\n", target_name.c_str());
+    std::fprintf(stderr, "unknown %s target: %s\n",
+                 numeric ? "evaluation-index" : "public dataset",
+                 target_name.c_str());
     return 1;
   }
 
@@ -164,8 +247,9 @@ int RunRank(const CliArgs& args) {
   core::TargetEvaluation evaluation =
       pipeline.EvaluateTarget(config, target);
   std::printf("strategy %s on %s: pearson %.3f, top-5 accuracy %.3f\n\n",
-              config.strategy.DisplayName().c_str(), target_name.c_str(),
-              evaluation.pearson, evaluation.TopKMeanAccuracy(5));
+              config.strategy.DisplayName().c_str(),
+              zoo.datasets()[target].name.c_str(), evaluation.pearson,
+              evaluation.TopKMeanAccuracy(5));
 
   const int top = std::stoi(args.Get("top", "10"));
   TablePrinter table({"rank", "model", "predicted", "actual"});
@@ -178,6 +262,25 @@ int RunRank(const CliArgs& args) {
                                3)});
   }
   table.Print();
+
+  if (args.Flag("metrics")) {
+    // Second evaluation of the same target: the embedding and zoo score
+    // caches are warm now, so the stage table contrasts cold vs warm costs
+    // and the hit counters below prove the caches actually serve.
+    const obs::MetricsSnapshot cold =
+        obs::MetricsRegistry::Instance().Snapshot();
+    const core::TargetEvaluation warm_eval =
+        pipeline.EvaluateTarget(config, target);
+    // The determinism contract: telemetry must never change results.
+    TG_CHECK(warm_eval.predicted == evaluation.predicted);
+    const obs::MetricsSnapshot warm =
+        obs::MetricsRegistry::Instance().Snapshot();
+    std::printf("\nper-stage timings (cold = first evaluation, warm = "
+                "cached re-evaluation):\n");
+    PrintStageTable(cold, warm);
+    std::printf("\nmetrics:\n%s",
+                obs::MetricsRegistry::Instance().RenderTable().c_str());
+  }
   return 0;
 }
 
@@ -230,6 +333,15 @@ int RunExportHistory(const CliArgs& args) {
   return 0;
 }
 
+int Dispatch(const CliArgs& args) {
+  if (args.command == "catalog") return RunCatalog(args);
+  if (args.command == "rank") return RunRank(args);
+  if (args.command == "graph-stats") return RunGraphStats(args);
+  if (args.command == "export-graph") return RunExportGraph(args);
+  if (args.command == "export-history") return RunExportHistory(args);
+  return Usage();
+}
+
 int Run(int argc, char** argv) {
   Result<CliArgs> parsed = ParseArgs(argc, argv);
   if (!parsed.ok()) {
@@ -237,13 +349,37 @@ int Run(int argc, char** argv) {
     return Usage();
   }
   const CliArgs& args = parsed.value();
-  SetLogLevel(LogLevel::kWarning);
-  if (args.command == "catalog") return RunCatalog(args);
-  if (args.command == "rank") return RunRank(args);
-  if (args.command == "graph-stats") return RunGraphStats(args);
-  if (args.command == "export-graph") return RunExportGraph(args);
-  if (args.command == "export-history") return RunExportHistory(args);
-  return Usage();
+
+  Result<LogLevel> level = ParseLogLevel(args.Get("log-level", "warning"));
+  if (!level.ok()) return Usage();
+  SetLogLevel(level.value());
+
+  const std::string trace_path = args.Get("trace", "");
+  if (!trace_path.empty()) obs::SetTraceEnabled(true);
+  if (args.Flag("metrics")) obs::SetMetricsEnabled(true);
+  obs::SetCurrentThreadName("main");
+
+  const int code = Dispatch(args);
+
+  if (!trace_path.empty()) {
+    Status written = obs::WriteChromeTrace(trace_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return code != 0 ? code : 1;
+    }
+    // Self-check: the exporter hand-writes JSON, so lint what landed on
+    // disk before telling anyone to load it into Perfetto.
+    Status valid = JsonValidate(obs::ChromeTraceJson());
+    if (!valid.ok()) {
+      std::fprintf(stderr, "trace self-check failed: %s\n",
+                   valid.ToString().c_str());
+      return code != 0 ? code : 1;
+    }
+    std::printf("wrote trace %s (open in chrome://tracing or "
+                "https://ui.perfetto.dev)\n",
+                trace_path.c_str());
+  }
+  return code;
 }
 
 }  // namespace
