@@ -6,6 +6,7 @@
 // configured TG_THREADS count and writes bench_csv/bench_timings.json.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <functional>
 #include <string_view>
 
@@ -17,6 +18,7 @@
 #include "gnn/sage.h"
 #include "ml/gbdt.h"
 #include "ml/random_forest.h"
+#include "numeric/kernels.h"
 #include "numeric/stats.h"
 #include "obs/trace.h"
 #include "transferability/logme.h"
@@ -55,6 +57,86 @@ void BM_AliasTableSample(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AliasTableSample);
+
+// --- skipgram_kernels: the dense inner loops behind the skip-gram trainer ---
+// Args cover the embedding dim used by the pipeline (128) and an off-unroll
+// length (129) so the tail path shows up in the numbers.
+
+std::vector<double> BenchVector(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.NextUniform(-1.0, 1.0);
+  return v;
+}
+
+void BM_KernelDot(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<double> a = BenchVector(n, 21);
+  const std::vector<double> b = BenchVector(n, 22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::Dot(a.data(), b.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KernelDot)->Arg(128)->Arg(129);
+
+void BM_KernelDotScalarRef(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<double> a = BenchVector(n, 21);
+  const std::vector<double> b = BenchVector(n, 22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::DotScalarRef(a.data(), b.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KernelDotScalarRef)->Arg(128)->Arg(129);
+
+void BM_KernelAxpy(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<double> x = BenchVector(n, 23);
+  std::vector<double> y = BenchVector(n, 24);
+  for (auto _ : state) {
+    kernels::Axpy(0.01, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KernelAxpy)->Arg(128)->Arg(129);
+
+void BM_KernelFusedDotSigmoidUpdate(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::vector<double> w = BenchVector(n, 25);
+  std::vector<double> c = BenchVector(n, 26);
+  std::vector<double> grad(n, 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::FusedDotSigmoidUpdate(
+        w.data(), c.data(), grad.data(), n, 1.0, 0.025));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KernelFusedDotSigmoidUpdate)->Arg(128)->Arg(129);
+
+void BM_SigmoidTabulated(benchmark::State& state) {
+  const std::vector<double> xs = BenchVector(1024, 27);
+  size_t i = 0;
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += kernels::TabulatedSigmoid(10.0 * xs[i++ & 1023]);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_SigmoidTabulated);
+
+void BM_SigmoidExact(benchmark::State& state) {
+  const std::vector<double> xs = BenchVector(1024, 27);
+  size_t i = 0;
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += kernels::ExactSigmoid(10.0 * xs[i++ & 1023]);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_SigmoidExact);
 
 void BM_BiasedRandomWalk(benchmark::State& state) {
   Graph g = MakeBenchmarkGraph(260, 20);
@@ -278,13 +360,20 @@ int main(int argc, char** argv) {
   // back off for the google-benchmark loops so their iterations don't
   // accumulate span buffers. Metrics stay on: stage histograms and pool
   // counters land next to the timings in bench_timings.json.
+  // TG_BENCH_SPEEDUPS=0 skips the (slow) speedup section and the timings
+  // JSON -- the mode tools/run_checks.sh uses for its kernels smoke run.
+  const char* speedups_env = std::getenv("TG_BENCH_SPEEDUPS");
+  const bool run_speedups =
+      speedups_env == nullptr || std::string_view(speedups_env) != "0";
   tg::obs::SetMetricsEnabled(true);
-  tg::obs::SetTraceEnabled(true);
-  tg::ReportParallelSpeedups();
-  tg::obs::SetTraceEnabled(false);
-  tg::obs::ResetSpans();
+  if (run_speedups) {
+    tg::obs::SetTraceEnabled(true);
+    tg::ReportParallelSpeedups();
+    tg::obs::SetTraceEnabled(false);
+    tg::obs::ResetSpans();
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  tg::bench::WriteTimingsJson();
+  if (run_speedups) tg::bench::WriteTimingsJson();
   return 0;
 }

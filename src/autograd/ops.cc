@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "numeric/kernels.h"
 #include "util/check.h"
 
 namespace tg::autograd {
@@ -86,25 +87,16 @@ Var MulColBroadcast(const Var& a, const Var& col) {
   TG_CHECK_EQ(col->value().rows(), a->value().rows());
   Matrix out = a->value();
   for (size_t r = 0; r < out.rows(); ++r) {
-    const double s = col->value()(r, 0);
-    double* row = out.RowPtr(r);
-    for (size_t c = 0; c < out.cols(); ++c) row[c] *= s;
+    kernels::Scale(out.RowPtr(r), col->value()(r, 0), out.cols());
   }
   return MakeOp(std::move(out), {a, col},
                 [a, col](const Matrix& g) {
                   Matrix ga = g;
                   Matrix gcol(g.rows(), 1);
                   for (size_t r = 0; r < g.rows(); ++r) {
-                    const double s = col->value()(r, 0);
-                    double dot = 0.0;
-                    double* ga_row = ga.RowPtr(r);
-                    const double* g_row = g.RowPtr(r);
-                    const double* a_row = a->value().RowPtr(r);
-                    for (size_t c = 0; c < g.cols(); ++c) {
-                      dot += g_row[c] * a_row[c];
-                      ga_row[c] *= s;
-                    }
-                    gcol(r, 0) = dot;
+                    gcol(r, 0) = kernels::Dot(g.RowPtr(r),
+                                              a->value().RowPtr(r), g.cols());
+                    kernels::Scale(ga.RowPtr(r), col->value()(r, 0), g.cols());
                   }
                   a->AccumulateGrad(ga);
                   col->AccumulateGrad(gcol);
@@ -115,11 +107,8 @@ Var RowsDot(const Var& a, const Var& b) {
   TG_CHECK(a->value().SameShape(b->value()));
   Matrix out(a->value().rows(), 1);
   for (size_t r = 0; r < out.rows(); ++r) {
-    const double* ar = a->value().RowPtr(r);
-    const double* br = b->value().RowPtr(r);
-    double acc = 0.0;
-    for (size_t c = 0; c < a->value().cols(); ++c) acc += ar[c] * br[c];
-    out(r, 0) = acc;
+    out(r, 0) = kernels::Dot(a->value().RowPtr(r), b->value().RowPtr(r),
+                             a->value().cols());
   }
   return MakeOp(std::move(out), {a, b},
                 [a, b](const Matrix& g) {
@@ -127,14 +116,10 @@ Var RowsDot(const Var& a, const Var& b) {
                   Matrix gb = ga;
                   for (size_t r = 0; r < g.rows(); ++r) {
                     const double s = g(r, 0);
-                    const double* ar = a->value().RowPtr(r);
-                    const double* br = b->value().RowPtr(r);
-                    double* gar = ga.RowPtr(r);
-                    double* gbr = gb.RowPtr(r);
-                    for (size_t c = 0; c < ga.cols(); ++c) {
-                      gar[c] = s * br[c];
-                      gbr[c] = s * ar[c];
-                    }
+                    kernels::Axpy(s, b->value().RowPtr(r), ga.RowPtr(r),
+                                  ga.cols());
+                    kernels::Axpy(s, a->value().RowPtr(r), gb.RowPtr(r),
+                                  gb.cols());
                   }
                   a->AccumulateGrad(ga);
                   b->AccumulateGrad(gb);
@@ -267,9 +252,8 @@ Var GatherRows(const Var& a, std::vector<size_t> indices) {
                 [a, indices = std::move(indices)](const Matrix& g) {
                   Matrix ga(a->value().rows(), a->value().cols());
                   for (size_t i = 0; i < indices.size(); ++i) {
-                    double* dst = ga.RowPtr(indices[i]);
-                    const double* src = g.RowPtr(i);
-                    for (size_t c = 0; c < g.cols(); ++c) dst[c] += src[c];
+                    kernels::Add(ga.RowPtr(indices[i]), g.RowPtr(i),
+                                 g.cols());
                   }
                   a->AccumulateGrad(ga);
                 });
@@ -281,9 +265,7 @@ Var ScatterAddRows(const Var& a, std::vector<size_t> indices,
   Matrix out(num_rows, a->value().cols());
   for (size_t i = 0; i < indices.size(); ++i) {
     TG_CHECK_LT(indices[i], num_rows);
-    double* dst = out.RowPtr(indices[i]);
-    const double* src = a->value().RowPtr(i);
-    for (size_t c = 0; c < out.cols(); ++c) dst[c] += src[c];
+    kernels::Add(out.RowPtr(indices[i]), a->value().RowPtr(i), out.cols());
   }
   return MakeOp(std::move(out), {a},
                 [a, indices = std::move(indices)](const Matrix& g) {
@@ -376,10 +358,7 @@ Var MseLoss(const Var& pred, const Var& target) {
   const size_t n = pred->value().size();
   TG_CHECK_GT(n, 0u);
   Matrix diff = pred->value() - target->value();
-  double total = 0.0;
-  for (size_t r = 0; r < diff.rows(); ++r) {
-    for (size_t c = 0; c < diff.cols(); ++c) total += diff(r, c) * diff(r, c);
-  }
+  const double total = kernels::Dot(diff.data(), diff.data(), diff.size());
   Matrix out(1, 1, total / static_cast<double>(n));
   return MakeOp(std::move(out), {pred, target},
                 [pred, target, n](const Matrix& g) {
@@ -391,12 +370,8 @@ Var MseLoss(const Var& pred, const Var& target) {
 }
 
 Var L2Penalty(const Var& a) {
-  double total = 0.0;
-  for (size_t r = 0; r < a->value().rows(); ++r) {
-    for (size_t c = 0; c < a->value().cols(); ++c) {
-      total += a->value()(r, c) * a->value()(r, c);
-    }
-  }
+  const double total = kernels::Dot(a->value().data(), a->value().data(),
+                                    a->value().size());
   Matrix out(1, 1, 0.5 * total);
   return MakeOp(std::move(out), {a},
                 [a](const Matrix& g) {

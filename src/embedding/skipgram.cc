@@ -2,21 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <utility>
 
 #include "graph/negative_sampler.h"
+#include "numeric/kernels.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
 namespace tg {
 namespace {
-
-double StableSigmoid(double x) {
-  if (x >= 0.0) return 1.0 / (1.0 + std::exp(-x));
-  const double e = std::exp(x);
-  return e / (1.0 + e);
-}
 
 // Stream-id base for per-position Rng forks; far above the per-walk stream
 // range used by RandomWalkGenerator::GenerateAll on the same seed.
@@ -42,13 +39,17 @@ std::vector<std::pair<uint32_t, uint32_t>> FlattenPositions(
 // Online SGD update for one token position against (input, output): sample a
 // context radius, then for each context word train the positive pair plus
 // `negatives` negative samples, applying the center gradient after each pair
-// (word2vec update order). Shared by both parallel modes; all randomness
-// comes from `prng`, which callers fork off the position's global index.
+// (word2vec update order). The pair math lives in
+// kernels::FusedDotSigmoidUpdate. Shared by both parallel modes; all
+// randomness comes from `prng`, which callers fork off the position's global
+// index. `touched_in` / `touched_out` (nullable) flag the input/output rows
+// this position wrote, feeding the sharded dirty-row merge.
 void UpdateOnePosition(const std::vector<uint32_t>& walk, uint32_t pos,
                        double lr, int window, int negatives,
                        const UnigramNegativeSampler& sampler, Rng* prng,
                        size_t dim, Matrix* input, Matrix* output,
-                       std::vector<double>* center_grad_buf) {
+                       std::vector<double>* center_grad_buf,
+                       uint8_t* touched_in, uint8_t* touched_out) {
   const int radius =
       1 + static_cast<int>(prng->NextBelow(static_cast<uint64_t>(window)));
   const uint32_t center = walk[pos];
@@ -59,27 +60,23 @@ void UpdateOnePosition(const std::vector<uint32_t>& walk, uint32_t pos,
       std::min(walk.size(),
                static_cast<size_t>(pos) + static_cast<size_t>(radius) + 1);
   double* w = input->RowPtr(center);
-  std::vector<double>& center_grad = *center_grad_buf;
+  double* center_grad = center_grad_buf->data();
+  if (touched_in != nullptr) touched_in[center] = 1;
   auto train_pair = [&](uint32_t context, double label) {
-    double* c = output->RowPtr(context);
-    double dot = 0.0;
-    for (size_t d = 0; d < dim; ++d) dot += w[d] * c[d];
-    const double g = (label - StableSigmoid(dot)) * lr;
-    for (size_t d = 0; d < dim; ++d) {
-      center_grad[d] += g * c[d];
-      c[d] += g * w[d];
-    }
+    kernels::FusedDotSigmoidUpdate(w, output->RowPtr(context), center_grad,
+                                   dim, label, lr);
+    if (touched_out != nullptr) touched_out[context] = 1;
   };
   for (size_t ctx_pos = lo_ctx; ctx_pos < hi_ctx; ++ctx_pos) {
     if (ctx_pos == pos) continue;
-    std::fill(center_grad.begin(), center_grad.end(), 0.0);
+    std::fill(center_grad_buf->begin(), center_grad_buf->end(), 0.0);
     train_pair(walk[ctx_pos], 1.0);
     for (int k = 0; k < negatives; ++k) {
       const uint32_t neg = static_cast<uint32_t>(sampler.Sample(prng));
       if (neg == walk[ctx_pos] || neg == center) continue;
       train_pair(neg, 0.0);
     }
-    for (size_t d = 0; d < dim; ++d) w[d] += center_grad[d];
+    kernels::Add(w, center_grad, dim);
   }
 }
 
@@ -130,7 +127,12 @@ void SkipGramTrainer::Train(const std::vector<std::vector<uint32_t>>& corpus,
     }
   }
   if (total_tokens == 0) return;
+  // The alias table is built exactly once per Train call and shared by every
+  // epoch/shard (tests/kernels_test.cc pins this via the counter).
+  static obs::Counter& sampler_builds =
+      obs::MetricsRegistry::Instance().GetCounter("skipgram.sampler_builds");
   UnigramNegativeSampler sampler(freqs, config_.sampling_power);
+  sampler_builds.Increment();
 
   PairStream stream;
   stream.sampler = &sampler;
@@ -154,6 +156,13 @@ void SkipGramTrainer::TrainSharded(
   std::vector<size_t> order(corpus.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
+  // Replica and dirty-flag storage persists across epochs (re-copied from
+  // the shared parameters each epoch without reallocating).
+  std::vector<Matrix> rep_in;
+  std::vector<Matrix> rep_out;
+  std::vector<std::vector<uint8_t>> touched_in;
+  std::vector<std::vector<uint8_t>> touched_out;
+
   size_t epoch_base = 0;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     TG_TRACE_SPAN("skipgram_epoch");
@@ -169,9 +178,21 @@ void SkipGramTrainer::TrainSharded(
     const size_t shards = (positions.size() + block - 1) / block;
 
     // Each shard trains online on its own replica of the parameters.
-    std::vector<Matrix> rep_in(shards, input_);
-    std::vector<Matrix> rep_out(shards, output_);
+    {
+      TG_TRACE_SPAN("skipgram_replicate");
+      rep_in.resize(shards);
+      rep_out.resize(shards);
+      touched_in.resize(shards);
+      touched_out.resize(shards);
+      for (size_t s = 0; s < shards; ++s) {
+        rep_in[s] = input_;
+        rep_out[s] = output_;
+        touched_in[s].assign(vocab_size_, 0);
+        touched_out[s].assign(vocab_size_, 0);
+      }
+    }
     ParallelFor(0, shards, 1, [&](size_t s0, size_t s1, size_t /*chunk*/) {
+      TG_TRACE_SPAN("skipgram_shard_train");
       std::vector<double> center_grad(dim);
       for (size_t s = s0; s < s1; ++s) {
         const size_t lo = s * block;
@@ -181,29 +202,63 @@ void SkipGramTrainer::TrainSharded(
           Rng prng = rng->Fork(kPositionStreamBase + epoch_base + i);
           UpdateOnePosition(corpus[wi], pos, stream.LrAt(epoch_base + i),
                             stream.window, stream.negatives, *stream.sampler,
-                            &prng, dim, &rep_in[s], &rep_out[s], &center_grad);
+                            &prng, dim, &rep_in[s], &rep_out[s], &center_grad,
+                            touched_in[s].data(), touched_out[s].data());
         }
       }
     });
 
-    // Parameter mixing: overwrite the shared parameters with the replica
-    // average, accumulating in shard order (fixed floating-point order).
-    const double inv = 1.0 / static_cast<double>(shards);
-    double* in = input_.data();
-    double* out = output_.data();
-    const size_t n = input_.size();
-    for (size_t j = 0; j < n; ++j) {
-      double acc_in = 0.0;
-      double acc_out = 0.0;
-      for (size_t s = 0; s < shards; ++s) {
-        acc_in += rep_in[s].data()[j];
-        acc_out += rep_out[s].data()[j];
-      }
-      in[j] = acc_in * inv;
-      out[j] = acc_out * inv;
-    }
+    MergeShards(rep_in, rep_out, touched_in, touched_out);
     epoch_base += positions.size();
   }
+}
+
+// Parameter mixing at the epoch boundary: overwrite the shared parameters
+// with the replica average, accumulating in shard order (fixed
+// floating-point order). Rows no shard touched are exact copies of the base
+// row in every replica, so their cross-replica average collapses to
+// kernels::ReplicatedMean of the base value -- bit-identical to the full
+// merge (asserted in tests/kernels_test.cc) without reading S replicas'
+// worth of memory. config_.full_matrix_merge forces the reference path.
+void SkipGramTrainer::MergeShards(
+    const std::vector<Matrix>& rep_in, const std::vector<Matrix>& rep_out,
+    const std::vector<std::vector<uint8_t>>& touched_in,
+    const std::vector<std::vector<uint8_t>>& touched_out) {
+  TG_TRACE_SPAN("skipgram_merge");
+  const size_t dim = config_.dim;
+  const size_t shards = rep_in.size();
+  const double inv = 1.0 / static_cast<double>(shards);
+  static obs::Counter& dirty_rows = obs::MetricsRegistry::Instance().GetCounter(
+      "skipgram.merge.dirty_rows");
+  static obs::Counter& clean_rows = obs::MetricsRegistry::Instance().GetCounter(
+      "skipgram.merge.clean_rows");
+
+  const auto merge_matrix = [&](Matrix* base, const std::vector<Matrix>& rep,
+                                const std::vector<std::vector<uint8_t>>&
+                                    touched) {
+    size_t dirty = 0;
+    for (size_t r = 0; r < vocab_size_; ++r) {
+      bool row_dirty = config_.full_matrix_merge;
+      for (size_t s = 0; s < shards && !row_dirty; ++s) {
+        row_dirty = touched[s][r] != 0;
+      }
+      double* dst = base->RowPtr(r);
+      if (row_dirty) {
+        ++dirty;
+        std::memcpy(dst, rep[0].RowPtr(r), dim * sizeof(double));
+        for (size_t s = 1; s < shards; ++s) {
+          kernels::Add(dst, rep[s].RowPtr(r), dim);
+        }
+        kernels::Scale(dst, inv, dim);
+      } else {
+        kernels::ReplicatedMean(dst, shards, inv, dim);
+      }
+    }
+    dirty_rows.Increment(dirty);
+    clean_rows.Increment(vocab_size_ - dirty);
+  };
+  merge_matrix(&input_, rep_in, touched_in);
+  merge_matrix(&output_, rep_out, touched_out);
 }
 
 void SkipGramTrainer::TrainHogwild(
@@ -231,7 +286,9 @@ void SkipGramTrainer::TrainHogwild(
                                       stream.LrAt(epoch_base + i),
                                       stream.window, stream.negatives,
                                       *stream.sampler, &prng, dim, &input_,
-                                      &output_, &center_grad);
+                                      &output_, &center_grad,
+                                      /*touched_in=*/nullptr,
+                                      /*touched_out=*/nullptr);
                   }
                 });
     epoch_base += positions.size();
@@ -242,11 +299,9 @@ double SkipGramTrainer::PairProbability(uint32_t center,
                                         uint32_t context) const {
   TG_CHECK_LT(center, vocab_size_);
   TG_CHECK_LT(context, vocab_size_);
-  const double* w = input_.RowPtr(center);
-  const double* c = output_.RowPtr(context);
-  double dot = 0.0;
-  for (size_t d = 0; d < config_.dim; ++d) dot += w[d] * c[d];
-  return StableSigmoid(dot);
+  // Inference-quality score: exact sigmoid regardless of the training mode.
+  return kernels::ExactSigmoid(kernels::Dot(
+      input_.RowPtr(center), output_.RowPtr(context), config_.dim));
 }
 
 }  // namespace tg

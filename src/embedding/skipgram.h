@@ -7,9 +7,15 @@
 //     splits the shuffled position stream into a fixed number of shards;
 //     every shard trains online on its own replica of the parameters (each
 //     position's randomness forked from its global index), and the replicas
-//     are averaged in shard order at the epoch boundary. The shard count
-//     never depends on the thread count, so results are bit-identical for
-//     any TG_THREADS value.
+//     are averaged in shard order at the epoch boundary -- only over the
+//     rows some shard actually touched (dirty-row merge; untouched rows are
+//     provably equal across replicas, see docs/performance.md). The shard
+//     count never depends on the thread count, so results are bit-identical
+//     for any TG_THREADS value.
+//
+// Dense inner loops (dot, fused pair update, replica merge) run through the
+// vectorized kernel layer in numeric/kernels.h, which also supplies the
+// tabulated training sigmoid (TG_EXACT_SIGMOID escapes to the exact form).
 //   * kHogwild (opt-in): lock-free asynchronous updates on the shared
 //     parameters across the pool (Recht et al. 2011). Fastest and closest
 //     to sequential SGD dynamics, but update interleaving makes results
@@ -41,6 +47,15 @@ struct SkipGramConfig {
   // number of token positions). Part of the determinism contract -- never
   // derived from the thread count.
   size_t num_shards = 8;
+  // Sharded mode: when false (default) the epoch-boundary parameter mixing
+  // only gathers rows some shard actually touched across the replicas;
+  // untouched rows take the same replicated-copy average from the base value
+  // alone (kernels::ReplicatedMean), which is bit-identical to the
+  // full-matrix merge because untouched replica rows are exact copies of the
+  // base. `true` forces the full vocab x dim cross-replica merge -- the
+  // pre-dirty-row reference path kept for tests and debugging
+  // (tests/kernels_test.cc asserts both paths agree bit-for-bit).
+  bool full_matrix_merge = false;
 };
 
 class SkipGramTrainer {
@@ -66,6 +81,11 @@ class SkipGramTrainer {
                     const PairStream& stream, Rng* rng);
   void TrainHogwild(const std::vector<std::vector<uint32_t>>& corpus,
                     const PairStream& stream, Rng* rng);
+  // Epoch-boundary parameter mixing (dirty-row or full-matrix, per config).
+  void MergeShards(const std::vector<Matrix>& rep_in,
+                   const std::vector<Matrix>& rep_out,
+                   const std::vector<std::vector<uint8_t>>& touched_in,
+                   const std::vector<std::vector<uint8_t>>& touched_out);
 
   size_t vocab_size_;
   SkipGramConfig config_;

@@ -17,14 +17,17 @@ AliasTable::AliasTable(const std::vector<double>& weights) {
   probabilities_.assign(n, 0.0);
   aliases_.assign(n, 0);
 
+  // Scale and classify in one pass; the worklists can only shrink from here
+  // (one index retires per pairing step), so reserving n up front makes the
+  // whole construction allocation-stable.
+  const double scale = static_cast<double>(n) / total;
   std::vector<double> scaled(n);
-  for (size_t i = 0; i < n; ++i) {
-    scaled[i] = weights[i] * static_cast<double>(n) / total;
-  }
-
   std::vector<size_t> small;
   std::vector<size_t> large;
+  small.reserve(n);
+  large.reserve(n);
   for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * scale;
     (scaled[i] < 1.0 ? small : large).push_back(i);
   }
 

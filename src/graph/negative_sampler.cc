@@ -18,20 +18,27 @@ std::vector<double> DegreesPowered(const Graph& graph, double power) {
   return freqs;
 }
 
+std::vector<double> Powered(const std::vector<double>& frequencies,
+                            double power) {
+  std::vector<double> powered(frequencies.size());
+  for (size_t i = 0; i < frequencies.size(); ++i) {
+    powered[i] = std::pow(frequencies[i], power);
+  }
+  return powered;
+}
+
 }  // namespace
 
 UnigramNegativeSampler::UnigramNegativeSampler(const Graph& graph,
                                                double power)
     : table_(DegreesPowered(graph, power)) {}
 
+// Member-init so the table is built exactly once (no default-construct +
+// move-assign). Callers (e.g. SkipGramTrainer::Train) construct one sampler
+// per training run, never per epoch.
 UnigramNegativeSampler::UnigramNegativeSampler(
-    const std::vector<double>& frequencies, double power) {
-  std::vector<double> powered(frequencies.size());
-  for (size_t i = 0; i < frequencies.size(); ++i) {
-    powered[i] = std::pow(frequencies[i], power);
-  }
-  table_ = AliasTable(powered);
-}
+    const std::vector<double>& frequencies, double power)
+    : table_(Powered(frequencies, power)) {}
 
 NodeId UnigramNegativeSampler::Sample(Rng* rng) const {
   return static_cast<NodeId>(table_.Sample(rng));

@@ -79,18 +79,21 @@ Status Gbdt::Fit(const TabularDataset& data) {
   base_score_ = Mean(data.y);
 
   // Bin the feature matrix once (column major for histogram accumulation).
-  // Features bin independently; parallel over features.
+  // Features bin independently; parallel over features -- but only when the
+  // n x d binning work can amortize pool dispatch (small feature counts pay
+  // more queue/wakeup overhead than the fan-out saves).
   std::vector<std::vector<double>> edges(d);
   std::vector<std::vector<uint16_t>> binned(d);
-  ParallelFor(0, d, 1, [&](size_t begin, size_t end, size_t /*chunk*/) {
-    for (size_t f = begin; f < end; ++f) {
-      edges[f] = ComputeBinEdges(data.x, f, config_.max_bins);
-      binned[f].resize(n);
-      for (size_t r = 0; r < n; ++r) {
-        binned[f][r] = BinOf(data.x(r, f), edges[f]);
-      }
-    }
-  });
+  ParallelForIfWorth(
+      0, d, 1, n * d, [&](size_t begin, size_t end, size_t /*chunk*/) {
+        for (size_t f = begin; f < end; ++f) {
+          edges[f] = ComputeBinEdges(data.x, f, config_.max_bins);
+          binned[f].resize(n);
+          for (size_t r = 0; r < n; ++r) {
+            binned[f][r] = BinOf(data.x(r, f), edges[f]);
+          }
+        }
+      });
 
   std::vector<double> predictions(n, base_score_);
   std::vector<double> grad(n);
@@ -180,20 +183,17 @@ Status Gbdt::Fit(const TabularDataset& data) {
             }
           }
         };
-        // Histogram work is (rows x features); fan out only when the node is
-        // large enough for the dispatch to pay for itself.
-        if ((end - begin) * num_features >= 16384) {
-          ParallelFor(0, num_features, 1,
-                      [&](size_t f_begin, size_t f_end, size_t /*chunk*/) {
-                        std::vector<NodeStats> hist;
-                        for (size_t f = f_begin; f < f_end; ++f) {
-                          scan_feature(f, &hist);
-                        }
-                      });
-        } else {
-          std::vector<NodeStats> hist;
-          for (size_t f = 0; f < num_features; ++f) scan_feature(f, &hist);
-        }
+        // Histogram work is (rows x features); ParallelForIfWorth fans out
+        // only when the node is large enough for the dispatch to pay for
+        // itself and runs inline (same chunking) otherwise.
+        ParallelForIfWorth(
+            0, num_features, 1, (end - begin) * num_features,
+            [&](size_t f_begin, size_t f_end, size_t /*chunk*/) {
+              std::vector<NodeStats> hist;
+              for (size_t f = f_begin; f < f_end; ++f) {
+                scan_feature(f, &hist);
+              }
+            });
         double best_gain = 0.0;
         size_t best_feature = 0;
         uint16_t best_bin = 0;
@@ -231,12 +231,15 @@ Status Gbdt::Fit(const TabularDataset& data) {
     builder.Build(0, rows.size(), 0);
 
     // Update predictions on all rows with the new tree (disjoint writes).
-    ParallelFor(0, n, 512, [&](size_t r_begin, size_t r_end,
-                               size_t /*chunk*/) {
-      for (size_t r = r_begin; r < r_end; ++r) {
-        predictions[r] += tree.PredictRow(data.x.RowPtr(r));
-      }
-    });
+    // Per-row work is one root-to-leaf descent, so the work estimate scales
+    // rows by the tree depth; small datasets run inline.
+    ParallelForIfWorth(
+        0, n, 512, n * static_cast<size_t>(std::max(config_.max_depth, 1)),
+        [&](size_t r_begin, size_t r_end, size_t /*chunk*/) {
+          for (size_t r = r_begin; r < r_end; ++r) {
+            predictions[r] += tree.PredictRow(data.x.RowPtr(r));
+          }
+        });
     trees_.push_back(std::move(tree));
     rmse_curve_.push_back(Rmse(predictions, data.y));
   }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "numeric/kernels.h"
+
 namespace tg::nn {
 
 void Optimizer::ZeroGrad() {
@@ -11,9 +13,14 @@ void Optimizer::ZeroGrad() {
 void Sgd::Step() {
   for (auto& p : params_) {
     if (p->grad().empty()) continue;
-    Matrix update = p->grad();
-    if (weight_decay_ > 0.0) update += p->value() * weight_decay_;
-    p->mutable_value() -= update * lr_;
+    // p -= lr * (g + wd * p), kernelized without temporaries: fold the decay
+    // into the parameter scale, then apply the gradient step.
+    double* value = p->mutable_value().data();
+    const size_t n = p->value().size();
+    if (weight_decay_ > 0.0) {
+      kernels::Scale(value, 1.0 - lr_ * weight_decay_, n);
+    }
+    kernels::Axpy(-lr_, p->grad().data(), value, n);
   }
 }
 
@@ -44,14 +51,19 @@ void Adam::Step() {
     if (weight_decay_ > 0.0) g += p->value() * weight_decay_;
     Matrix& m = m_[i];
     Matrix& v = v_[i];
-    for (size_t r = 0; r < g.rows(); ++r) {
-      for (size_t c = 0; c < g.cols(); ++c) {
-        m(r, c) = beta1_ * m(r, c) + (1.0 - beta1_) * g(r, c);
-        v(r, c) = beta2_ * v(r, c) + (1.0 - beta2_) * g(r, c) * g(r, c);
-        const double m_hat = m(r, c) / bc1;
-        const double v_hat = v(r, c) / bc2;
-        p->mutable_value()(r, c) -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
-      }
+    const size_t n = g.size();
+    kernels::ScaleAdd(m.data(), beta1_, 1.0 - beta1_, g.data(), n);
+    double* vd = v.data();
+    double* value = p->mutable_value().data();
+    const double* md = m.data();
+    const double* gd = g.data();
+    const double beta2 = beta2_;
+    const double one_minus_beta2 = 1.0 - beta2_;
+    for (size_t j = 0; j < n; ++j) {
+      vd[j] = beta2 * vd[j] + one_minus_beta2 * gd[j] * gd[j];
+      const double m_hat = md[j] / bc1;
+      const double v_hat = vd[j] / bc2;
+      value[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
     }
   }
 }

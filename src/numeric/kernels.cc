@@ -1,0 +1,260 @@
+#include "numeric/kernels.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+
+namespace tg::kernels {
+namespace {
+
+// Sigmoid mode word: 0 = uninitialized, 1 = tabulated, 2 = exact.
+std::atomic<int> g_sigmoid_mode{0};
+
+int InitSigmoidModeFromEnv() {
+  const char* env = std::getenv("TG_EXACT_SIGMOID");
+  const bool exact = env != nullptr && env[0] != '\0' &&
+                     !(env[0] == '0' && env[1] == '\0');
+  return exact ? 2 : 1;
+}
+
+// Midpoint-sampled sigmoid table over [-kSigmoidClip, kSigmoidClip]. Bucket
+// width 2 * clip / size; with clip 8 and 4096 entries the midpoint error is
+// bounded by (width / 2) * max|sigmoid'| = (1/256) / 2 / 4 < 5e-4, and the
+// 0/1 clamp outside contributes sigmoid(-8) < 3.4e-4.
+struct SigmoidTable {
+  double values[kSigmoidTableSize];
+  SigmoidTable() {
+    const double width = 2.0 * kSigmoidClip / static_cast<double>(kSigmoidTableSize);
+    for (size_t i = 0; i < kSigmoidTableSize; ++i) {
+      const double x =
+          -kSigmoidClip + (static_cast<double>(i) + 0.5) * width;
+      values[i] = ExactSigmoid(x);
+    }
+  }
+};
+
+const SigmoidTable& Table() {
+  static const SigmoidTable table;
+  return table;
+}
+
+}  // namespace
+
+SigmoidMode GetSigmoidMode() {
+  int mode = g_sigmoid_mode.load(std::memory_order_relaxed);
+  if (mode == 0) {
+    mode = InitSigmoidModeFromEnv();
+    int expected = 0;
+    g_sigmoid_mode.compare_exchange_strong(expected, mode,
+                                           std::memory_order_relaxed);
+  }
+  return mode == 2 ? SigmoidMode::kExact : SigmoidMode::kTabulated;
+}
+
+void SetSigmoidMode(SigmoidMode mode) {
+  g_sigmoid_mode.store(mode == SigmoidMode::kExact ? 2 : 1,
+                       std::memory_order_relaxed);
+}
+
+double ExactSigmoid(double x) {
+  if (x >= 0.0) return 1.0 / (1.0 + std::exp(-x));
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+double TabulatedSigmoid(double x) {
+  if (x >= kSigmoidClip) return 1.0;
+  if (x < -kSigmoidClip) return 0.0;
+  const double scale =
+      static_cast<double>(kSigmoidTableSize) / (2.0 * kSigmoidClip);
+  size_t index = static_cast<size_t>((x + kSigmoidClip) * scale);
+  if (index >= kSigmoidTableSize) index = kSigmoidTableSize - 1;
+  return Table().values[index];
+}
+
+double TrainingSigmoid(double x) {
+  return GetSigmoidMode() == SigmoidMode::kExact ? ExactSigmoid(x)
+                                                 : TabulatedSigmoid(x);
+}
+
+// --- Reductions --------------------------------------------------------------
+//
+// The unrolled bodies below and their ScalarRef twins execute the exact same
+// IEEE operations in the same dependency order; the unrolled form just
+// exposes four independent accumulator chains so the compiler can pipeline
+// or vectorize them.
+
+double Dot(const double* a, const double* b, size_t n) {
+  const size_t main = n & ~static_cast<size_t>(3);
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  for (size_t i = 0; i < main; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  double acc = (acc0 + acc1) + (acc2 + acc3);
+  for (size_t i = main; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double DotScalarRef(const double* a, const double* b, size_t n) {
+  const size_t main = n & ~static_cast<size_t>(3);
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  for (size_t i = 0; i < main; ++i) acc[i & 3] += a[i] * b[i];
+  double total = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+  for (size_t i = main; i < n; ++i) total += a[i] * b[i];
+  return total;
+}
+
+double Sum(const double* a, size_t n) {
+  const size_t main = n & ~static_cast<size_t>(3);
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  for (size_t i = 0; i < main; i += 4) {
+    acc0 += a[i];
+    acc1 += a[i + 1];
+    acc2 += a[i + 2];
+    acc3 += a[i + 3];
+  }
+  double acc = (acc0 + acc1) + (acc2 + acc3);
+  for (size_t i = main; i < n; ++i) acc += a[i];
+  return acc;
+}
+
+double SumScalarRef(const double* a, size_t n) {
+  const size_t main = n & ~static_cast<size_t>(3);
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  for (size_t i = 0; i < main; ++i) acc[i & 3] += a[i];
+  double total = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+  for (size_t i = main; i < n; ++i) total += a[i];
+  return total;
+}
+
+// --- Elementwise -------------------------------------------------------------
+
+void Add(double* y, const double* x, size_t n) {
+  const size_t main = n & ~static_cast<size_t>(3);
+  for (size_t i = 0; i < main; i += 4) {
+    y[i] += x[i];
+    y[i + 1] += x[i + 1];
+    y[i + 2] += x[i + 2];
+    y[i + 3] += x[i + 3];
+  }
+  for (size_t i = main; i < n; ++i) y[i] += x[i];
+}
+
+void Sub(double* y, const double* x, size_t n) {
+  const size_t main = n & ~static_cast<size_t>(3);
+  for (size_t i = 0; i < main; i += 4) {
+    y[i] -= x[i];
+    y[i + 1] -= x[i + 1];
+    y[i + 2] -= x[i + 2];
+    y[i + 3] -= x[i + 3];
+  }
+  for (size_t i = main; i < n; ++i) y[i] -= x[i];
+}
+
+void Mul(double* y, const double* x, size_t n) {
+  const size_t main = n & ~static_cast<size_t>(3);
+  for (size_t i = 0; i < main; i += 4) {
+    y[i] *= x[i];
+    y[i + 1] *= x[i + 1];
+    y[i + 2] *= x[i + 2];
+    y[i + 3] *= x[i + 3];
+  }
+  for (size_t i = main; i < n; ++i) y[i] *= x[i];
+}
+
+void Scale(double* y, double s, size_t n) {
+  const size_t main = n & ~static_cast<size_t>(3);
+  for (size_t i = 0; i < main; i += 4) {
+    y[i] *= s;
+    y[i + 1] *= s;
+    y[i + 2] *= s;
+    y[i + 3] *= s;
+  }
+  for (size_t i = main; i < n; ++i) y[i] *= s;
+}
+
+void Axpy(double alpha, const double* x, double* y, size_t n) {
+  const size_t main = n & ~static_cast<size_t>(3);
+  for (size_t i = 0; i < main; i += 4) {
+    y[i] += alpha * x[i];
+    y[i + 1] += alpha * x[i + 1];
+    y[i + 2] += alpha * x[i + 2];
+    y[i + 3] += alpha * x[i + 3];
+  }
+  for (size_t i = main; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void AxpyScalarRef(double alpha, const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScaleAdd(double* y, double alpha, double beta, const double* x,
+              size_t n) {
+  const size_t main = n & ~static_cast<size_t>(3);
+  for (size_t i = 0; i < main; i += 4) {
+    y[i] = alpha * y[i] + beta * x[i];
+    y[i + 1] = alpha * y[i + 1] + beta * x[i + 1];
+    y[i + 2] = alpha * y[i + 2] + beta * x[i + 2];
+    y[i + 3] = alpha * y[i + 3] + beta * x[i + 3];
+  }
+  for (size_t i = main; i < n; ++i) y[i] = alpha * y[i] + beta * x[i];
+}
+
+void ScaleAddScalarRef(double* y, double alpha, double beta, const double* x,
+                       size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] = alpha * y[i] + beta * x[i];
+}
+
+// --- Fused skip-gram pair update --------------------------------------------
+
+double FusedDotSigmoidUpdate(const double* __restrict w, double* __restrict c,
+                             double* __restrict center_grad, size_t n,
+                             double label, double lr) {
+  const double g = (label - TrainingSigmoid(Dot(w, c, n))) * lr;
+  const size_t main = n & ~static_cast<size_t>(3);
+  for (size_t i = 0; i < main; i += 4) {
+    const double c0 = c[i], c1 = c[i + 1], c2 = c[i + 2], c3 = c[i + 3];
+    center_grad[i] += g * c0;
+    center_grad[i + 1] += g * c1;
+    center_grad[i + 2] += g * c2;
+    center_grad[i + 3] += g * c3;
+    c[i] = c0 + g * w[i];
+    c[i + 1] = c1 + g * w[i + 1];
+    c[i + 2] = c2 + g * w[i + 2];
+    c[i + 3] = c3 + g * w[i + 3];
+  }
+  for (size_t i = main; i < n; ++i) {
+    const double ci = c[i];
+    center_grad[i] += g * ci;
+    c[i] = ci + g * w[i];
+  }
+  return g;
+}
+
+double FusedDotSigmoidUpdateScalarRef(const double* w, double* c,
+                                      double* center_grad, size_t n,
+                                      double label, double lr) {
+  const double g = (label - TrainingSigmoid(DotScalarRef(w, c, n))) * lr;
+  for (size_t i = 0; i < n; ++i) {
+    const double ci = c[i];
+    center_grad[i] += g * ci;
+    c[i] = ci + g * w[i];
+  }
+  return g;
+}
+
+// --- Replica averaging -------------------------------------------------------
+
+void ReplicatedMean(double* y, size_t count, double inv, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const double x = y[i];
+    double acc = x;
+    for (size_t s = 1; s < count; ++s) acc += x;
+    y[i] = acc * inv;
+  }
+}
+
+}  // namespace tg::kernels

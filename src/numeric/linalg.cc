@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "numeric/kernels.h"
+
 namespace tg {
 
 Result<Matrix> CholeskyFactor(const Matrix& a) {
@@ -15,8 +17,9 @@ Result<Matrix> CholeskyFactor(const Matrix& a) {
   Matrix l(n, n);
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = 0; j <= i; ++j) {
-      double sum = a(i, j);
-      for (size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      // Rows i and j of L are filled left-to-right, so their first j entries
+      // are valid contiguous prefixes: one kernel dot per element.
+      double sum = a(i, j) - kernels::Dot(l.RowPtr(i), l.RowPtr(j), j);
       if (i == j) {
         if (sum <= 0.0) {
           return Status::FailedPrecondition(

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "numeric/kernels.h"
 #include "util/rng.h"
 
 namespace tg {
@@ -62,18 +63,18 @@ void Matrix::SetRow(size_t r, const std::vector<double>& values) {
 
 Matrix& Matrix::operator+=(const Matrix& other) {
   TG_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  kernels::Add(data_.data(), other.data_.data(), data_.size());
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& other) {
   TG_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  kernels::Sub(data_.data(), other.data_.data(), data_.size());
   return *this;
 }
 
 Matrix& Matrix::operator*=(double scalar) {
-  for (double& v : data_) v *= scalar;
+  kernels::Scale(data_.data(), scalar, data_.size());
   return *this;
 }
 
@@ -87,8 +88,7 @@ Matrix Matrix::MatMul(const Matrix& other) const {
     for (size_t k = 0; k < cols_; ++k) {
       const double a = a_row[k];
       if (a == 0.0) continue;
-      const double* b_row = other.RowPtr(k);
-      for (size_t j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
+      kernels::Axpy(a, other.RowPtr(k), out_row, other.cols_);
     }
   }
   return out;
@@ -103,8 +103,7 @@ Matrix Matrix::TransposedMatMul(const Matrix& other) const {
     for (size_t i = 0; i < cols_; ++i) {
       const double a = a_row[i];
       if (a == 0.0) continue;
-      double* out_row = out.RowPtr(i);
-      for (size_t j = 0; j < other.cols_; ++j) out_row[j] += a * b_row[j];
+      kernels::Axpy(a, b_row, out.RowPtr(i), other.cols_);
     }
   }
   return out;
@@ -116,10 +115,7 @@ Matrix Matrix::MatMulTransposed(const Matrix& other) const {
   for (size_t i = 0; i < rows_; ++i) {
     const double* a_row = RowPtr(i);
     for (size_t j = 0; j < other.rows_; ++j) {
-      const double* b_row = other.RowPtr(j);
-      double acc = 0.0;
-      for (size_t k = 0; k < cols_; ++k) acc += a_row[k] * b_row[k];
-      out(i, j) = acc;
+      out(i, j) = kernels::Dot(a_row, other.RowPtr(j), cols_);
     }
   }
   return out;
@@ -136,7 +132,7 @@ Matrix Matrix::Transpose() const {
 Matrix Matrix::Hadamard(const Matrix& other) const {
   TG_CHECK(SameShape(other));
   Matrix out = *this;
-  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] *= other.data_[i];
+  kernels::Mul(out.data_.data(), other.data_.data(), out.data_.size());
   return out;
 }
 
@@ -145,8 +141,7 @@ Matrix Matrix::AddRowBroadcast(const Matrix& row) const {
   TG_CHECK_EQ(row.cols(), cols_);
   Matrix out = *this;
   for (size_t r = 0; r < rows_; ++r) {
-    double* out_row = out.RowPtr(r);
-    for (size_t c = 0; c < cols_; ++c) out_row[c] += row(0, c);
+    kernels::Add(out.RowPtr(r), row.RowPtr(0), cols_);
   }
   return out;
 }
@@ -158,15 +153,11 @@ Matrix Matrix::Map(const std::function<double(double)>& fn) const {
 }
 
 double Matrix::Sum() const {
-  double acc = 0.0;
-  for (double v : data_) acc += v;
-  return acc;
+  return kernels::Sum(data_.data(), data_.size());
 }
 
 double Matrix::FrobeniusNorm() const {
-  double acc = 0.0;
-  for (double v : data_) acc += v * v;
-  return std::sqrt(acc);
+  return std::sqrt(kernels::Dot(data_.data(), data_.data(), data_.size()));
 }
 
 double Matrix::MaxAbs() const {
@@ -179,10 +170,7 @@ Matrix Matrix::RowMean() const {
   Matrix out(rows_, 1);
   if (cols_ == 0) return out;
   for (size_t r = 0; r < rows_; ++r) {
-    double acc = 0.0;
-    const double* row = RowPtr(r);
-    for (size_t c = 0; c < cols_; ++c) acc += row[c];
-    out(r, 0) = acc / static_cast<double>(cols_);
+    out(r, 0) = kernels::Sum(RowPtr(r), cols_) / static_cast<double>(cols_);
   }
   return out;
 }
@@ -190,8 +178,7 @@ Matrix Matrix::RowMean() const {
 Matrix Matrix::ColSum() const {
   Matrix out(1, cols_);
   for (size_t r = 0; r < rows_; ++r) {
-    const double* row = RowPtr(r);
-    for (size_t c = 0; c < cols_; ++c) out(0, c) += row[c];
+    kernels::Add(out.RowPtr(0), RowPtr(r), cols_);
   }
   return out;
 }

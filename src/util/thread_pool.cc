@@ -195,4 +195,24 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
   if (shared->error) std::rethrow_exception(shared->error);
 }
 
+void ParallelForIfWorth(size_t begin, size_t end, size_t grain,
+                        size_t estimated_work,
+                        const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  if (estimated_work < kMinParallelWork) {
+    static obs::Counter& inline_runs =
+        obs::MetricsRegistry::Instance().GetCounter(
+            "thread_pool.parallel_for.inline_small_work");
+    inline_runs.Increment();
+    if (grain == 0) grain = 1;
+    const size_t num_chunks = (end - begin + grain - 1) / grain;
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const size_t lo = begin + c * grain;
+      fn(lo, std::min(end, lo + grain), c);
+    }
+    return;
+  }
+  ParallelFor(begin, end, grain, fn);
+}
+
 }  // namespace tg

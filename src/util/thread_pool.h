@@ -75,6 +75,21 @@ ThreadPool& GlobalThreadPool();
 void ParallelFor(size_t begin, size_t end, size_t grain,
                  const std::function<void(size_t, size_t, size_t)>& fn);
 
+// Estimated total work (item count x a per-item cost proxy) below which a
+// parallel region costs more in pool dispatch than it saves; shared by every
+// ParallelForIfWorth call site so the tradeoff is tuned in one place.
+inline constexpr size_t kMinParallelWork = 16384;
+
+// ParallelFor with a minimum-work heuristic: when `estimated_work` (the
+// caller's item-count x per-item-cost estimate) is below kMinParallelWork,
+// the chunks run inline on the calling thread -- same chunk boundaries, same
+// chunk indices, bit-identical results -- skipping queue locks, wakeups and
+// the completion wait. Small nodes/feature sets in tree fitting are the
+// motivating case (see docs/performance.md).
+void ParallelForIfWorth(size_t begin, size_t end, size_t grain,
+                        size_t estimated_work,
+                        const std::function<void(size_t, size_t, size_t)>& fn);
+
 }  // namespace tg
 
 #endif  // TG_UTIL_THREAD_POOL_H_

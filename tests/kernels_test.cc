@@ -1,0 +1,325 @@
+#include "numeric/kernels.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "embedding/skipgram.h"
+#include "graph/alias_table.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace tg {
+namespace {
+
+// Adversarial lengths around every unroll boundary: empty, single element,
+// exact multiples of the 4-wide unroll, one off either side, and large sizes
+// with and without tails.
+const size_t kLengths[] = {0,  1,  2,  3,  4,   5,   7,   8,    9,    15, 16,
+                           17, 31, 63, 64, 65, 127, 128, 129, 1000, 1023};
+
+// Mixed-magnitude values so reordering the summation would actually change
+// the result (catches an accidental order change, not just a wrong formula).
+std::vector<double> MixedMagnitude(size_t n, Rng* rng) {
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double mag = std::pow(10.0, rng->NextUniform(-6.0, 6.0));
+    v[i] = rng->NextUniform(-1.0, 1.0) * mag;
+  }
+  return v;
+}
+
+// Restores thread count and sigmoid mode even when an assertion fails.
+class KernelsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_mode_ = kernels::GetSigmoidMode(); }
+  void TearDown() override {
+    SetThreadCount(0);
+    kernels::SetSigmoidMode(saved_mode_);
+  }
+  kernels::SigmoidMode saved_mode_ = kernels::SigmoidMode::kTabulated;
+};
+
+TEST_F(KernelsTest, DotMatchesScalarRefBitForBit) {
+  Rng rng(7);
+  for (size_t n : kLengths) {
+    const std::vector<double> a = MixedMagnitude(n, &rng);
+    const std::vector<double> b = MixedMagnitude(n, &rng);
+    EXPECT_EQ(kernels::Dot(a.data(), b.data(), n),
+              kernels::DotScalarRef(a.data(), b.data(), n))
+        << "n=" << n;
+  }
+}
+
+TEST_F(KernelsTest, DotMatchesScalarRefOnUnalignedPointers) {
+  Rng rng(11);
+  for (size_t n : kLengths) {
+    // One extra leading element, then read from data() + 1 so the kernel
+    // sees a pointer off the vector's natural alignment.
+    const std::vector<double> a = MixedMagnitude(n + 1, &rng);
+    const std::vector<double> b = MixedMagnitude(n + 1, &rng);
+    EXPECT_EQ(kernels::Dot(a.data() + 1, b.data() + 1, n),
+              kernels::DotScalarRef(a.data() + 1, b.data() + 1, n))
+        << "n=" << n;
+  }
+}
+
+TEST_F(KernelsTest, SumMatchesScalarRefBitForBit) {
+  Rng rng(13);
+  for (size_t n : kLengths) {
+    const std::vector<double> a = MixedMagnitude(n + 1, &rng);
+    EXPECT_EQ(kernels::Sum(a.data(), n), kernels::SumScalarRef(a.data(), n))
+        << "n=" << n;
+    EXPECT_EQ(kernels::Sum(a.data() + 1, n),
+              kernels::SumScalarRef(a.data() + 1, n))
+        << "unaligned n=" << n;
+  }
+}
+
+TEST_F(KernelsTest, AxpyMatchesScalarRefBitForBit) {
+  Rng rng(17);
+  for (size_t n : kLengths) {
+    const std::vector<double> x = MixedMagnitude(n, &rng);
+    const std::vector<double> base = MixedMagnitude(n, &rng);
+    const double alpha = rng.NextUniform(-2.0, 2.0);
+    std::vector<double> y1 = base;
+    std::vector<double> y2 = base;
+    kernels::Axpy(alpha, x.data(), y1.data(), n);
+    kernels::AxpyScalarRef(alpha, x.data(), y2.data(), n);
+    EXPECT_EQ(y1, y2) << "n=" << n;
+  }
+}
+
+TEST_F(KernelsTest, ScaleAddMatchesScalarRefBitForBit) {
+  Rng rng(19);
+  for (size_t n : kLengths) {
+    const std::vector<double> x = MixedMagnitude(n, &rng);
+    const std::vector<double> base = MixedMagnitude(n, &rng);
+    const double alpha = rng.NextUniform(-2.0, 2.0);
+    const double beta = rng.NextUniform(-2.0, 2.0);
+    std::vector<double> y1 = base;
+    std::vector<double> y2 = base;
+    kernels::ScaleAdd(y1.data(), alpha, beta, x.data(), n);
+    kernels::ScaleAddScalarRef(y2.data(), alpha, beta, x.data(), n);
+    EXPECT_EQ(y1, y2) << "n=" << n;
+  }
+}
+
+TEST_F(KernelsTest, FusedDotSigmoidUpdateMatchesScalarRefBitForBit) {
+  for (kernels::SigmoidMode mode :
+       {kernels::SigmoidMode::kTabulated, kernels::SigmoidMode::kExact}) {
+    kernels::SetSigmoidMode(mode);
+    Rng rng(23);
+    for (size_t n : kLengths) {
+      const std::vector<double> w = MixedMagnitude(n, &rng);
+      const std::vector<double> c_base = MixedMagnitude(n, &rng);
+      const std::vector<double> g_base = MixedMagnitude(n, &rng);
+      const double label = rng.NextBernoulli(0.5) ? 1.0 : 0.0;
+      const double lr = rng.NextUniform(0.001, 0.05);
+      std::vector<double> c1 = c_base, c2 = c_base;
+      std::vector<double> g1 = g_base, g2 = g_base;
+      const double r1 = kernels::FusedDotSigmoidUpdate(w.data(), c1.data(),
+                                                       g1.data(), n, label, lr);
+      const double r2 = kernels::FusedDotSigmoidUpdateScalarRef(
+          w.data(), c2.data(), g2.data(), n, label, lr);
+      EXPECT_EQ(r1, r2) << "n=" << n;
+      EXPECT_EQ(c1, c2) << "n=" << n;
+      EXPECT_EQ(g1, g2) << "n=" << n;
+    }
+  }
+}
+
+TEST_F(KernelsTest, ReplicatedMeanMatchesExplicitShardOrderSum) {
+  Rng rng(29);
+  for (size_t count : {size_t{1}, size_t{2}, size_t{3}, size_t{7}, size_t{8}}) {
+    const size_t n = 129;
+    const std::vector<double> base = MixedMagnitude(n, &rng);
+    std::vector<double> mean = base;
+    kernels::ReplicatedMean(mean.data(), count, 1.0 / count, n);
+    for (size_t i = 0; i < n; ++i) {
+      // The merge accumulates the same replica value `count` times in shard
+      // order, then scales; ReplicatedMean must reproduce that exactly.
+      double acc = base[i];
+      for (size_t s = 1; s < count; ++s) acc += base[i];
+      EXPECT_EQ(mean[i], acc * (1.0 / count)) << "count=" << count << " i=" << i;
+    }
+  }
+}
+
+// --- Sigmoid -----------------------------------------------------------------
+
+TEST_F(KernelsTest, TabulatedSigmoidWithinErrorBoundOfExact) {
+  double max_err = 0.0;
+  for (double x = -10.0; x <= 10.0; x += 1e-3) {
+    max_err = std::max(
+        max_err, std::abs(kernels::TabulatedSigmoid(x) -
+                          kernels::ExactSigmoid(x)));
+  }
+  EXPECT_LT(max_err, 1e-3);
+}
+
+TEST_F(KernelsTest, TabulatedSigmoidClampsExactlyOutsideClipRange) {
+  EXPECT_EQ(kernels::TabulatedSigmoid(kernels::kSigmoidClip + 1e-9), 1.0);
+  EXPECT_EQ(kernels::TabulatedSigmoid(-kernels::kSigmoidClip - 1e-9), 0.0);
+  EXPECT_EQ(kernels::TabulatedSigmoid(100.0), 1.0);
+  EXPECT_EQ(kernels::TabulatedSigmoid(-100.0), 0.0);
+  // Interior values stay strictly inside (0, 1).
+  EXPECT_GT(kernels::TabulatedSigmoid(0.0), 0.4);
+  EXPECT_LT(kernels::TabulatedSigmoid(0.0), 0.6);
+}
+
+TEST_F(KernelsTest, ExactSigmoidIsOverflowSafe) {
+  EXPECT_EQ(kernels::ExactSigmoid(1000.0), 1.0);
+  EXPECT_EQ(kernels::ExactSigmoid(-1000.0), 0.0);
+  EXPECT_NEAR(kernels::ExactSigmoid(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(kernels::ExactSigmoid(2.0) + kernels::ExactSigmoid(-2.0), 1.0,
+              1e-15);
+}
+
+TEST_F(KernelsTest, TrainingSigmoidDispatchesOnMode) {
+  kernels::SetSigmoidMode(kernels::SigmoidMode::kExact);
+  EXPECT_EQ(kernels::GetSigmoidMode(), kernels::SigmoidMode::kExact);
+  EXPECT_EQ(kernels::TrainingSigmoid(0.7), kernels::ExactSigmoid(0.7));
+  kernels::SetSigmoidMode(kernels::SigmoidMode::kTabulated);
+  EXPECT_EQ(kernels::GetSigmoidMode(), kernels::SigmoidMode::kTabulated);
+  EXPECT_EQ(kernels::TrainingSigmoid(0.7), kernels::TabulatedSigmoid(0.7));
+}
+
+// --- AliasTable --------------------------------------------------------------
+
+// Chi-squared goodness of fit against the target distribution. With 3
+// degrees of freedom the p = 0.001 critical value is 16.27; the generous
+// threshold keeps the test deterministic-stable (fixed seed) while still
+// failing loudly on any construction bug that skews the table.
+TEST_F(KernelsTest, AliasTableSamplesMatchWeightsChiSquared) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  const double total = 10.0;
+  AliasTable table(weights);
+  Rng rng(12345);
+  const size_t draws = 200000;
+  std::vector<size_t> counts(weights.size(), 0);
+  for (size_t i = 0; i < draws; ++i) ++counts[table.Sample(&rng)];
+
+  double chi2 = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double expected = draws * weights[i] / total;
+    const double diff = static_cast<double>(counts[i]) - expected;
+    chi2 += diff * diff / expected;
+  }
+  EXPECT_LT(chi2, 16.27) << "counts: " << counts[0] << " " << counts[1] << " "
+                         << counts[2] << " " << counts[3];
+}
+
+TEST_F(KernelsTest, AliasTableHandlesZeroWeightEntries) {
+  const std::vector<double> weights = {0.0, 5.0, 0.0, 5.0};
+  AliasTable table(weights);
+  Rng rng(99);
+  for (size_t i = 0; i < 10000; ++i) {
+    const size_t s = table.Sample(&rng);
+    EXPECT_TRUE(s == 1 || s == 3) << s;
+  }
+}
+
+// --- Skip-gram integration ---------------------------------------------------
+
+std::vector<std::vector<uint32_t>> MakeCorpus(uint32_t used_vocab,
+                                              size_t sentences, size_t length,
+                                              uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<uint32_t>> corpus(sentences);
+  for (auto& sentence : corpus) {
+    sentence.resize(length);
+    for (auto& tok : sentence) {
+      tok = static_cast<uint32_t>(rng.NextBelow(used_vocab));
+    }
+  }
+  return corpus;
+}
+
+TEST_F(KernelsTest, NegativeSamplerBuiltExactlyOncePerTrain) {
+  obs::Counter& builds =
+      obs::MetricsRegistry::Instance().GetCounter("skipgram.sampler_builds");
+  SkipGramConfig config;
+  config.dim = 8;
+  config.epochs = 3;  // more epochs than one: the build must not repeat
+  config.num_shards = 4;
+  SkipGramTrainer trainer(16, config);
+  const auto corpus = MakeCorpus(16, 6, 20, 5);
+  const uint64_t before = builds.value();
+  Rng rng(42);
+  trainer.Train(corpus, &rng);
+  EXPECT_EQ(builds.value() - before, 1u);
+}
+
+// The dirty-row merge must reproduce the full-matrix merge bit-for-bit: with
+// a vocab much larger than the tokens actually used, most rows stay clean
+// and take the ReplicatedMean path, which is provably identical to averaging
+// the untouched (hence equal) replica copies.
+TEST_F(KernelsTest, DirtyRowMergeMatchesFullMatrixMergeBitForBit) {
+  const size_t vocab = 64;
+  const uint32_t used = 12;  // rows [12, 64) stay clean in every epoch
+  const auto corpus = MakeCorpus(used, 8, 25, 77);
+
+  auto train = [&](bool full_matrix_merge) {
+    SkipGramConfig config;
+    config.dim = 16;
+    config.epochs = 2;
+    config.num_shards = 4;
+    config.full_matrix_merge = full_matrix_merge;
+    SkipGramTrainer trainer(vocab, config);
+    Rng rng(7);
+    trainer.Train(corpus, &rng);
+    return trainer.embeddings();
+  };
+
+  obs::Counter& clean = obs::MetricsRegistry::Instance().GetCounter(
+      "skipgram.merge.clean_rows");
+  const uint64_t clean_before = clean.value();
+  const Matrix dirty_path = train(false);
+  // The dirty-row run must actually exercise the clean-row fast path.
+  EXPECT_GT(clean.value(), clean_before);
+  const Matrix full_path = train(true);
+
+  ASSERT_EQ(dirty_path.rows(), full_path.rows());
+  ASSERT_EQ(dirty_path.cols(), full_path.cols());
+  for (size_t r = 0; r < dirty_path.rows(); ++r) {
+    for (size_t c = 0; c < dirty_path.cols(); ++c) {
+      EXPECT_EQ(dirty_path(r, c), full_path(r, c)) << r << "," << c;
+    }
+  }
+}
+
+TEST_F(KernelsTest, ShardedTrainingBitIdenticalAcrossThreadCounts) {
+  const auto corpus = MakeCorpus(24, 10, 30, 123);
+  auto train = [&] {
+    SkipGramConfig config;
+    config.dim = 16;
+    config.epochs = 2;
+    config.num_shards = 4;
+    SkipGramTrainer trainer(24, config);
+    Rng rng(9);
+    trainer.Train(corpus, &rng);
+    return trainer.embeddings();
+  };
+
+  SetThreadCount(1);
+  const Matrix one = train();
+  for (size_t threads : {size_t{2}, size_t{4}}) {
+    SetThreadCount(threads);
+    const Matrix many = train();
+    ASSERT_EQ(one.rows(), many.rows());
+    ASSERT_EQ(one.cols(), many.cols());
+    for (size_t r = 0; r < one.rows(); ++r) {
+      for (size_t c = 0; c < one.cols(); ++c) {
+        EXPECT_EQ(one(r, c), many(r, c))
+            << "threads=" << threads << " " << r << "," << c;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tg

@@ -4,11 +4,14 @@
 #include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/pipeline.h"
+#include "ml/gbdt.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace tg {
@@ -129,6 +132,92 @@ TEST_F(ThreadPoolTest, ChunkSeededWorkIsThreadCountInvariant) {
   SetThreadCount(4);
   const std::vector<uint64_t> parallel = run();
   EXPECT_EQ(serial, parallel);
+}
+
+// Below the minimum-work threshold the heuristic must not touch the pool:
+// every chunk runs inline on the calling thread with the same boundaries and
+// chunk indices ParallelFor would have produced.
+TEST_F(ThreadPoolTest, ParallelForIfWorthRunsSmallWorkInline) {
+  SetThreadCount(4);
+  obs::Counter& inline_runs = obs::MetricsRegistry::Instance().GetCounter(
+      "thread_pool.parallel_for.inline_small_work");
+  const uint64_t before = inline_runs.value();
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<size_t> chunk_of(100, size_t(-1));
+  ParallelForIfWorth(
+      0, 100, 7, kMinParallelWork - 1,
+      [&](size_t begin, size_t end, size_t chunk) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        for (size_t i = begin; i < end; ++i) chunk_of[i] = chunk;
+      });
+  EXPECT_EQ(inline_runs.value() - before, 1u);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(chunk_of[i], i / 7) << i;  // ParallelFor's chunking exactly
+  }
+}
+
+TEST_F(ThreadPoolTest, ParallelForIfWorthDispatchesLargeWork) {
+  SetThreadCount(4);
+  obs::Counter& inline_runs = obs::MetricsRegistry::Instance().GetCounter(
+      "thread_pool.parallel_for.inline_small_work");
+  obs::Counter& pf_calls = obs::MetricsRegistry::Instance().GetCounter(
+      "thread_pool.parallel_for.calls");
+  const uint64_t inline_before = inline_runs.value();
+  const uint64_t calls_before = pf_calls.value();
+  std::vector<std::atomic<int>> hits(256);
+  ParallelForIfWorth(0, 256, 8, kMinParallelWork,
+                     [&](size_t begin, size_t end, size_t) {
+                       for (size_t i = begin; i < end; ++i) ++hits[i];
+                     });
+  EXPECT_EQ(inline_runs.value() - inline_before, 0u);
+  EXPECT_EQ(pf_calls.value() - calls_before, 1u);  // delegated to ParallelFor
+  for (size_t i = 0; i < 256; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+// Both sides of the threshold must compute the same thing: per-item results
+// from chunk-seeded work are identical whether the heuristic inlines or
+// dispatches (the determinism contract extends to ParallelForIfWorth).
+TEST_F(ThreadPoolTest, ParallelForIfWorthResultIndependentOfThreshold) {
+  SetThreadCount(4);
+  const Rng base(1234);
+  auto run = [&](size_t estimated_work) {
+    const size_t n = 300;
+    std::vector<uint64_t> draws(n);
+    ParallelForIfWorth(0, n, 16, estimated_work,
+                       [&](size_t begin, size_t end, size_t chunk) {
+                         for (size_t i = begin; i < end; ++i) {
+                           EXPECT_EQ(i / 16, chunk);
+                           draws[i] = base.Fork(i).NextUint64();
+                         }
+                       });
+    return draws;
+  };
+  EXPECT_EQ(run(0), run(kMinParallelWork * 2));
+}
+
+// The GBDT regression this heuristic fixes: tiny fits must not pay pool
+// dispatch. A small dataset's binning/histogram/prediction loops all fall
+// under kMinParallelWork, so Fit should add inline-run counter ticks.
+TEST_F(ThreadPoolTest, SmallGbdtFitStaysInline) {
+  SetThreadCount(4);
+  ml::TabularDataset data;
+  const size_t n = 40, d = 3;
+  Rng rng(5);
+  data.x = Matrix(n, d);
+  data.y.resize(n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < d; ++c) data.x(r, c) = rng.NextGaussian();
+    data.y[r] = data.x(r, 0) * 2.0 + rng.NextGaussian(0.0, 0.1);
+  }
+  obs::Counter& inline_runs = obs::MetricsRegistry::Instance().GetCounter(
+      "thread_pool.parallel_for.inline_small_work");
+  const uint64_t before = inline_runs.value();
+  ml::GbdtConfig config;
+  config.num_trees = 20;
+  config.max_depth = 3;
+  ml::Gbdt gbdt(config);
+  ASSERT_TRUE(gbdt.Fit(data).ok());
+  EXPECT_GT(inline_runs.value(), before);
 }
 
 // End-to-end determinism: the full leave-one-out evaluation (walks,

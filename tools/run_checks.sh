@@ -1,18 +1,23 @@
 #!/usr/bin/env bash
-# Pre-PR gate: Release + ThreadSanitizer builds, both test suites, and an
-# end-to-end smoke check of the tg_cli observability path (--trace/--metrics),
-# including validity of the exported Chrome-trace JSON.
+# Pre-PR gate: Release + ThreadSanitizer builds, both test suites, an
+# UndefinedBehaviorSanitizer pass over the kernel layer, a kernels
+# micro-bench smoke run, and an end-to-end smoke check of the tg_cli
+# observability path (--trace/--metrics), including validity of the
+# exported Chrome-trace JSON.
 #
-# Usage: tools/run_checks.sh [--skip-tsan]
-# Build trees land in build-release/ and build-tsan/ at the repo root.
+# Usage: tools/run_checks.sh [--skip-tsan] [--skip-ubsan]
+# Build trees land in build-release/, build-tsan/ and build-ubsan/ at the
+# repo root.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 2)"
 SKIP_TSAN=0
+SKIP_UBSAN=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
+    --skip-ubsan) SKIP_UBSAN=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -33,6 +38,29 @@ else
   cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan --output-on-failure
 fi
+
+if [ "$SKIP_UBSAN" -eq 1 ]; then
+  section "UBSan kernel-layer tests (SKIPPED)"
+else
+  section "UBSan kernel-layer tests"
+  # Focused pass: the unrolled kernels and the sigmoid table are the code
+  # most exposed to pointer/index arithmetic mistakes, so they get a
+  # dedicated UB check even when the full-matrix sanitizer suite is too
+  # slow for the pre-PR loop.
+  cmake -B build-ubsan -S . -DTG_SANITIZE=undefined \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-ubsan -j "$JOBS" --target kernels_test
+  ./build-ubsan/tests/kernels_test
+fi
+
+section "kernels micro-bench smoke"
+# TG_BENCH_SPEEDUPS=0 skips the multi-second parallel-speedup section and
+# the timings JSON; the kernel/sigmoid benches themselves take well under a
+# second and catch gross perf or correctness breakage in the hot loops.
+cmake --build build-release -j "$JOBS" --target bench_micro_components
+TG_BENCH_SPEEDUPS=0 ./build-release/bench/bench_micro_components \
+    --benchmark_filter='BM_(Kernel|Sigmoid)' \
+    --benchmark_min_time=0.05
 
 section "tg_cli trace/metrics smoke check"
 TRACE_FILE="$(mktemp /tmp/tg_trace.XXXXXX.json)"
