@@ -15,10 +15,12 @@
 #include "core/pipeline.h"
 #include "core/recommender.h"
 #include "obs/metrics.h"
+#include "obs/resource_sampler.h"
+#include "obs/trace.h"  // obs::WallTimer: the bench timing source
+#include "util/build_info.h"
 #include "util/csv.h"
 #include "util/json_util.h"
 #include "util/logging.h"
-#include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 #include "zoo/model_zoo.h"
@@ -152,7 +154,18 @@ inline void WriteTimingsJson(
     TG_LOG(Warning) << "could not open " << path;
     return;
   }
-  std::fprintf(f, "{\n  \"timings\": [\n");
+  std::fprintf(f, "{\n  \"build_info\": %s,\n", BuildInfoJson().c_str());
+  // Peak RSS of this bench process so bench_history can gate on memory
+  // regressions alongside stage times. ok=false leaves zeros, which the
+  // history compare treats as "no reading".
+  const obs::ResourceUsage usage = obs::ReadSelfResourceUsage();
+  std::fprintf(f,
+               "  \"resources\": {\"peak_rss_bytes\": %llu, "
+               "\"rss_bytes\": %llu, \"major_faults\": %llu},\n",
+               static_cast<unsigned long long>(usage.peak_rss_bytes),
+               static_cast<unsigned long long>(usage.rss_bytes),
+               static_cast<unsigned long long>(usage.major_faults));
+  std::fprintf(f, "  \"timings\": [\n");
   for (size_t i = 0; i < records.size(); ++i) {
     const TimingRecord& r = records[i];
     std::fprintf(f,

@@ -21,7 +21,7 @@ void Run(zoo::ModelZoo* zoo) {
       config.strategy = MakeStrategy(core::PredictorKind::kXgboost, learner,
                                      core::FeatureSet::kAll);
       config.graph.representation = repr;
-      Stopwatch timer;
+      obs::WallTimer timer;
       core::StrategySummary summary =
           core::EvaluateStrategy(&pipeline, config);
       summary.name += repr == zoo::DatasetRepresentation::kTask2Vec

@@ -42,7 +42,7 @@ void RunModality(zoo::ModelZoo* zoo, zoo::Modality modality) {
   for (const core::Strategy& strategy : strategies) {
     core::PipelineConfig config = base;
     config.strategy = strategy;
-    Stopwatch timer;
+    obs::WallTimer timer;
     summaries.push_back(core::EvaluateStrategy(&pipeline, config));
     std::printf("[timing] %-18s %5.1fs\n", strategy.DisplayName().c_str(),
                 timer.ElapsedSeconds());

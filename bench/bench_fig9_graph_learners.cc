@@ -23,7 +23,7 @@ void Run(zoo::ModelZoo* zoo, zoo::Modality modality) {
     core::PipelineConfig config = base;
     config.strategy = MakeStrategy(core::PredictorKind::kLinearRegression,
                                    learner, core::FeatureSet::kAll);
-    Stopwatch timer;
+    obs::WallTimer timer;
     summaries.push_back(core::EvaluateStrategy(&pipeline, config));
     std::printf("[timing] %-20s %5.1fs\n",
                 config.strategy.DisplayName().c_str(),

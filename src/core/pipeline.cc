@@ -10,7 +10,6 @@
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/logging.h"
-#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace tg::core {
@@ -132,7 +131,7 @@ const Matrix& Pipeline::EmbeddingsFor(const PipelineConfig& config,
   // Train outside the lock so concurrent targets (distinct keys in the
   // leave-one-out sweep) overlap; duplicate work on the same key is
   // deterministic-identical and the first insert wins.
-  Stopwatch timer;
+  obs::WallTimer timer;
   TG_TRACE_SPAN2("embedding_train",
                  GraphLearnerName(config.strategy.learner));
   Matrix embeddings;

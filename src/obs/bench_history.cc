@@ -1,0 +1,238 @@
+#include "obs/bench_history.h"
+
+#include <cmath>
+
+#include "util/json_util.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace tg::obs {
+namespace {
+
+constexpr int kSchemaVersion = 1;
+
+std::string StageKey(const std::string& component, uint64_t threads) {
+  return component + "@" + std::to_string(threads);
+}
+
+uint64_t AsU64(const JsonValue* value) {
+  if (value == nullptr || !value->is_number()) return 0;
+  const double d = value->AsDouble();
+  return d > 0.0 ? static_cast<uint64_t>(d) : 0;
+}
+
+std::string AsStr(const JsonValue* value, const std::string& fallback) {
+  return value != nullptr && value->is_string() ? value->AsString() : fallback;
+}
+
+void ReadBuildInfo(const JsonValue* build_info, BenchRun* run) {
+  if (build_info == nullptr || !build_info->is_object()) return;
+  run->git_sha = AsStr(build_info->Find("git_sha"), "unknown");
+  run->compiler = AsStr(build_info->Find("compiler"), "unknown");
+  run->flags = AsStr(build_info->Find("flags"), "");
+  run->build_type = AsStr(build_info->Find("build_type"), "unknown");
+  run->sanitizer = AsStr(build_info->Find("sanitizer"), "none");
+  run->tg_threads = AsU64(build_info->Find("tg_threads"));
+}
+
+Status ReadTimingsArray(const JsonValue* timings, BenchRun* run) {
+  if (timings == nullptr || !timings->is_array()) {
+    return Status::InvalidArgument("missing \"timings\" array");
+  }
+  for (size_t i = 0; i < timings->size(); ++i) {
+    const JsonValue& entry = timings->at(i);
+    const JsonValue* component = entry.Find("component");
+    const JsonValue* seconds = entry.Find("wall_seconds");
+    if (component == nullptr || !component->is_string() ||
+        seconds == nullptr || !seconds->is_number()) {
+      return Status::InvalidArgument("malformed timings entry " +
+                                     std::to_string(i));
+    }
+    const uint64_t threads = AsU64(entry.Find("threads"));
+    run->stage_seconds[StageKey(component->AsString(),
+                                threads == 0 ? 1 : threads)] =
+        seconds->AsDouble();
+  }
+  return Status::OK();
+}
+
+std::string BuildInfoObjectJson(const BenchRun& run) {
+  std::string out = "{";
+  out += "\"git_sha\":" + JsonQuote(run.git_sha);
+  out += ",\"compiler\":" + JsonQuote(run.compiler);
+  out += ",\"flags\":" + JsonQuote(run.flags);
+  out += ",\"build_type\":" + JsonQuote(run.build_type);
+  out += ",\"sanitizer\":" + JsonQuote(run.sanitizer);
+  out += ",\"tg_threads\":" + std::to_string(run.tg_threads);
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+Result<BenchRun> BenchRunFromTimingsJson(const std::string& timings_json,
+                                         const std::string& timestamp) {
+  Result<JsonValue> parsed = JsonValue::Parse(timings_json);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& doc = parsed.value();
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("timings document is not a JSON object");
+  }
+  BenchRun run;
+  run.timestamp = timestamp;
+  ReadBuildInfo(doc.Find("build_info"), &run);
+  TG_RETURN_IF_ERROR(ReadTimingsArray(doc.Find("timings"), &run));
+  if (const JsonValue* resources = doc.Find("resources")) {
+    run.peak_rss_bytes = AsU64(resources->Find("peak_rss_bytes"));
+  }
+  return run;
+}
+
+Result<std::vector<BenchRun>> ParseHistoryJson(const std::string& json) {
+  Result<JsonValue> parsed = JsonValue::Parse(json);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& doc = parsed.value();
+  const JsonValue* schema = doc.Find("schema");
+  if (schema == nullptr || !schema->is_number() ||
+      static_cast<int>(schema->AsDouble()) != kSchemaVersion) {
+    return Status::InvalidArgument(
+        "BENCH_history.json schema missing or unsupported (want " +
+        std::to_string(kSchemaVersion) + ")");
+  }
+  const JsonValue* runs = doc.Find("runs");
+  if (runs == nullptr || !runs->is_array()) {
+    return Status::InvalidArgument("missing \"runs\" array");
+  }
+  std::vector<BenchRun> out;
+  out.reserve(runs->size());
+  for (size_t i = 0; i < runs->size(); ++i) {
+    const JsonValue& entry = runs->at(i);
+    BenchRun run;
+    run.timestamp = AsStr(entry.Find("timestamp"), "");
+    ReadBuildInfo(entry.Find("build_info"), &run);
+    run.peak_rss_bytes = AsU64(entry.Find("peak_rss_bytes"));
+    TG_RETURN_IF_ERROR(ReadTimingsArray(entry.Find("timings"), &run));
+    out.push_back(std::move(run));
+  }
+  return out;
+}
+
+std::string HistoryToJson(const std::vector<BenchRun>& runs) {
+  std::string out = "{\"schema\":" + std::to_string(kSchemaVersion) +
+                    ",\"runs\":[";
+  bool first_run = true;
+  for (const BenchRun& run : runs) {
+    if (!first_run) out += ",";
+    first_run = false;
+    out += "{\"timestamp\":" + JsonQuote(run.timestamp);
+    out += ",\"build_info\":" + BuildInfoObjectJson(run);
+    out += ",\"peak_rss_bytes\":" + std::to_string(run.peak_rss_bytes);
+    out += ",\"timings\":[";
+    bool first_stage = true;
+    for (const auto& [key, seconds] : run.stage_seconds) {
+      if (!first_stage) out += ",";
+      first_stage = false;
+      // Split "component@threads" back into fields.
+      const size_t at = key.rfind('@');
+      const std::string component =
+          at == std::string::npos ? key : key.substr(0, at);
+      const std::string threads =
+          at == std::string::npos ? "1" : key.substr(at + 1);
+      out += "{\"component\":" + JsonQuote(component);
+      out += ",\"threads\":" + threads;
+      out += ",\"wall_seconds\":" + JsonNumber(seconds, 9) + "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+CompareReport CompareBenchRuns(const BenchRun& baseline,
+                               const BenchRun& latest,
+                               const CompareOptions& options) {
+  CompareReport report;
+  report.has_baseline = true;
+
+  if (baseline.build_type != latest.build_type ||
+      baseline.sanitizer != latest.sanitizer ||
+      baseline.compiler != latest.compiler) {
+    report.notes.push_back(
+        "build stamps differ (baseline " + baseline.build_type + "/" +
+        baseline.sanitizer + "/" + baseline.compiler + " vs latest " +
+        latest.build_type + "/" + latest.sanitizer + "/" + latest.compiler +
+        "); ratios are not apples-to-apples");
+  }
+  if (baseline.tg_threads != latest.tg_threads) {
+    report.notes.push_back("thread counts differ (baseline " +
+                           std::to_string(baseline.tg_threads) +
+                           " vs latest " +
+                           std::to_string(latest.tg_threads) + ")");
+  }
+
+  for (const auto& [stage, base_seconds] : baseline.stage_seconds) {
+    auto it = latest.stage_seconds.find(stage);
+    if (it == latest.stage_seconds.end()) {
+      report.only_in_baseline.push_back(stage);
+      continue;
+    }
+    StageDelta delta;
+    delta.stage = stage;
+    delta.baseline_seconds = base_seconds;
+    delta.latest_seconds = it->second;
+    delta.ratio = base_seconds > 0.0 ? it->second / base_seconds : 0.0;
+    delta.skipped_below_floor = base_seconds < options.min_seconds;
+    delta.regressed = !delta.skipped_below_floor &&
+                      delta.ratio > options.max_time_ratio;
+    if (delta.regressed) report.ok = false;
+    report.stages.push_back(std::move(delta));
+  }
+  for (const auto& [stage, seconds] : latest.stage_seconds) {
+    (void)seconds;
+    if (baseline.stage_seconds.find(stage) == baseline.stage_seconds.end()) {
+      report.only_in_latest.push_back(stage);
+    }
+  }
+
+  if (baseline.peak_rss_bytes > 0 && latest.peak_rss_bytes > 0) {
+    report.rss_ratio = static_cast<double>(latest.peak_rss_bytes) /
+                       static_cast<double>(baseline.peak_rss_bytes);
+    report.rss_regressed = report.rss_ratio > options.max_rss_ratio;
+    if (report.rss_regressed) report.ok = false;
+  }
+
+  return report;
+}
+
+std::string CompareReport::Render() const {
+  if (!has_baseline) {
+    return "no baseline run in history; nothing to compare (passing)\n";
+  }
+  TablePrinter table({"stage", "baseline s", "latest s", "ratio", "verdict"});
+  for (const StageDelta& delta : stages) {
+    table.AddRow({delta.stage, FormatDouble(delta.baseline_seconds, 4),
+                  FormatDouble(delta.latest_seconds, 4),
+                  FormatDouble(delta.ratio, 3),
+                  delta.regressed             ? "REGRESSED"
+                  : delta.skipped_below_floor ? "below floor"
+                                              : "ok"});
+  }
+  std::string out = table.Render();
+  if (rss_ratio > 0.0) {
+    out += "peak RSS ratio " + FormatDouble(rss_ratio, 3) +
+           (rss_regressed ? "  REGRESSED\n" : "  ok\n");
+  }
+  for (const std::string& stage : only_in_baseline) {
+    out += "note: stage only in baseline: " + stage + "\n";
+  }
+  for (const std::string& stage : only_in_latest) {
+    out += "note: stage only in latest: " + stage + "\n";
+  }
+  for (const std::string& note : notes) {
+    out += "note: " + note + "\n";
+  }
+  out += ok ? "bench-compare: OK\n" : "bench-compare: REGRESSION\n";
+  return out;
+}
+
+}  // namespace tg::obs

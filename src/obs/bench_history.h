@@ -1,0 +1,104 @@
+// Run-over-run benchmark history: parse one bench_timings.json snapshot
+// into a BenchRun, accumulate runs into bench_csv/BENCH_history.json, and
+// diff the latest run against a baseline with regression thresholds. The
+// tools/bench_history CLI wraps these (append / compare / show);
+// tools/run_checks.sh uses compare as a pre-PR gate.
+//
+// BENCH_history.json schema (schema version 1):
+//   {
+//     "schema": 1,
+//     "runs": [
+//       {
+//         "timestamp": "<ISO-8601 UTC, append time>",
+//         "build_info": {"git_sha": "...", "compiler": "...", "flags": "...",
+//                        "build_type": "...", "sanitizer": "...",
+//                        "cxx_standard": N, "tg_threads": N},
+//         "peak_rss_bytes": N,
+//         "timings": [
+//           {"component": "...", "threads": N, "wall_seconds": S}, ...
+//         ]
+//       }, ...
+//     ]
+//   }
+#ifndef TG_OBS_BENCH_HISTORY_H_
+#define TG_OBS_BENCH_HISTORY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tg::obs {
+
+// One benchmark run: build provenance plus per-stage wall times keyed
+// "component@threads" (e.g. "skipgram_sharded@1").
+struct BenchRun {
+  std::string timestamp;
+  std::string git_sha;
+  std::string compiler;
+  std::string flags;
+  std::string build_type;
+  std::string sanitizer;
+  uint64_t tg_threads = 0;
+  uint64_t peak_rss_bytes = 0;
+  std::map<std::string, double> stage_seconds;
+};
+
+// Parses a bench_csv/bench_timings.json document (the format
+// bench_common.h's WriteTimingsJson emits: "timings" array + "build_info" +
+// "resources"). `timestamp` is stamped by the caller at append time.
+Result<BenchRun> BenchRunFromTimingsJson(const std::string& timings_json,
+                                         const std::string& timestamp);
+
+// Parses a BENCH_history.json document. An unknown schema version is an
+// error; an empty runs array is fine.
+Result<std::vector<BenchRun>> ParseHistoryJson(const std::string& json);
+
+// Serializes runs back to the schema above (validates round-trip clean).
+std::string HistoryToJson(const std::vector<BenchRun>& runs);
+
+struct CompareOptions {
+  // A stage regresses when latest/baseline exceeds this ratio...
+  double max_time_ratio = 1.30;
+  // ...unless the baseline is below this floor (sub-centisecond stages are
+  // dominated by scheduler noise on shared CI hardware).
+  double min_seconds = 0.01;
+  // Peak-RSS regression threshold (ratio of latest to baseline).
+  double max_rss_ratio = 1.50;
+};
+
+struct StageDelta {
+  std::string stage;       // "component@threads"
+  double baseline_seconds = 0.0;
+  double latest_seconds = 0.0;
+  double ratio = 0.0;      // latest / baseline
+  bool regressed = false;
+  bool skipped_below_floor = false;
+};
+
+struct CompareReport {
+  bool has_baseline = false;  // false: nothing to compare against, passes
+  bool ok = true;             // false iff any stage or RSS regressed
+  std::vector<StageDelta> stages;      // stages present in both runs
+  std::vector<std::string> only_in_baseline;
+  std::vector<std::string> only_in_latest;
+  double rss_ratio = 0.0;     // 0 when either run lacks a peak-RSS reading
+  bool rss_regressed = false;
+  std::vector<std::string> notes;  // e.g. build-stamp mismatches
+
+  // Human-readable multi-line rendering (table + verdict line).
+  std::string Render() const;
+};
+
+// Diffs `latest` against `baseline`. Build-stamp mismatches (different
+// build_type / sanitizer / compiler) do not fail the compare but are noted
+// in the report, since cross-build ratios are not meaningful evidence.
+CompareReport CompareBenchRuns(const BenchRun& baseline,
+                               const BenchRun& latest,
+                               const CompareOptions& options = {});
+
+}  // namespace tg::obs
+
+#endif  // TG_OBS_BENCH_HISTORY_H_

@@ -111,6 +111,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     s.max = s.count > 0 ? h->max() : 0.0;
     s.p50 = h->Quantile(0.5);
     s.p95 = h->Quantile(0.95);
+    s.p99 = h->Quantile(0.99);
     snap.histograms[name] = s;
   }
   return snap;
@@ -144,6 +145,7 @@ std::string MetricsRegistry::ToJson() const {
     out += ",\"max\":" + JsonNumber(count > 0 ? h->max() : 0.0, 9);
     out += ",\"p50\":" + JsonNumber(h->Quantile(0.5), 9);
     out += ",\"p95\":" + JsonNumber(h->Quantile(0.95), 9);
+    out += ",\"p99\":" + JsonNumber(h->Quantile(0.99), 9);
     out += ",\"buckets\":[";
     bool first_bucket = true;
     for (size_t i = 0; i < h->num_buckets(); ++i) {
@@ -164,20 +166,23 @@ std::string MetricsRegistry::ToJson() const {
 
 std::string MetricsRegistry::RenderTable() const {
   const MetricsSnapshot snap = Snapshot();
-  TablePrinter table({"metric", "type", "count", "value", "mean", "p95",
-                      "max"});
+  TablePrinter table({"metric", "type", "count", "value", "mean", "p50",
+                      "p95", "p99", "max"});
   for (const auto& [name, value] : snap.counters) {
-    table.AddRow({name, "counter", std::to_string(value), "", "", "", ""});
+    table.AddRow({name, "counter", std::to_string(value), "", "", "", "", "",
+                  ""});
   }
   for (const auto& [name, value] : snap.gauges) {
-    table.AddRow({name, "gauge", "", FormatDouble(value, 6), "", "", ""});
+    table.AddRow({name, "gauge", "", FormatDouble(value, 6), "", "", "", "",
+                  ""});
   }
   for (const auto& [name, h] : snap.histograms) {
     const double mean =
         h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0;
     table.AddRow({name, "histogram", std::to_string(h.count),
                   FormatDouble(h.sum, 6), FormatDouble(mean, 6),
-                  FormatDouble(h.p95, 6), FormatDouble(h.max, 6)});
+                  FormatDouble(h.p50, 6), FormatDouble(h.p95, 6),
+                  FormatDouble(h.p99, 6), FormatDouble(h.max, 6)});
   }
   return table.Render();
 }
@@ -192,6 +197,16 @@ void MetricsRegistry::ResetAll() {
 Histogram& StageHistogram(const std::string& span_name) {
   return MetricsRegistry::Instance().GetHistogram("stage." + span_name +
                                                   ".seconds");
+}
+
+Histogram& StageAllocHistogram(const std::string& span_name) {
+  // Byte-scale buckets: 1 KiB * 2^i, 36 finite buckets (~32 TiB) + overflow.
+  HistogramOptions options;
+  options.first_bound = 1024.0;
+  options.growth = 2.0;
+  options.num_buckets = 36;
+  return MetricsRegistry::Instance().GetHistogram(
+      "stage." + span_name + ".alloc_bytes", options);
 }
 
 }  // namespace tg::obs

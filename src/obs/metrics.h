@@ -42,7 +42,19 @@ class Counter {
 class Gauge {
  public:
   void Set(double v) { value_.store(v, std::memory_order_relaxed); }
-  void Add(double v) { value_.fetch_add(v, std::memory_order_relaxed); }
+  void Add(double v) {
+    // std::atomic<double>::fetch_add is a C++20 library feature
+    // (P0020R6); older standard libraries declare atomic<double> without
+    // it, so fall back to a CAS loop where the feature macro is absent.
+#if defined(__cpp_lib_atomic_float) && __cpp_lib_atomic_float >= 201711L
+    value_.fetch_add(v, std::memory_order_relaxed);
+#else
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + v,
+                                         std::memory_order_relaxed)) {
+    }
+#endif
+  }
   double value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0.0, std::memory_order_relaxed); }
 
@@ -97,7 +109,8 @@ class Histogram {
   std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
-// Point-in-time copy of one histogram's summary statistics.
+// Point-in-time copy of one histogram's summary statistics. Quantiles are
+// bucket-resolution estimates (see Histogram::Quantile).
 struct HistogramStats {
   uint64_t count = 0;
   double sum = 0.0;
@@ -105,6 +118,7 @@ struct HistogramStats {
   double max = 0.0;
   double p50 = 0.0;
   double p95 = 0.0;
+  double p99 = 0.0;
 };
 
 // Point-in-time copy of the whole registry, for diffing (cold vs warm
@@ -154,6 +168,12 @@ class MetricsRegistry {
 // The "stage.<span_name>.seconds" histogram fed by obs::Span when metrics
 // are enabled; exposed so benches/CLI can read stage timings back.
 Histogram& StageHistogram(const std::string& span_name);
+
+// The "stage.<span_name>.alloc_bytes" histogram fed by obs::Span when
+// metrics AND memory tracking (obs/memory.h) are both enabled: one
+// observation per span close, valued at the span's inclusive allocated
+// bytes. Buckets span 1 KiB .. ~32 TiB in powers of two.
+Histogram& StageAllocHistogram(const std::string& span_name);
 
 }  // namespace tg::obs
 

@@ -1,0 +1,208 @@
+#include "obs/resource_sampler.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/json_util.h"
+
+namespace tg::obs {
+namespace {
+
+// Parses "VmRSS:     123 kB" style lines from /proc/self/status.
+bool ParseStatusLineKb(const char* line, const char* key, uint64_t* out_kb) {
+  const size_t key_len = std::strlen(key);
+  if (std::strncmp(line, key, key_len) != 0) return false;
+  uint64_t kb = 0;
+  if (std::sscanf(line + key_len, " %" SCNu64, &kb) != 1) return false;
+  *out_kb = kb;
+  return true;
+}
+
+struct SamplerState {
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  bool running = false;
+  bool stop_requested = false;
+  std::thread thread;
+  ResourceSamplerOptions options;
+  std::vector<ResourceSample> samples;
+};
+
+SamplerState& State() {
+  // Leaked: the sampler thread may outlive static destruction checks and
+  // the sample buffer must stay valid for a final trace export.
+  static SamplerState* state = new SamplerState;
+  return *state;
+}
+
+void RecordSample(SamplerState& state) {
+  ResourceSample sample;
+  sample.t_ns = TraceNowNs();
+  sample.usage = ReadSelfResourceUsage();
+  if (!sample.usage.ok) return;
+
+  static Gauge& rss =
+      MetricsRegistry::Instance().GetGauge("process.rss_bytes");
+  static Gauge& peak =
+      MetricsRegistry::Instance().GetGauge("process.peak_rss_bytes");
+  static Gauge& faults =
+      MetricsRegistry::Instance().GetGauge("process.major_faults");
+  rss.Set(static_cast<double>(sample.usage.rss_bytes));
+  peak.Set(static_cast<double>(sample.usage.peak_rss_bytes));
+  faults.Set(static_cast<double>(sample.usage.major_faults));
+
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.samples.size() >= state.options.max_samples &&
+      !state.samples.empty()) {
+    state.samples.erase(state.samples.begin());
+  }
+  state.samples.push_back(sample);
+}
+
+void SamplerLoop(SamplerState& state) {
+  SetCurrentThreadName("tg-resource-sampler");
+  RecordSample(state);
+  std::unique_lock<std::mutex> lock(state.mu);
+  const auto interval = std::chrono::milliseconds(state.options.interval_ms);
+  while (!state.stop_requested) {
+    state.cv.wait_for(lock, interval,
+                      [&state] { return state.stop_requested; });
+    if (state.stop_requested) break;
+    lock.unlock();
+    RecordSample(state);
+    lock.lock();
+  }
+}
+
+}  // namespace
+
+ResourceUsage ReadSelfResourceUsage() {
+  ResourceUsage usage;
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return usage;
+  char line[256];
+  uint64_t rss_kb = 0;
+  uint64_t peak_kb = 0;
+  bool have_rss = false;
+  bool have_peak = false;
+  while (std::fgets(line, sizeof(line), status) != nullptr) {
+    have_rss = have_rss || ParseStatusLineKb(line, "VmRSS:", &rss_kb);
+    have_peak = have_peak || ParseStatusLineKb(line, "VmHWM:", &peak_kb);
+    if (have_rss && have_peak) break;
+  }
+  std::fclose(status);
+  if (!have_rss) return usage;
+  usage.rss_bytes = rss_kb * 1024;
+  usage.peak_rss_bytes = peak_kb * 1024;
+
+  // majflt is field 12 of /proc/self/stat; comm (field 2) may contain
+  // spaces but is parenthesized, so scan from after the closing paren.
+  std::FILE* stat = std::fopen("/proc/self/stat", "r");
+  if (stat != nullptr) {
+    char buffer[1024];
+    if (std::fgets(buffer, sizeof(buffer), stat) != nullptr) {
+      const char* after_comm = std::strrchr(buffer, ')');
+      if (after_comm != nullptr) {
+        // after ')': state(3) ppid(4) pgrp(5) session(6) tty(7) tpgid(8)
+        // flags(9) minflt(10) cminflt(11) majflt(12)
+        uint64_t majflt = 0;
+        if (std::sscanf(after_comm + 1,
+                        " %*c %*d %*d %*d %*d %*d %*u %*u %*u %" SCNu64,
+                        &majflt) == 1) {
+          usage.major_faults = majflt;
+        }
+      }
+    }
+    std::fclose(stat);
+  }
+  usage.ok = true;
+  return usage;
+}
+
+ResourceSampler& ResourceSampler::Instance() {
+  static ResourceSampler* sampler = new ResourceSampler;
+  return *sampler;
+}
+
+void ResourceSampler::Start(const ResourceSamplerOptions& options) {
+  SamplerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.running) return;
+  state.options = options;
+  if (state.options.interval_ms < 1) state.options.interval_ms = 1;
+  if (state.options.max_samples < 2) state.options.max_samples = 2;
+  state.stop_requested = false;
+  state.running = true;
+  state.thread = std::thread([&state] { SamplerLoop(state); });
+}
+
+void ResourceSampler::Stop() {
+  SamplerState& state = State();
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (!state.running) return;
+    state.stop_requested = true;
+    to_join = std::move(state.thread);
+  }
+  state.cv.notify_all();
+  to_join.join();
+  // Final sample so the exported timeline covers the full run.
+  RecordSample(state);
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.running = false;
+}
+
+bool ResourceSampler::running() const {
+  SamplerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.running;
+}
+
+std::vector<ResourceSample> ResourceSampler::Samples() const {
+  SamplerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.samples;
+}
+
+void ResourceSampler::ClearSamples() {
+  SamplerState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.samples.clear();
+}
+
+std::string ResourceCounterEventsJson() {
+  const std::vector<ResourceSample> samples =
+      ResourceSampler::Instance().Samples();
+  std::string out;
+  bool first = true;
+  for (const ResourceSample& sample : samples) {
+    if (!first) out += ",";
+    first = false;
+    const std::string ts =
+        JsonNumber(static_cast<double>(sample.t_ns) / 1e3, 15);
+    out += "{\"ph\":\"C\",\"pid\":1,\"name\":\"process_memory_mb\",\"ts\":" +
+           ts + ",\"args\":{\"rss\":" +
+           JsonNumber(static_cast<double>(sample.usage.rss_bytes) / 1048576.0,
+                      9) +
+           ",\"peak_rss\":" +
+           JsonNumber(
+               static_cast<double>(sample.usage.peak_rss_bytes) / 1048576.0,
+               9) +
+           "}}";
+    out += ",{\"ph\":\"C\",\"pid\":1,\"name\":\"process_major_faults\","
+           "\"ts\":" +
+           ts + ",\"args\":{\"major_faults\":" +
+           std::to_string(sample.usage.major_faults) + "}}";
+  }
+  return out;
+}
+
+}  // namespace tg::obs

@@ -1,0 +1,78 @@
+// Process resource sampler: an opt-in background thread reading
+// /proc/self/status and /proc/self/stat (RSS, peak RSS, major faults) at a
+// configurable interval. Each tick updates the process.* gauges in the
+// metrics registry and appends a sample stamped on the trace clock, so the
+// Chrome-trace exporter can render an RSS timeline (counter track) under
+// the span rows in Perfetto.
+//
+// Strictly read-only telemetry: the sampler thread touches no pipeline
+// state and no RNG, so enabling it cannot perturb results. It is never
+// started implicitly -- callers opt in via Start() (tg_cli --rss-sample,
+// benches, tests). On non-Linux systems /proc is absent and Start() is a
+// no-op that reports failure through running().
+#ifndef TG_OBS_RESOURCE_SAMPLER_H_
+#define TG_OBS_RESOURCE_SAMPLER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tg::obs {
+
+// One-shot reading of the process's memory/fault numbers. `ok` is false
+// when /proc could not be read (non-Linux).
+struct ResourceUsage {
+  uint64_t rss_bytes = 0;       // VmRSS
+  uint64_t peak_rss_bytes = 0;  // VmHWM (high-water mark)
+  uint64_t major_faults = 0;    // majflt, cumulative
+  bool ok = false;
+};
+
+ResourceUsage ReadSelfResourceUsage();
+
+struct ResourceSample {
+  uint64_t t_ns = 0;  // trace clock (obs::TraceNowNs)
+  ResourceUsage usage;
+};
+
+struct ResourceSamplerOptions {
+  int interval_ms = 50;
+  // Samples kept in memory for export; one per tick, so the default covers
+  // 100 s at the default interval. Oldest samples are dropped beyond this.
+  size_t max_samples = 2000;
+};
+
+// The process-wide sampler. Start/Stop are idempotent and may be called
+// from any thread (internally serialized); the sampling thread itself only
+// reads /proc and writes gauges + the sample buffer.
+class ResourceSampler {
+ public:
+  static ResourceSampler& Instance();
+
+  // Spawns the sampling thread (no-op if already running). Takes an
+  // immediate first sample so even sub-interval runs record something.
+  void Start(const ResourceSamplerOptions& options = {});
+
+  // Joins the sampling thread after one final sample (no-op if stopped).
+  void Stop();
+
+  bool running() const;
+
+  // Copy of the samples recorded since process start (Start/Stop cycles
+  // append; ClearSamples resets).
+  std::vector<ResourceSample> Samples() const;
+  void ClearSamples();
+
+ private:
+  ResourceSampler() = default;
+};
+
+// Comma-joined Chrome trace-event counter objects ("ph":"C") for the
+// recorded samples -- process_memory_mb (rss/peak series) and
+// process_major_faults tracks. Empty string when no samples exist. Spliced
+// into ChromeTraceJson()'s traceEvents array.
+std::string ResourceCounterEventsJson();
+
+}  // namespace tg::obs
+
+#endif  // TG_OBS_RESOURCE_SAMPLER_H_

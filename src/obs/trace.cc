@@ -8,7 +8,9 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/memory.h"
 #include "obs/metrics.h"
+#include "obs/resource_sampler.h"
 #include "util/json_util.h"
 
 namespace tg::obs {
@@ -29,15 +31,6 @@ std::atomic<uint32_t>& Mode() {
       (EnvFlagSet("TG_TRACE") ? kTraceBit : 0u) |
       (EnvFlagSet("TG_METRICS") ? kMetricsBit : 0u)};
   return mode;
-}
-
-uint64_t NowNs() {
-  using Clock = std::chrono::steady_clock;
-  static const Clock::time_point epoch = Clock::now();
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
-                                                           epoch)
-          .count());
 }
 
 // --- Per-thread record buffers ---------------------------------------------
@@ -117,6 +110,15 @@ thread_local uint64_t t_current_span = 0;
 
 }  // namespace
 
+uint64_t TraceNowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch)
+          .count());
+}
+
 void SetTraceEnabled(bool enabled) {
   if (enabled) {
     Mode().fetch_or(kTraceBit, std::memory_order_relaxed);
@@ -151,17 +153,29 @@ Span::Span(const char* name, std::string detail) {
   id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
   prev_current_ = t_current_span;
   t_current_span = id_;
-  start_ns_ = NowNs();
+  const AllocStats allocs = ThreadAllocStats();
+  alloc_bytes_start_ = allocs.bytes;
+  allocs_start_ = allocs.count;
+  start_ns_ = TraceNowNs();
 }
 
 Span::~Span() {
   if (!active_) return;
-  const uint64_t end_ns = NowNs();
+  const uint64_t end_ns = TraceNowNs();
+  // Allocation deltas are read before the tracer itself allocates (record
+  // blocks, histogram map nodes), so tracer-internal allocations land on the
+  // enclosing span, never on the span being closed.
+  const AllocStats allocs = ThreadAllocStats();
+  const uint64_t alloc_bytes = allocs.bytes - alloc_bytes_start_;
+  const uint64_t alloc_count = allocs.count - allocs_start_;
   t_current_span = prev_current_;
   const uint32_t mode = Mode().load(std::memory_order_relaxed);
   if ((mode & kMetricsBit) != 0) {
     StageHistogram(name_).Observe(static_cast<double>(end_ns - start_ns_) *
                                   1e-9);
+    if (MemoryTrackingEnabled()) {
+      StageAllocHistogram(name_).Observe(static_cast<double>(alloc_bytes));
+    }
   }
   if ((mode & kTraceBit) != 0) {
     SpanRecord record;
@@ -171,6 +185,8 @@ Span::~Span() {
     record.parent = prev_current_;
     record.start_ns = start_ns_;
     record.end_ns = end_ns;
+    record.alloc_bytes = alloc_bytes;
+    record.allocs = alloc_count;
     LocalBuffer()->Append(std::move(record));
   }
 }
@@ -255,7 +271,18 @@ std::string ChromeTraceJson() {
     out += ",\"args\":{\"id\":" + std::to_string(span.id);
     out += ",\"parent\":" + std::to_string(span.parent);
     if (!span.detail.empty()) out += ",\"detail\":" + JsonQuote(span.detail);
+    if (span.allocs != 0) {
+      out += ",\"alloc_bytes\":" + std::to_string(span.alloc_bytes);
+      out += ",\"allocs\":" + std::to_string(span.allocs);
+    }
     out += "}}";
+  }
+  // RSS timeline: "ph":"C" counter events from the resource sampler render
+  // as counter tracks under the span rows in Perfetto.
+  const std::string counters = ResourceCounterEventsJson();
+  if (!counters.empty()) {
+    if (!first) out += ",";
+    out += counters;
   }
   out += "]}";
   return out;

@@ -37,6 +37,32 @@ bool TraceEnabled();
 void SetMetricsEnabled(bool enabled);
 bool MetricsEnabled();
 
+// --- Clock ------------------------------------------------------------------
+
+// Nanoseconds since the process trace epoch (steady clock; the epoch is
+// fixed on first use). Every obs timestamp -- span start/end, resource
+// sampler ticks, WallTimer -- comes from this one clock.
+uint64_t TraceNowNs();
+
+// Wall-clock timer on the trace clock, for coarse timing in log lines and
+// bench loops that do not want a span. (Folded in from the former
+// util/stopwatch.h so the repo has a single timing source.)
+class WallTimer {
+ public:
+  WallTimer() : start_ns_(TraceNowNs()) {}
+
+  void Reset() { start_ns_ = TraceNowNs(); }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(TraceNowNs() - start_ns_) * 1e-9;
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  uint64_t start_ns_;
+};
+
 // --- Spans ------------------------------------------------------------------
 
 // One closed span. `name` must have static storage duration (the TG_TRACE_*
@@ -49,6 +75,12 @@ struct SpanRecord {
   uint64_t parent = 0;  // 0 = root
   uint64_t start_ns = 0;  // relative to the process trace epoch
   uint64_t end_ns = 0;
+  // Allocation accounting over the span's lifetime on its thread, inclusive
+  // of child spans, when obs::MemoryTrackingEnabled() (see obs/memory.h);
+  // zero otherwise. Allocations made by pool workers on behalf of this span
+  // appear on the workers' pool_drain spans, not here.
+  uint64_t alloc_bytes = 0;
+  uint64_t allocs = 0;
   uint32_t tid = 0;  // dense per-thread index, see ThreadNames()
 };
 
@@ -72,6 +104,8 @@ class Span {
   uint64_t id_ = 0;
   uint64_t prev_current_ = 0;
   uint64_t start_ns_ = 0;
+  uint64_t alloc_bytes_start_ = 0;
+  uint64_t allocs_start_ = 0;
   bool active_ = false;
 };
 

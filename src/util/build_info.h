@@ -1,0 +1,38 @@
+// Build provenance stamp: git sha, compiler, flags, build type and
+// sanitizer mode captured at configure/compile time, plus the runtime
+// thread count. Embedded in bench_csv/bench_timings.json and carried into
+// bench_csv/BENCH_history.json entries so run-over-run comparisons only
+// diff runs built the same way (comparing a TSan build against a Release
+// build would flag nothing but noise).
+//
+// The values come from compile definitions set on build_info.cc alone (see
+// src/CMakeLists.txt), so a new git sha recompiles one file, not the
+// library. The sha is captured at CMake configure time; a stale stamp after
+// local commits without a reconfigure is possible and acceptable for a
+// trend artifact.
+#ifndef TG_UTIL_BUILD_INFO_H_
+#define TG_UTIL_BUILD_INFO_H_
+
+#include <string>
+
+namespace tg {
+
+struct BuildInfo {
+  std::string git_sha;     // short sha at configure time, or "unknown"
+  std::string compiler;    // e.g. "GNU 12.2.0"
+  std::string flags;       // CMAKE_CXX_FLAGS + build-type flags
+  std::string build_type;  // Release / RelWithDebInfo / Debug
+  std::string sanitizer;   // TG_SANITIZE value, or "none"
+  long cxx_standard = 0;   // __cplusplus of the build
+};
+
+const BuildInfo& GetBuildInfo();
+
+// One JSON object with every BuildInfo field plus "tg_threads" (the live
+// ThreadCount(), which is runtime configuration rather than build
+// provenance but equally load-bearing for comparability).
+std::string BuildInfoJson();
+
+}  // namespace tg
+
+#endif  // TG_UTIL_BUILD_INFO_H_

@@ -1,7 +1,9 @@
 #include "util/json_util.h"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace tg {
@@ -231,6 +233,249 @@ Status JsonValidate(const std::string& text) {
   return Status::InvalidArgument(
       "invalid JSON at byte offset " +
       std::to_string(checker.p - text.data()));
+}
+
+// Recursive-descent parser sharing the checker's grammar; kept separate so
+// the validator stays allocation-free for its hot use (exporter self-checks).
+struct JsonParser {
+  const char* p;
+  const char* begin;
+  const char* end;
+  int depth = 0;
+
+  static constexpr int kMaxDepth = 256;
+
+  Status Error() const {
+    return Status::InvalidArgument("invalid JSON at byte offset " +
+                                   std::to_string(p - begin));
+  }
+
+  void SkipWs() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  bool Literal(const char* lit) {
+    const size_t n = std::strlen(lit);
+    if (static_cast<size_t>(end - p) < n || std::strncmp(p, lit, n) != 0) {
+      return false;
+    }
+    p += n;
+    return true;
+  }
+
+  static void AppendUtf8(std::string* out, unsigned code) {
+    if (code < 0x80) {
+      *out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      *out += static_cast<char>(0xC0 | (code >> 6));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      *out += static_cast<char>(0xE0 | (code >> 12));
+      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (p >= end || *p != '"') return false;
+    ++p;
+    while (p < end) {
+      const unsigned char c = static_cast<unsigned char>(*p);
+      if (c == '"') {
+        ++p;
+        return true;
+      }
+      if (c < 0x20) return false;
+      if (c == '\\') {
+        ++p;
+        if (p >= end) return false;
+        switch (*p) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              ++p;
+              if (p >= end || !std::isxdigit(static_cast<unsigned char>(*p))) {
+                return false;
+              }
+              const char h = *p;
+              code = code * 16 +
+                     static_cast<unsigned>(
+                         h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+            }
+            // Surrogate pairs are passed through as two 3-byte sequences
+            // (CESU-8-style); the in-tree writers never emit them.
+            AppendUtf8(out, code);
+            break;
+          }
+          default:
+            return false;
+        }
+        ++p;
+        continue;
+      }
+      *out += static_cast<char>(c);
+      ++p;
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber(double* out) {
+    const char* start = p;
+    JsonChecker number_checker{p, end};
+    if (!number_checker.ParseNumber()) {
+      p = number_checker.p;
+      return false;
+    }
+    p = number_checker.p;
+    *out = std::strtod(start, nullptr);
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (p >= end || ++depth > kMaxDepth) return false;
+    bool ok = false;
+    switch (*p) {
+      case '{':
+        out->kind_ = JsonValue::Kind::kObject;
+        ok = ParseObject(out);
+        break;
+      case '[':
+        out->kind_ = JsonValue::Kind::kArray;
+        ok = ParseArray(out);
+        break;
+      case '"':
+        out->kind_ = JsonValue::Kind::kString;
+        ok = ParseString(&out->string_);
+        break;
+      case 't':
+        out->kind_ = JsonValue::Kind::kBool;
+        out->bool_ = true;
+        ok = Literal("true");
+        break;
+      case 'f':
+        out->kind_ = JsonValue::Kind::kBool;
+        out->bool_ = false;
+        ok = Literal("false");
+        break;
+      case 'n':
+        out->kind_ = JsonValue::Kind::kNull;
+        ok = Literal("null");
+        break;
+      default:
+        out->kind_ = JsonValue::Kind::kNumber;
+        ok = ParseNumber(&out->number_);
+    }
+    --depth;
+    return ok;
+  }
+
+  bool ParseObject(JsonValue* out) {
+    ++p;  // '{'
+    SkipWs();
+    if (p < end && *p == '}') {
+      ++p;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (p >= end || *p != ':') return false;
+      ++p;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object_.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (p < end && *p == ',') {
+        ++p;
+        continue;
+      }
+      if (p < end && *p == '}') {
+        ++p;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    ++p;  // '['
+    SkipWs();
+    if (p < end && *p == ']') {
+      ++p;
+      return true;
+    }
+    for (;;) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array_.push_back(std::move(value));
+      SkipWs();
+      if (p < end && *p == ',') {
+        ++p;
+        continue;
+      }
+      if (p < end && *p == ']') {
+        ++p;
+        return true;
+      }
+      return false;
+    }
+  }
+};
+
+Result<JsonValue> JsonValue::Parse(const std::string& text) {
+  JsonParser parser{text.data(), text.data(), text.data() + text.size()};
+  JsonValue value;
+  if (parser.ParseValue(&value)) {
+    parser.SkipWs();
+    if (parser.p == parser.end) return value;
+  }
+  return parser.Error();
+}
+
+bool JsonValue::AsBool(bool fallback) const {
+  return kind_ == Kind::kBool ? bool_ : fallback;
+}
+
+double JsonValue::AsDouble(double fallback) const {
+  return kind_ == Kind::kNumber ? number_ : fallback;
+}
+
+const std::string& JsonValue::AsString() const {
+  static const std::string empty;
+  return kind_ == Kind::kString ? string_ : empty;
+}
+
+size_t JsonValue::size() const {
+  if (kind_ == Kind::kArray) return array_.size();
+  if (kind_ == Kind::kObject) return object_.size();
+  return 0;
+}
+
+const JsonValue& JsonValue::at(size_t i) const {
+  static const JsonValue null_value;
+  if (kind_ != Kind::kArray || i >= array_.size()) return null_value;
+  return array_[i];
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
 }
 
 }  // namespace tg

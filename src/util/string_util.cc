@@ -54,4 +54,10 @@ bool StartsWith(const std::string& text, const std::string& prefix) {
          text.compare(0, prefix.size(), prefix) == 0;
 }
 
+bool EndsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
 }  // namespace tg

@@ -22,6 +22,8 @@ std::string FormatDouble(double value, int decimals);
 
 bool StartsWith(const std::string& text, const std::string& prefix);
 
+bool EndsWith(const std::string& text, const std::string& suffix);
+
 }  // namespace tg
 
 #endif  // TG_UTIL_STRING_UTIL_H_

@@ -6,9 +6,9 @@
 #include "graph/graph.h"
 #include "ml/gbdt.h"
 #include "numeric/matrix.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/rng.h"
-#include "util/stopwatch.h"
 
 namespace tg {
 namespace {
@@ -55,8 +55,8 @@ TEST(ContractsDeathTest, RngNextBelowZeroAborts) {
 
 // --- Non-death odds and ends ---
 
-TEST(StopwatchTest, ElapsedIsMonotone) {
-  Stopwatch watch;
+TEST(WallTimerTest, ElapsedIsMonotone) {
+  obs::WallTimer watch;
   const double first = watch.ElapsedSeconds();
   EXPECT_GE(first, 0.0);
   volatile double sink = 0.0;

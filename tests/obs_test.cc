@@ -199,6 +199,33 @@ TEST_F(ObsTest, CountersAggregateAcrossPoolWorkers) {
   EXPECT_EQ(hist.BucketCount(0), kItems);
 }
 
+TEST_F(ObsTest, SnapshotReportsQuantiles) {
+  obs::Histogram& hist = obs::MetricsRegistry::Instance().GetHistogram(
+      "obs_test.quantile_hist");
+  hist.Reset();
+  // 100 observations spread across decades: p50 lands in the middle
+  // buckets, p95 and p99 in the tail.
+  for (int i = 0; i < 90; ++i) hist.Observe(1e-6);
+  for (int i = 0; i < 8; ++i) hist.Observe(1e-3);
+  for (int i = 0; i < 2; ++i) hist.Observe(1.0);
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Instance().Snapshot();
+  const obs::HistogramStats& stats =
+      snapshot.histograms.at("obs_test.quantile_hist");
+  EXPECT_EQ(stats.count, 100u);
+  EXPECT_LE(stats.p50, stats.p95);
+  EXPECT_LE(stats.p95, stats.p99);
+  EXPECT_LE(stats.p50, 2e-6);   // within the 1us region
+  EXPECT_GE(stats.p95, 1e-3);   // pulled into the millisecond tail
+  EXPECT_GE(stats.p99, 0.5);    // the two 1s outliers own the last percent
+  // The quantiles also surface in the JSON dump and the rendered table.
+  const std::string json = obs::MetricsRegistry::Instance().ToJson();
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  const std::string table = obs::MetricsRegistry::Instance().RenderTable();
+  EXPECT_NE(table.find("p99"), std::string::npos);
+  hist.Reset();
+}
+
 TEST_F(ObsTest, SpanFeedsStageHistogramWhenMetricsEnabled) {
   obs::SetMetricsEnabled(true);
   obs::Histogram& stage = obs::StageHistogram("obs_test_stage");

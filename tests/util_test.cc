@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "util/csv.h"
+#include "util/json_util.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -234,6 +235,58 @@ TEST(TablePrinterTest, ShortRowsPadded) {
   table.AddRow({"1"});
   const std::string out = table.Render();
   EXPECT_NE(out.find("1"), std::string::npos);
+}
+
+TEST(StringUtilTest, EndsWith) {
+  EXPECT_TRUE(EndsWith("stage.x.seconds", ".seconds"));
+  EXPECT_TRUE(EndsWith("abc", ""));
+  EXPECT_FALSE(EndsWith("abc", "abcd"));
+  EXPECT_FALSE(EndsWith("stage.x.alloc_bytes", ".seconds"));
+}
+
+TEST(JsonValueTest, ParsesScalarsArraysAndObjects) {
+  Result<JsonValue> parsed = JsonValue::Parse(
+      R"({"name": "tg", "count": 3, "ratio": -1.5e2, "on": true,)"
+      R"( "off": false, "nil": null, "list": [1, 2, 3]})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& doc = parsed.value();
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.Find("name")->AsString(), "tg");
+  EXPECT_DOUBLE_EQ(doc.Find("count")->AsDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(doc.Find("ratio")->AsDouble(), -150.0);
+  EXPECT_TRUE(doc.Find("on")->AsBool());
+  EXPECT_FALSE(doc.Find("off")->AsBool());
+  EXPECT_TRUE(doc.Find("nil")->is_null());
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+  const JsonValue* list = doc.Find("list");
+  ASSERT_TRUE(list->is_array());
+  ASSERT_EQ(list->size(), 3u);
+  EXPECT_DOUBLE_EQ(list->at(2).AsDouble(), 3.0);
+}
+
+TEST(JsonValueTest, DecodesStringEscapes) {
+  Result<JsonValue> parsed =
+      JsonValue::Parse(R"(["a\"b", "tab\t", "\u00e9\u0041"])");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().at(0).AsString(), "a\"b");
+  EXPECT_EQ(parsed.value().at(1).AsString(), "tab\t");
+  EXPECT_EQ(parsed.value().at(2).AsString(),
+            "\xc3\xa9" "A");  // e-acute, then A
+}
+
+TEST(JsonValueTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1, 2,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1] trailing").ok());
+  EXPECT_FALSE(JsonValue::Parse(R"({"a": 01})").ok());
+}
+
+TEST(JsonValueTest, RoundTripsQuotedStrings) {
+  const std::string original = "line\nbreak \"quoted\" tab\t";
+  Result<JsonValue> parsed = JsonValue::Parse(JsonQuote(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().AsString(), original);
 }
 
 }  // namespace

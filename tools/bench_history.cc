@@ -1,0 +1,257 @@
+// bench_history: accumulates bench_csv/bench_timings.json snapshots into a
+// persistent bench_csv/BENCH_history.json and gates on run-over-run
+// regressions. See src/obs/bench_history.h for the schema and
+// docs/observability.md for the workflow.
+//
+// Subcommands:
+//   append  --timings FILE --history FILE     add a run (creates history)
+//   compare --history FILE [options]          diff latest vs baseline; exit
+//                                             1 on regression
+//   show    --history FILE                    list recorded runs
+//
+// compare options:
+//   --baseline N            history index to compare against (default: the
+//                           run before the latest)
+//   --max-time-ratio R      stage-time regression threshold (default 1.30)
+//   --max-rss-ratio R       peak-RSS regression threshold (default 1.50)
+//   --min-seconds S         ignore stages whose baseline is below S
+//                           (default 0.01)
+//   --inject-time-ratio R   multiply the latest run's stage times by R
+//                           before comparing -- a self-test hook letting
+//                           CI prove the gate actually fails (run_checks.sh
+//                           injects 2.0 and expects a non-zero exit)
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/bench_history.h"
+#include "util/json_util.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace tg {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_history <append|compare|show> [--option value ...]\n"
+      "  append  --timings FILE --history FILE\n"
+      "  compare --history FILE [--baseline N] [--max-time-ratio R]\n"
+      "          [--max-rss-ratio R] [--min-seconds S]"
+      " [--inject-time-ratio R]\n"
+      "  show    --history FILE\n");
+  return 2;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("could not open " + path);
+  std::string out;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    out.append(buffer, n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return Status::Internal("read error on " + path);
+  return out;
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::InvalidArgument("could not open " + path);
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  if (written != content.size()) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::OK();
+}
+
+std::string NowUtcIso() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buffer[32];
+  std::strftime(buffer, sizeof(buffer), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buffer;
+}
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+};
+
+Result<Args> ParseArgs(int argc, char** argv) {
+  if (argc < 2) return Status::InvalidArgument("missing command");
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      return Status::InvalidArgument(std::string("expected --option, got ") +
+                                     argv[i]);
+    }
+    args.options[argv[i] + 2] = argv[i + 1];
+  }
+  return args;
+}
+
+// Loads history entries; a missing file is an empty history (first append
+// and compare-without-baseline both hit this path).
+Result<std::vector<obs::BenchRun>> LoadHistory(const std::string& path) {
+  Result<std::string> text = ReadFile(path);
+  if (!text.ok()) {
+    if (text.status().code() == StatusCode::kNotFound) {
+      return std::vector<obs::BenchRun>{};
+    }
+    return text.status();
+  }
+  return obs::ParseHistoryJson(text.value());
+}
+
+int RunAppend(const Args& args) {
+  const std::string timings_path = args.Get("timings", "");
+  const std::string history_path = args.Get("history", "");
+  if (timings_path.empty() || history_path.empty()) return Usage();
+
+  Result<std::string> timings_text = ReadFile(timings_path);
+  if (!timings_text.ok()) {
+    std::fprintf(stderr, "%s\n", timings_text.status().ToString().c_str());
+    return 1;
+  }
+  Result<obs::BenchRun> run =
+      obs::BenchRunFromTimingsJson(timings_text.value(), NowUtcIso());
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s: %s\n", timings_path.c_str(),
+                 run.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::vector<obs::BenchRun>> history = LoadHistory(history_path);
+  if (!history.ok()) {
+    std::fprintf(stderr, "%s: %s\n", history_path.c_str(),
+                 history.status().ToString().c_str());
+    return 1;
+  }
+  history.value().push_back(run.value());
+
+  const std::string json = obs::HistoryToJson(history.value());
+  Status valid = JsonValidate(json);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "history serialization failed self-check: %s\n",
+                 valid.ToString().c_str());
+    return 1;
+  }
+  Status written = WriteFile(history_path, json);
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("appended run %zu to %s (git %s, %zu stages)\n",
+              history.value().size(), history_path.c_str(),
+              run.value().git_sha.c_str(), run.value().stage_seconds.size());
+  return 0;
+}
+
+int RunCompare(const Args& args) {
+  const std::string history_path = args.Get("history", "");
+  if (history_path.empty()) return Usage();
+  Result<std::vector<obs::BenchRun>> history = LoadHistory(history_path);
+  if (!history.ok()) {
+    std::fprintf(stderr, "%s: %s\n", history_path.c_str(),
+                 history.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<obs::BenchRun>& runs = history.value();
+  if (runs.size() < 2) {
+    std::printf("bench-compare: %zu run(s) in %s; no baseline yet "
+                "(passing)\n",
+                runs.size(), history_path.c_str());
+    return 0;
+  }
+
+  const size_t latest_index = runs.size() - 1;
+  size_t baseline_index = latest_index - 1;
+  const std::string baseline_arg = args.Get("baseline", "");
+  if (!baseline_arg.empty()) {
+    baseline_index = static_cast<size_t>(std::stoul(baseline_arg));
+    if (baseline_index >= latest_index) {
+      std::fprintf(stderr, "--baseline %zu is not before the latest run %zu\n",
+                   baseline_index, latest_index);
+      return 2;
+    }
+  }
+
+  obs::CompareOptions options;
+  options.max_time_ratio = std::stod(args.Get("max-time-ratio", "1.30"));
+  options.max_rss_ratio = std::stod(args.Get("max-rss-ratio", "1.50"));
+  options.min_seconds = std::stod(args.Get("min-seconds", "0.01"));
+
+  obs::BenchRun latest = runs[latest_index];
+  const double inject = std::stod(args.Get("inject-time-ratio", "1.0"));
+  if (inject != 1.0) {
+    for (auto& [stage, seconds] : latest.stage_seconds) seconds *= inject;
+    std::printf("(self-test: latest stage times scaled by %.2f)\n", inject);
+  }
+
+  const obs::CompareReport report =
+      obs::CompareBenchRuns(runs[baseline_index], latest, options);
+  std::printf("comparing run %zu (%s) against baseline %zu (%s):\n",
+              latest_index, latest.timestamp.c_str(), baseline_index,
+              runs[baseline_index].timestamp.c_str());
+  std::printf("%s", report.Render().c_str());
+  return report.ok ? 0 : 1;
+}
+
+int RunShow(const Args& args) {
+  const std::string history_path = args.Get("history", "");
+  if (history_path.empty()) return Usage();
+  Result<std::vector<obs::BenchRun>> history = LoadHistory(history_path);
+  if (!history.ok()) {
+    std::fprintf(stderr, "%s: %s\n", history_path.c_str(),
+                 history.status().ToString().c_str());
+    return 1;
+  }
+  TablePrinter table({"run", "timestamp", "git", "build", "sanitizer",
+                      "threads", "stages", "peak RSS MB"});
+  size_t index = 0;
+  for (const obs::BenchRun& run : history.value()) {
+    table.AddRow({std::to_string(index++), run.timestamp, run.git_sha,
+                  run.build_type, run.sanitizer,
+                  std::to_string(run.tg_threads),
+                  std::to_string(run.stage_seconds.size()),
+                  FormatDouble(static_cast<double>(run.peak_rss_bytes) /
+                                   1048576.0,
+                               1)});
+  }
+  table.Print();
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  Result<Args> parsed = ParseArgs(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return Usage();
+  }
+  const Args& args = parsed.value();
+  if (args.command == "append") return RunAppend(args);
+  if (args.command == "compare") return RunCompare(args);
+  if (args.command == "show") return RunShow(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace tg
+
+int main(int argc, char** argv) { return tg::Run(argc, argv); }

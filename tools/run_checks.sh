@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
-# Pre-PR gate: Release + ThreadSanitizer builds, both test suites, an
+# Pre-PR gate: Release + ThreadSanitizer builds, both test suites (the TSan
+# pass covers the concurrent allocation tracking in obs_memory_test), an
 # UndefinedBehaviorSanitizer pass over the kernel layer, a kernels
-# micro-bench smoke run, and an end-to-end smoke check of the tg_cli
-# observability path (--trace/--metrics), including validity of the
-# exported Chrome-trace JSON.
+# micro-bench smoke run, a bench-history append + regression compare (with
+# an injected-regression self-test of the gate), and an end-to-end smoke
+# check of the tg_cli observability path
+# (--trace/--metrics/--mem/--rss-sample), including validity of the exported
+# Chrome-trace JSON.
 #
 # Usage: tools/run_checks.sh [--skip-tsan] [--skip-ubsan]
+# TG_BENCH_SPEEDUPS=0 skips the multi-second speedup section AND the
+# bench-history step that depends on its timings JSON.
 # Build trees land in build-release/, build-tsan/ and build-ubsan/ at the
 # repo root.
 set -euo pipefail
@@ -62,13 +67,55 @@ TG_BENCH_SPEEDUPS=0 ./build-release/bench/bench_micro_components \
     --benchmark_filter='BM_(Kernel|Sigmoid)' \
     --benchmark_min_time=0.05
 
+if [ "${TG_BENCH_SPEEDUPS:-1}" = "0" ]; then
+  section "bench history append + compare (SKIPPED: TG_BENCH_SPEEDUPS=0)"
+else
+  section "bench history append + compare"
+  # The speedup section of the micro bench writes
+  # bench_csv/bench_timings.json (stage wall times + build_info + peak RSS);
+  # '^$' filters out every google-benchmark case so only that section runs.
+  # The appended history accumulates in bench_csv/BENCH_history.json and the
+  # compare gates on run-over-run stage-time and peak-RSS regressions (see
+  # docs/observability.md). First run on a fresh checkout has no baseline
+  # and passes trivially.
+  cmake --build build-release -j "$JOBS" --target bench_history
+  ./build-release/bench/bench_micro_components --benchmark_filter='^$'
+  ./build-release/tools/bench_history append \
+      --timings bench_csv/bench_timings.json \
+      --history bench_csv/BENCH_history.json
+  # Looser thresholds than the library defaults: sub-100ms stages on shared
+  # hardware jitter 30-40% run to run, so the pre-PR gate only trips on
+  # >=1.6x slowdowns of stages that take at least 50ms.
+  ./build-release/tools/bench_history compare \
+      --history bench_csv/BENCH_history.json \
+      --max-time-ratio 1.60 --min-seconds 0.05
+  # Gate self-test: a synthetic 2x stage-time regression must make the
+  # compare exit non-zero, otherwise the gate is decorative.
+  if ./build-release/tools/bench_history compare \
+      --history bench_csv/BENCH_history.json \
+      --max-time-ratio 1.60 --min-seconds 0.05 \
+      --inject-time-ratio 2.0 >/dev/null 2>&1; then
+    HISTORY_RUNS="$(grep -o '"timestamp"' bench_csv/BENCH_history.json \
+        | wc -l)"
+    if [ "$HISTORY_RUNS" -ge 2 ]; then
+      echo "bench-compare gate failed to flag an injected 2x regression" >&2
+      exit 1
+    fi
+    echo "(single run in history; injected-regression self-test deferred)"
+  else
+    echo "injected 2x regression correctly rejected"
+  fi
+fi
+
 section "tg_cli trace/metrics smoke check"
 TRACE_FILE="$(mktemp /tmp/tg_trace.XXXXXX.json)"
 trap 'rm -f "$TRACE_FILE"' EXIT
 # TG_THREADS=2 forces the pool path so the trace includes pool_drain spans
-# (worker-side parent handoff) even on a single-core machine.
+# (worker-side parent handoff) even on a single-core machine. --mem and
+# --rss-sample exercise the allocation accounting and the background RSS
+# sampler on the same run.
 TG_THREADS=2 ./build-release/tools/tg_cli rank --modality image --target 0 \
-    --trace "$TRACE_FILE" --metrics
+    --trace "$TRACE_FILE" --metrics --mem --rss-sample 20
 
 # The CLI already self-validates with the strict in-tree JSON checker;
 # cross-check with an independent parser when one is available.
@@ -83,6 +130,13 @@ grep -q '"pool_drain"' "$TRACE_FILE" || {
 }
 grep -q '"evaluate_target"' "$TRACE_FILE" || {
   echo "expected evaluate_target span in trace" >&2; exit 1;
+}
+grep -q '"alloc_bytes"' "$TRACE_FILE" || {
+  echo "expected alloc_bytes span args in trace (--mem)" >&2; exit 1;
+}
+grep -q '"process_memory_mb"' "$TRACE_FILE" || {
+  echo "expected process_memory_mb counter track in trace (--rss-sample)" \
+      >&2; exit 1;
 }
 
 section "all checks passed"

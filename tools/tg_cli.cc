@@ -22,11 +22,18 @@
 //   --metrics       after `rank`, re-evaluate the target once more (warm
 //                   caches), print the per-stage timing table (cold vs warm)
 //                   and the full metrics dump
+//   --mem           count heap allocations per span (adds alloc columns to
+//                   the --metrics stage table and alloc_bytes/allocs args
+//                   to trace events); also enabled by TG_MEM_TRACK=1
+//   --rss-sample MS sample process RSS / peak RSS / major faults every MS
+//                   milliseconds on a background thread; with --trace the
+//                   samples appear as Perfetto counter tracks
 #include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/baselines.h"
 #include "core/graph_builder.h"
@@ -34,7 +41,9 @@
 #include "core/recommender.h"
 #include "graph/graph_stats.h"
 #include "graph/serialization.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
+#include "obs/resource_sampler.h"
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/json_util.h"
@@ -70,6 +79,8 @@ int Usage() {
                "  export-* require --out <path>\n"
                "  observability: --trace FILE (Chrome trace JSON), "
                "--metrics (stage table + counters after rank),\n"
+               "                 --mem (per-span allocation accounting), "
+               "--rss-sample MS (background RSS sampler),\n"
                "                 --log-level debug|info|warning|error\n");
   return 2;
 }
@@ -173,20 +184,47 @@ void PrintStageTable(const obs::MetricsSnapshot& cold,
                      const obs::MetricsSnapshot& warm) {
   constexpr const char* kPrefix = "stage.";
   constexpr const char* kSuffix = ".seconds";
-  TablePrinter table({"stage", "cold calls", "cold s", "warm calls",
-                      "warm s"});
+  const bool mem = obs::MemoryTrackingEnabled();
+  std::vector<std::string> header = {"stage", "cold calls", "cold s",
+                                     "warm calls", "warm s"};
+  if (mem) {
+    header.push_back("cold alloc MB");
+    header.push_back("warm alloc MB");
+  }
+  TablePrinter table(header);
   for (const auto& [name, total] : warm.histograms) {
-    if (!StartsWith(name, kPrefix)) continue;
+    if (!StartsWith(name, kPrefix) || !EndsWith(name, kSuffix)) continue;
     const size_t body = name.size() - std::strlen(kPrefix) -
                         std::strlen(kSuffix);
     const std::string stage = name.substr(std::strlen(kPrefix), body);
     obs::HistogramStats first;  // zero when the stage only ran warm
     auto it = cold.histograms.find(name);
     if (it != cold.histograms.end()) first = it->second;
-    table.AddRow({stage, std::to_string(first.count),
-                  FormatDouble(first.sum, 4),
-                  std::to_string(total.count - first.count),
-                  FormatDouble(total.sum - first.sum, 4)});
+    std::vector<std::string> row = {stage, std::to_string(first.count),
+                                    FormatDouble(first.sum, 4),
+                                    std::to_string(total.count - first.count),
+                                    FormatDouble(total.sum - first.sum, 4)};
+    if (mem) {
+      // The alloc histograms share the stage name with a different suffix;
+      // the same snapshot-delta logic yields cold vs warm bytes.
+      const std::string alloc_name = std::string(kPrefix) + stage +
+                                     ".alloc_bytes";
+      obs::HistogramStats alloc_cold;
+      obs::HistogramStats alloc_total;
+      if (auto ac = cold.histograms.find(alloc_name);
+          ac != cold.histograms.end()) {
+        alloc_cold = ac->second;
+      }
+      if (auto aw = warm.histograms.find(alloc_name);
+          aw != warm.histograms.end()) {
+        alloc_total = aw->second;
+      }
+      row.push_back(FormatDouble(alloc_cold.sum / 1048576.0, 1));
+      row.push_back(FormatDouble((alloc_total.sum - alloc_cold.sum) /
+                                     1048576.0,
+                                 1));
+    }
+    table.AddRow(std::move(row));
   }
   table.Print();
 }
@@ -357,9 +395,32 @@ int Run(int argc, char** argv) {
   const std::string trace_path = args.Get("trace", "");
   if (!trace_path.empty()) obs::SetTraceEnabled(true);
   if (args.Flag("metrics")) obs::SetMetricsEnabled(true);
+  if (args.Flag("mem")) obs::SetMemoryTrackingEnabled(true);
   obs::SetCurrentThreadName("main");
 
+  const std::string rss_interval = args.Get("rss-sample", "");
+  if (!rss_interval.empty() && rss_interval != "true") {
+    obs::ResourceSamplerOptions sampler_options;
+    sampler_options.interval_ms = std::stoi(rss_interval);
+    obs::ResourceSampler::Instance().Start(sampler_options);
+  }
+
   const int code = Dispatch(args);
+
+  if (obs::ResourceSampler::Instance().running()) {
+    obs::ResourceSampler::Instance().Stop();
+    const std::vector<obs::ResourceSample> samples =
+        obs::ResourceSampler::Instance().Samples();
+    if (!samples.empty()) {
+      const obs::ResourceUsage& last = samples.back().usage;
+      std::printf("\nresource sampler: %zu samples, final RSS %.1f MB, "
+                  "peak RSS %.1f MB, major faults %llu\n",
+                  samples.size(),
+                  static_cast<double>(last.rss_bytes) / 1048576.0,
+                  static_cast<double>(last.peak_rss_bytes) / 1048576.0,
+                  static_cast<unsigned long long>(last.major_faults));
+    }
+  }
 
   if (!trace_path.empty()) {
     Status written = obs::WriteChromeTrace(trace_path);
