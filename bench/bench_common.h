@@ -17,6 +17,7 @@
 #include "obs/metrics.h"
 #include "obs/resource_sampler.h"
 #include "obs/trace.h"  // obs::WallTimer: the bench timing source
+#include "util/atomic_file.h"
 #include "util/build_info.h"
 #include "util/csv.h"
 #include "util/json_util.h"
@@ -117,6 +118,12 @@ inline void WriteSummariesCsv(
     row.push_back(FormatDouble(s.mean_pearson, 4));
     csv.WriteRow(row);
   }
+  Status closed = csv.Close();
+  if (!closed.ok()) {
+    TG_LOG(Warning) << "could not write " << filename << ": "
+                    << closed.ToString();
+    return;
+  }
   std::printf("[csv] wrote %s\n", filename.c_str());
 }
 
@@ -149,34 +156,38 @@ inline void WriteTimingsJson(
   const std::vector<TimingRecord>& records = TimingRecords();
   if (records.empty()) return;
   const std::string path = CsvPath(filename);
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    TG_LOG(Warning) << "could not open " << path;
-    return;
-  }
-  std::fprintf(f, "{\n  \"build_info\": %s,\n", BuildInfoJson().c_str());
+  // Composed into one string and published atomically (temp + fsync +
+  // rename), with the exact byte layout the direct-fprintf writer produced.
+  char buf[256];
+  std::string json = "{\n  \"build_info\": " + BuildInfoJson() + ",\n";
   // Peak RSS of this bench process so bench_history can gate on memory
   // regressions alongside stage times. ok=false leaves zeros, which the
   // history compare treats as "no reading".
   const obs::ResourceUsage usage = obs::ReadSelfResourceUsage();
-  std::fprintf(f,
-               "  \"resources\": {\"peak_rss_bytes\": %llu, "
-               "\"rss_bytes\": %llu, \"major_faults\": %llu},\n",
-               static_cast<unsigned long long>(usage.peak_rss_bytes),
-               static_cast<unsigned long long>(usage.rss_bytes),
-               static_cast<unsigned long long>(usage.major_faults));
-  std::fprintf(f, "  \"timings\": [\n");
+  std::snprintf(buf, sizeof(buf),
+                "  \"resources\": {\"peak_rss_bytes\": %llu, "
+                "\"rss_bytes\": %llu, \"major_faults\": %llu},\n",
+                static_cast<unsigned long long>(usage.peak_rss_bytes),
+                static_cast<unsigned long long>(usage.rss_bytes),
+                static_cast<unsigned long long>(usage.major_faults));
+  json += buf;
+  json += "  \"timings\": [\n";
   for (size_t i = 0; i < records.size(); ++i) {
     const TimingRecord& r = records[i];
-    std::fprintf(f,
-                 "    {\"component\": %s, \"threads\": %zu, "
-                 "\"wall_seconds\": %.6f}%s\n",
-                 JsonQuote(r.component).c_str(), r.threads, r.wall_seconds,
-                 i + 1 < records.size() ? "," : "");
+    std::snprintf(buf, sizeof(buf),
+                  ", \"threads\": %zu, \"wall_seconds\": %.6f}%s\n",
+                  r.threads, r.wall_seconds,
+                  i + 1 < records.size() ? "," : "");
+    json += "    {\"component\": " + JsonQuote(r.component) + buf;
   }
-  std::fprintf(f, "  ],\n  \"metrics\": %s\n}\n",
-               obs::MetricsRegistry::Instance().ToJson().c_str());
-  std::fclose(f);
+  json += "  ],\n  \"metrics\": " +
+          obs::MetricsRegistry::Instance().ToJson() + "\n}\n";
+  Status written = WriteFileAtomic(path, json);
+  if (!written.ok()) {
+    TG_LOG(Warning) << "could not write " << path << ": "
+                    << written.ToString();
+    return;
+  }
   std::printf("[json] wrote %s\n", path.c_str());
 }
 

@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
 
+#include "core/sweep_checkpoint.h"
 #include "numeric/pca.h"
 #include "numeric/stats.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/build_info.h"
 #include "util/check.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -242,7 +246,11 @@ TargetEvaluation Pipeline::EvaluateTarget(const PipelineConfig& config,
   {
     TG_TRACE_SPAN2("predictor_fit", PredictorKindName(kind));
     Status fit = predictor->Fit(train);
-    TG_CHECK_MSG(fit.ok(), fit.ToString().c_str());
+    // Thrown, not TG_CHECKed: a singular fit on one target is a per-target
+    // failure the resumable sweep can degrade around, not a process bug.
+    if (!fit.ok()) {
+      throw std::runtime_error("predictor fit failed: " + fit.ToString());
+    }
   }
 
   // --- Prediction set: every model against the target ---
@@ -283,6 +291,174 @@ std::vector<TargetEvaluation> Pipeline::EvaluateAllTargets(
                 }
               });
   return out;
+}
+
+bool Pipeline::TryEvaluateTarget(const PipelineConfig& config,
+                                 size_t target_dataset, TargetEvaluation* out,
+                                 std::string* error) {
+  try {
+    if (TG_FAULT_POINT("pipeline.target")) {
+      throw std::runtime_error("injected fault at pipeline.target");
+    }
+    TargetEvaluation eval = EvaluateTarget(config, target_dataset);
+    for (double p : eval.predicted) {
+      if (!std::isfinite(p)) {
+        throw std::runtime_error("non-finite prediction for " +
+                                 eval.target_name);
+      }
+    }
+    *out = std::move(eval);
+    return true;
+  } catch (const std::exception& e) {
+    *error = e.what();
+    return false;
+  }
+}
+
+SweepResult Pipeline::EvaluateAllTargetsResumable(
+    const PipelineConfig& config, const SweepOptions& options) {
+  static obs::Counter& retries_counter =
+      obs::MetricsRegistry::Instance().GetCounter("pipeline.target_retries");
+  static obs::Counter& degraded_counter =
+      obs::MetricsRegistry::Instance().GetCounter("pipeline.target_degraded");
+  static obs::Counter& failures_counter =
+      obs::MetricsRegistry::Instance().GetCounter("pipeline.target_failures");
+  static obs::Counter& checkpoint_write_failures =
+      obs::MetricsRegistry::Instance().GetCounter(
+          "pipeline.checkpoint_write_failures");
+
+  const std::vector<size_t> targets = zoo_->EvaluationTargets(modality_);
+  TG_TRACE_SPAN("evaluate_all_targets");
+  SweepResult result;
+  result.evaluations.resize(targets.size());
+  std::vector<char> done(targets.size(), 0);
+  const std::string fingerprint = SweepFingerprint(config, modality_);
+
+  // --- Resume: splice in completed targets from a matching checkpoint ---
+  if (!options.checkpoint_path.empty()) {
+    Result<SweepCheckpoint> loaded =
+        LoadSweepCheckpoint(options.checkpoint_path);
+    if (loaded.ok()) {
+      const SweepCheckpoint& checkpoint = loaded.value();
+      if (checkpoint.fingerprint != fingerprint) {
+        TG_LOG(Warning) << "ignoring checkpoint " << options.checkpoint_path
+                        << ": sweep config changed";
+      } else if (checkpoint.build_git_sha != GetBuildInfo().git_sha) {
+        TG_LOG(Warning) << "ignoring checkpoint " << options.checkpoint_path
+                        << ": written by a different build ("
+                        << checkpoint.build_git_sha << ")";
+      } else {
+        for (const TargetEvaluation& eval : checkpoint.targets) {
+          for (size_t i = 0; i < targets.size(); ++i) {
+            if (targets[i] == eval.target_dataset && !done[i] &&
+                zoo_->datasets()[targets[i]].name == eval.target_name) {
+              result.evaluations[i] = eval;
+              done[i] = 1;
+              ++result.resumed;
+              break;
+            }
+          }
+        }
+        TG_LOG(Info) << "resumed " << result.resumed << "/" << targets.size()
+                     << " targets from " << options.checkpoint_path;
+      }
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      TG_LOG(Warning) << "ignoring unreadable checkpoint "
+                      << options.checkpoint_path << ": "
+                      << loaded.status().ToString();
+    }
+  }
+
+  // Serializes result/done mutation and checkpoint writes; the heavy
+  // per-target work runs outside it.
+  std::mutex mu;
+  auto save_checkpoint_locked = [&] {
+    if (options.checkpoint_path.empty()) return;
+    SweepCheckpoint checkpoint;
+    checkpoint.build_git_sha = GetBuildInfo().git_sha;
+    checkpoint.fingerprint = fingerprint;
+    for (size_t i = 0; i < targets.size(); ++i) {
+      if (done[i]) checkpoint.targets.push_back(result.evaluations[i]);
+    }
+    Status saved = SaveSweepCheckpoint(options.checkpoint_path, checkpoint);
+    if (!saved.ok()) {
+      // A failing checkpoint write degrades resumability, never results.
+      checkpoint_write_failures.Increment();
+      TG_LOG(Warning) << "checkpoint write failed: " << saved.ToString();
+    }
+  };
+
+  auto run_target = [&](size_t i) {
+    TargetEvaluation eval;
+    std::string error;
+    int retries = 0;
+    bool degraded = false;
+    bool ok = TryEvaluateTarget(config, targets[i], &eval, &error);
+    if (!ok && options.degrade_on_failure) {
+      ++retries;
+      // Degraded strategy: metadata-only features need no graph, no
+      // embedding training, and no dataset representations -- the smallest
+      // surface that still yields a ranking for every model.
+      PipelineConfig fallback = config;
+      fallback.strategy.features = FeatureSet::kMetadataOnly;
+      fallback.strategy.learner = GraphLearner::kNone;
+      std::string retry_error;
+      ok = TryEvaluateTarget(fallback, targets[i], &eval, &retry_error);
+      if (ok) {
+        degraded = true;
+      } else {
+        error += "; degraded retry: " + retry_error;
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    if (retries > 0) {
+      result.retried += 1;
+      retries_counter.Increment();
+    }
+    if (ok) {
+      eval.retries = retries;
+      eval.degraded = degraded;
+      result.evaluations[i] = std::move(eval);
+      done[i] = 1;
+      if (degraded) {
+        result.degraded += 1;
+        degraded_counter.Increment();
+      }
+      save_checkpoint_locked();
+    } else {
+      TargetEvaluation& slot = result.evaluations[i];
+      slot.target_dataset = targets[i];
+      slot.target_name = zoo_->datasets()[targets[i]].name;
+      slot.failed = true;
+      slot.retries = retries;
+      slot.error = error;
+      result.failed += 1;
+      result.complete = false;
+      result.errors.push_back(slot.target_name + ": " + error);
+      failures_counter.Increment();
+      TG_LOG(Warning) << "target " << slot.target_name
+                      << " failed: " << error;
+    }
+  };
+
+  try {
+    ParallelFor(0, targets.size(), 1,
+                [&](size_t begin, size_t end, size_t /*chunk*/) {
+                  for (size_t i = begin; i < end; ++i) {
+                    if (!done[i]) run_target(i);
+                  }
+                });
+  } catch (const std::exception& e) {
+    // A dispatch-level fault (thrown before any per-target guard could
+    // catch it) aborted the parallel region; ParallelFor has already
+    // drained every worker, so finish the stragglers serially.
+    TG_LOG(Warning) << "parallel sweep aborted (" << e.what()
+                    << "); finishing remaining targets serially";
+    for (size_t i = 0; i < targets.size(); ++i) {
+      if (!done[i] && !result.evaluations[i].failed) run_target(i);
+    }
+  }
+  return result;
 }
 
 }  // namespace tg::core

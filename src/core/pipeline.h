@@ -53,10 +53,42 @@ struct TargetEvaluation {
   std::vector<double> actual;
   double pearson = 0.0;
   double spearman = 0.0;
+  // Degradation bookkeeping (resumable sweeps): whether this evaluation
+  // came from the metadata-only fallback strategy, how many extra attempts
+  // it took, and -- when even the fallback failed -- the error text.
+  bool degraded = false;
+  int retries = 0;
+  bool failed = false;
+  std::string error;
 
   // Mean actual fine-tuning accuracy of the k models with the highest
   // predicted scores (the paper's Fig. 2 metric).
   double TopKMeanAccuracy(int k) const;
+};
+
+// Knobs for EvaluateAllTargetsResumable.
+struct SweepOptions {
+  // When non-empty, completed targets are checkpointed here (atomically)
+  // after each finish, and a matching checkpoint is loaded on entry so a
+  // restarted sweep skips already-evaluated targets.
+  std::string checkpoint_path;
+  // When a target throws, retry it once with the degraded strategy
+  // (metadata-only features, no graph learner) before declaring it failed.
+  bool degrade_on_failure = true;
+};
+
+// Outcome of a resumable sweep: per-target evaluations (in
+// EvaluationTargets order) plus counters describing what the fault
+// machinery had to do. `complete` is false iff any target failed even
+// after the degraded retry; failed slots carry failed=true and the error.
+struct SweepResult {
+  std::vector<TargetEvaluation> evaluations;
+  size_t resumed = 0;   // targets restored from the checkpoint
+  size_t retried = 0;   // targets that needed a degraded retry attempt
+  size_t degraded = 0;  // targets whose result came from the fallback
+  size_t failed = 0;    // targets with no result at all
+  std::vector<std::string> errors;
+  bool complete = true;
 };
 
 class Pipeline {
@@ -75,6 +107,16 @@ class Pipeline {
   std::vector<TargetEvaluation> EvaluateAllTargets(
       const PipelineConfig& config);
 
+  // EvaluateAllTargets with graceful degradation and optional resume: a
+  // target that throws (I/O fault, predictor failure, non-finite
+  // predictions) is retried once with the degraded strategy instead of
+  // taking the sweep down; with a checkpoint path, completed targets are
+  // persisted after each finish and skipped on restart. Resumed sweeps are
+  // bit-identical to uninterrupted ones (asserted by
+  // tests/chaos_pipeline_test.cc). See docs/robustness.md.
+  SweepResult EvaluateAllTargetsResumable(const PipelineConfig& config,
+                                          const SweepOptions& options);
+
   // Node embeddings for the given graph/learner configuration (cached per
   // configuration; shared across prediction models and feature sets).
   const Matrix& EmbeddingsFor(const PipelineConfig& config,
@@ -85,6 +127,10 @@ class Pipeline {
 
  private:
   std::string EmbeddingCacheKey(const PipelineConfig& config) const;
+  // EvaluateTarget with every failure mode (exceptions, injected faults,
+  // non-finite predictions) converted into a false return plus error text.
+  bool TryEvaluateTarget(const PipelineConfig& config, size_t target_dataset,
+                         TargetEvaluation* out, std::string* error);
   // Node feature matrix for GNN learners: dataset representation for
   // dataset nodes, metadata for model nodes, plus node-type indicators.
   Matrix BuildNodeFeatures(const PipelineConfig& config,

@@ -1,0 +1,197 @@
+#include "core/sweep_checkpoint.h"
+
+#include <cmath>
+
+#include "numeric/stats.h"
+#include "util/atomic_file.h"
+#include "util/build_info.h"
+#include "util/fault.h"
+#include "util/json_util.h"
+
+namespace tg::core {
+namespace {
+
+constexpr int kSchemaVersion = 1;
+
+// Doubles are emitted at %.17g so strtod round-trips them exactly --
+// required for the resume bit-identity guarantee.
+constexpr int kDoublePrecision = 17;
+
+void AppendDoubleArray(const std::vector<double>& values, std::string* out) {
+  out->push_back('[');
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    *out += JsonNumber(values[i], kDoublePrecision);
+  }
+  out->push_back(']');
+}
+
+Status BadCheckpoint(const std::string& path, const std::string& why) {
+  return Status::InvalidArgument("checkpoint " + path + ": " + why);
+}
+
+// Reads a JSON array of numbers into `out`, requiring every element finite
+// when `finite` (scores and indices must be; NaN would poison correlations
+// silently).
+bool ReadDoubleArray(const JsonValue* value, bool finite,
+                     std::vector<double>* out) {
+  if (value == nullptr || !value->is_array()) return false;
+  out->clear();
+  out->reserve(value->size());
+  for (size_t i = 0; i < value->size(); ++i) {
+    const JsonValue& element = value->at(i);
+    if (!element.is_number()) return false;
+    const double v = element.AsDouble();
+    if (finite && !std::isfinite(v)) return false;
+    out->push_back(v);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string SweepFingerprint(const PipelineConfig& config,
+                             zoo::Modality modality) {
+  const GraphBuildOptions& g = config.graph;
+  std::string fp = ModalityName(modality);
+  fp += "|f=";
+  fp += FeatureSetName(config.strategy.features);
+  fp += "|l=";
+  fp += GraphLearnerName(config.strategy.learner);
+  fp += "|p=";
+  fp += PredictorKindName(config.strategy.predictor);
+  fp += "|acc=" + std::to_string(g.accuracy_threshold);
+  fp += "|tr=" + std::to_string(g.transferability_threshold);
+  fp += "|ia=" + std::to_string(g.include_accuracy_edges);
+  fp += "|it=" + std::to_string(g.include_transferability_edges);
+  fp += "|hr=" + std::to_string(g.history_ratio);
+  fp += "|hm=" + std::string(zoo::FineTuneMethodName(g.history_method));
+  fp += "|rep=" + std::to_string(static_cast<int>(g.representation));
+  fp += "|gseed=" + std::to_string(g.seed);
+  fp += "|dim=" + std::to_string(config.node2vec.skipgram.dim);
+  fp += "|pca=" + std::to_string(config.node_feature_pca_dim);
+  fp += "|em=" + std::string(zoo::FineTuneMethodName(config.evaluation_method));
+  fp += "|tl=" + std::to_string(config.use_transferability_labels);
+  fp += "|seed=" + std::to_string(config.seed);
+  return fp;
+}
+
+Status SaveSweepCheckpoint(const std::string& path,
+                           const SweepCheckpoint& checkpoint) {
+  if (TG_FAULT_POINT("checkpoint.write")) {
+    return fault::InjectedFault("checkpoint.write");
+  }
+  std::string json = "{\"schema\":" + std::to_string(kSchemaVersion);
+  json += ",\"build_git_sha\":" + JsonQuote(checkpoint.build_git_sha);
+  json += ",\"fingerprint\":" + JsonQuote(checkpoint.fingerprint);
+  json += ",\"targets\":[";
+  for (size_t i = 0; i < checkpoint.targets.size(); ++i) {
+    const TargetEvaluation& eval = checkpoint.targets[i];
+    if (i > 0) json.push_back(',');
+    json += "{\"target_dataset\":" + std::to_string(eval.target_dataset);
+    json += ",\"target_name\":" + JsonQuote(eval.target_name);
+    json += ",\"degraded\":" + std::string(eval.degraded ? "true" : "false");
+    json += ",\"retries\":" + std::to_string(eval.retries);
+    json += ",\"model_indices\":[";
+    for (size_t m = 0; m < eval.model_indices.size(); ++m) {
+      if (m > 0) json.push_back(',');
+      json += std::to_string(eval.model_indices[m]);
+    }
+    json += "],\"predicted\":";
+    AppendDoubleArray(eval.predicted, &json);
+    json += ",\"actual\":";
+    AppendDoubleArray(eval.actual, &json);
+    json += "}";
+  }
+  json += "]}\n";
+  return WriteFileAtomic(path, json);
+}
+
+Result<SweepCheckpoint> LoadSweepCheckpoint(const std::string& path) {
+  if (TG_FAULT_POINT("checkpoint.read")) {
+    return fault::InjectedFault("checkpoint.read");
+  }
+  Result<std::string> contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  Result<JsonValue> parsed = JsonValue::Parse(contents.value());
+  if (!parsed.ok()) {
+    return BadCheckpoint(path, parsed.status().message());
+  }
+  const JsonValue& root = parsed.value();
+  if (!root.is_object()) return BadCheckpoint(path, "root is not an object");
+  const JsonValue* schema = root.Find("schema");
+  if (schema == nullptr || !schema->is_number() ||
+      schema->AsDouble() != kSchemaVersion) {
+    return BadCheckpoint(path, "unsupported schema version");
+  }
+
+  SweepCheckpoint checkpoint;
+  if (const JsonValue* sha = root.Find("build_git_sha");
+      sha != nullptr && sha->is_string()) {
+    checkpoint.build_git_sha = sha->AsString();
+  }
+  if (const JsonValue* fp = root.Find("fingerprint");
+      fp != nullptr && fp->is_string()) {
+    checkpoint.fingerprint = fp->AsString();
+  }
+  const JsonValue* targets = root.Find("targets");
+  if (targets == nullptr || !targets->is_array()) {
+    return BadCheckpoint(path, "missing targets array");
+  }
+  for (size_t i = 0; i < targets->size(); ++i) {
+    const JsonValue& entry = targets->at(i);
+    if (!entry.is_object()) return BadCheckpoint(path, "target not an object");
+    TargetEvaluation eval;
+    const JsonValue* dataset = entry.Find("target_dataset");
+    if (dataset == nullptr || !dataset->is_number() ||
+        dataset->AsDouble() < 0.0 ||
+        dataset->AsDouble() !=
+            std::floor(dataset->AsDouble())) {
+      return BadCheckpoint(path, "bad target_dataset");
+    }
+    eval.target_dataset = static_cast<size_t>(dataset->AsDouble());
+    const JsonValue* name = entry.Find("target_name");
+    if (name == nullptr || !name->is_string() || name->AsString().empty()) {
+      return BadCheckpoint(path, "bad target_name");
+    }
+    eval.target_name = name->AsString();
+    if (const JsonValue* degraded = entry.Find("degraded");
+        degraded != nullptr) {
+      eval.degraded = degraded->AsBool();
+    }
+    if (const JsonValue* retries = entry.Find("retries"); retries != nullptr) {
+      eval.retries = static_cast<int>(retries->AsDouble());
+    }
+    std::vector<double> indices;
+    if (!ReadDoubleArray(entry.Find("model_indices"), /*finite=*/true,
+                         &indices)) {
+      return BadCheckpoint(path, "bad model_indices");
+    }
+    eval.model_indices.reserve(indices.size());
+    for (double v : indices) {
+      if (v < 0.0 || v != std::floor(v)) {
+        return BadCheckpoint(path, "bad model index");
+      }
+      eval.model_indices.push_back(static_cast<size_t>(v));
+    }
+    if (!ReadDoubleArray(entry.Find("predicted"), /*finite=*/true,
+                         &eval.predicted) ||
+        !ReadDoubleArray(entry.Find("actual"), /*finite=*/true,
+                         &eval.actual)) {
+      return BadCheckpoint(path, "bad score arrays");
+    }
+    if (eval.predicted.size() != eval.model_indices.size() ||
+        eval.actual.size() != eval.model_indices.size() ||
+        eval.model_indices.empty()) {
+      return BadCheckpoint(path, "inconsistent per-target arrays");
+    }
+    // Correlations are derived state; recompute instead of trusting (or
+    // round-tripping) the file.
+    eval.pearson = PearsonCorrelation(eval.predicted, eval.actual);
+    eval.spearman = SpearmanCorrelation(eval.predicted, eval.actual);
+    checkpoint.targets.push_back(std::move(eval));
+  }
+  return checkpoint;
+}
+
+}  // namespace tg::core

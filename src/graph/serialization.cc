@@ -1,8 +1,12 @@
 #include "graph/serialization.h"
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 
+#include "util/atomic_file.h"
+#include "util/fault.h"
 #include "util/string_util.h"
 
 namespace tg {
@@ -42,34 +46,57 @@ Result<EdgeType> ParseEdgeType(const std::string& token) {
 }  // namespace
 
 Status WriteGraphToFile(const Graph& graph, const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "w");
-  if (file == nullptr) {
-    return Status::Internal("cannot open for writing: " + path);
+  if (TG_FAULT_POINT("serialization.write")) {
+    return fault::InjectedFault("serialization.write");
   }
-  std::fprintf(file, "%s\n", kHeader);
+  // Write-to-temp + fsync + rename: a crash mid-export leaves the previous
+  // graph file intact rather than a truncated one. Bytes are composed with
+  // the exact formats the direct fprintf writer used, so output files are
+  // identical to earlier releases.
+  AtomicFileWriter writer(path);
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), "%s\n", kHeader);
+  writer.Append(buf);
   for (NodeId id = 0; id < graph.num_nodes(); ++id) {
-    std::fprintf(file, "node\t%u\t%s\t%s\n", id,
-                 NodeTypeToken(graph.node_type(id)),
-                 graph.node_name(id).c_str());
+    std::snprintf(buf, sizeof(buf), "node\t%u\t%s\t", id,
+                  NodeTypeToken(graph.node_type(id)));
+    std::string line = buf;
+    line += graph.node_name(id);  // names may exceed any fixed buffer
+    line += '\n';
+    writer.Append(line);
   }
   for (const EdgeRecord& e : graph.edges()) {
-    std::fprintf(file, "edge\t%u\t%u\t%s\t%.17g\n", e.src, e.dst,
-                 EdgeTypeToken(e.type), e.weight);
+    std::snprintf(buf, sizeof(buf), "edge\t%u\t%u\t%s\t%.17g\n", e.src, e.dst,
+                  EdgeTypeToken(e.type), e.weight);
+    writer.Append(buf);
   }
-  if (std::fclose(file) != 0) return Status::Internal("fclose failed");
-  return Status::OK();
+  return writer.Commit();
 }
 
 Result<Graph> ReadGraphFromFile(const std::string& path) {
+  if (TG_FAULT_POINT("serialization.read")) {
+    return fault::InjectedFault("serialization.read");
+  }
   std::FILE* file = std::fopen(path.c_str(), "r");
   if (file == nullptr) return Status::NotFound("cannot open: " + path);
 
   Graph graph;
   char buffer[4096];
   bool first = true;
+  bool saw_newline = true;
   int line_number = 0;
+  auto fail = [&](const std::string& why) -> Result<Graph> {
+    std::fclose(file);
+    return Status::InvalidArgument(path + ":" + std::to_string(line_number) +
+                                   ": " + why);
+  };
   while (std::fgets(buffer, sizeof(buffer), file) != nullptr) {
     ++line_number;
+    const size_t len = std::strlen(buffer);
+    saw_newline = len > 0 && buffer[len - 1] == '\n';
+    if (!saw_newline && len == sizeof(buffer) - 1) {
+      return fail("line too long");
+    }
     std::string line = Trim(buffer);
     if (line.empty()) continue;
     if (first) {
@@ -81,38 +108,57 @@ Result<Graph> ReadGraphFromFile(const std::string& path) {
       continue;
     }
     const std::vector<std::string> fields = Split(line, '\t');
-    auto fail = [&](const std::string& why) -> Result<Graph> {
-      std::fclose(file);
-      return Status::InvalidArgument(path + ":" +
-                                     std::to_string(line_number) + ": " +
-                                     why);
-    };
     if (fields[0] == "node") {
       if (fields.size() != 4) return fail("node line needs 4 fields");
       Result<NodeType> type = ParseNodeType(fields[2]);
       if (!type.ok()) return fail(type.status().message());
-      const NodeId id = graph.AddNode(type.value(), fields[3]);
-      if (id != static_cast<NodeId>(std::stoul(fields[1]))) {
-        return fail("node ids must be sequential");
+      uint64_t claimed_id = 0;
+      if (!ParseUint64(fields[1], &claimed_id)) {
+        return fail("bad node id: " + fields[1]);
       }
+      // Graph::AddNode TG_CHECKs name uniqueness (programmer error for
+      // in-process construction); file bytes are untrusted, so reject the
+      // duplicate here with a Status instead of aborting.
+      if (graph.HasNode(fields[3])) {
+        return fail("duplicate node name: " + fields[3]);
+      }
+      const NodeId id = graph.AddNode(type.value(), fields[3]);
+      if (claimed_id != id) return fail("node ids must be sequential");
     } else if (fields[0] == "edge") {
       if (fields.size() != 5) return fail("edge line needs 5 fields");
       Result<EdgeType> type = ParseEdgeType(fields[3]);
       if (!type.ok()) return fail(type.status().message());
-      const unsigned long src = std::stoul(fields[1]);
-      const unsigned long dst = std::stoul(fields[2]);
+      uint64_t src = 0;
+      uint64_t dst = 0;
+      if (!ParseUint64(fields[1], &src) || !ParseUint64(fields[2], &dst)) {
+        return fail("bad edge endpoint");
+      }
       if (src >= graph.num_nodes() || dst >= graph.num_nodes()) {
         return fail("edge endpoint out of range");
       }
+      double weight = 0.0;
+      if (!ParseDouble(fields[4], &weight)) {
+        return fail("bad edge weight: " + fields[4]);
+      }
+      // Non-finite weights would silently poison every propagation pass
+      // downstream; refuse them at the trust boundary.
+      if (!std::isfinite(weight)) {
+        return fail("edge weight not finite: " + fields[4]);
+      }
       graph.AddUndirectedEdge(static_cast<NodeId>(src),
-                              static_cast<NodeId>(dst), type.value(),
-                              std::stod(fields[4]));
+                              static_cast<NodeId>(dst), type.value(), weight);
     } else {
       return fail("unknown record type: " + fields[0]);
     }
   }
+  const bool read_error = std::ferror(file) != 0;
   std::fclose(file);
+  if (read_error) return Status::Internal("read error on " + path);
   if (first) return Status::InvalidArgument("empty file: " + path);
+  if (!saw_newline) {
+    return Status::InvalidArgument(path + ": truncated final record (no "
+                                   "trailing newline)");
+  }
   return graph;
 }
 

@@ -8,6 +8,8 @@
 #include <new>
 #include <vector>
 
+#include "util/fault.h"
+
 namespace tg::obs {
 namespace {
 
@@ -86,6 +88,13 @@ const bool g_env_seeded = [] {
 // of 0 means the default (malloc already satisfies max_align_t).
 void* AllocateOrHandler(size_t size, size_t alignment) {
   if (size == 0) size = 1;  // distinct non-null pointers, as new requires
+  // Fault injection for allocation failure (site "alloc", weight = request
+  // size, so rules can use min:BYTES to spare small control-flow allocs).
+  // ShouldFail itself never allocates, which is what makes this hook legal
+  // inside operator new.
+  if (tg::fault::Armed() && tg::fault::ShouldFail("alloc", size)) {
+    return nullptr;
+  }
   for (;;) {
     void* ptr = nullptr;
     if (alignment == 0) {

@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -11,6 +12,8 @@
 #include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/resource_sampler.h"
+#include "util/atomic_file.h"
+#include "util/check.h"
 #include "util/json_util.h"
 
 namespace tg::obs {
@@ -107,6 +110,10 @@ ThreadBuffer* LocalBuffer() {
 std::atomic<uint64_t> g_next_span_id{1};
 
 thread_local uint64_t t_current_span = 0;
+// Innermost open span on this thread (chained via Span::prev_open_), so a
+// crash report can name the stages in flight even though records are only
+// written on close.
+thread_local Span* t_open_span = nullptr;
 
 }  // namespace
 
@@ -153,6 +160,8 @@ Span::Span(const char* name, std::string detail) {
   id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
   prev_current_ = t_current_span;
   t_current_span = id_;
+  prev_open_ = t_open_span;
+  t_open_span = this;
   const AllocStats allocs = ThreadAllocStats();
   alloc_bytes_start_ = allocs.bytes;
   allocs_start_ = allocs.count;
@@ -169,6 +178,7 @@ Span::~Span() {
   const uint64_t alloc_bytes = allocs.bytes - alloc_bytes_start_;
   const uint64_t alloc_count = allocs.count - allocs_start_;
   t_current_span = prev_current_;
+  t_open_span = prev_open_;
   const uint32_t mode = Mode().load(std::memory_order_relaxed);
   if ((mode & kMetricsBit) != 0) {
     StageHistogram(name_).Observe(static_cast<double>(end_ns - start_ns_) *
@@ -192,6 +202,22 @@ Span::~Span() {
 }
 
 uint64_t CurrentSpanId() { return t_current_span; }
+
+std::vector<std::string> CurrentSpanStack() {
+  std::vector<std::string> names;
+  for (const Span* span = t_open_span; span != nullptr;
+       span = span->prev_open_) {
+    std::string entry = span->name_;
+    if (!span->detail_.empty()) {
+      entry += " [";
+      entry += span->detail_;
+      entry += "]";
+    }
+    names.push_back(std::move(entry));
+  }
+  std::reverse(names.begin(), names.end());  // outermost first
+  return names;
+}
 
 ParentScope::ParentScope(uint64_t parent_span) : prev_(t_current_span) {
   t_current_span = parent_span;
@@ -289,17 +315,47 @@ std::string ChromeTraceJson() {
 }
 
 Status WriteChromeTrace(const std::string& path) {
-  const std::string json = ChromeTraceJson();
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return Status::InvalidArgument("could not open trace file: " + path);
-  }
-  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
-  std::fclose(f);
-  if (written != json.size()) {
-    return Status::Internal("short write to trace file: " + path);
-  }
-  return Status::OK();
+  // Atomic publication: a crash (or injected fault) mid-export can never
+  // leave a torn half-JSON at `path`.
+  return WriteFileAtomic(path, ChromeTraceJson());
 }
+
+namespace {
+
+// TG_CHECK failure hook: make crashes debuggable. Prints the open span
+// stack (the stages in flight when the invariant broke), dumps the metrics
+// table, and writes the buffered spans as a Chrome trace so the post-mortem
+// has a timeline. Everything is best-effort; the process aborts right after.
+void CrashReportHook() {
+  const std::vector<std::string> stack = CurrentSpanStack();
+  if (!stack.empty()) {
+    std::fprintf(stderr, "open span stack (outermost first):\n");
+    for (const std::string& frame : stack) {
+      std::fprintf(stderr, "  %s\n", frame.c_str());
+    }
+  }
+  if (MetricsEnabled()) {
+    const std::string table = MetricsRegistry::Instance().RenderTable();
+    std::fwrite(table.data(), 1, table.size(), stderr);
+  }
+  if (TraceEnabled()) {
+    const char* env = std::getenv("TG_CRASH_TRACE");
+    const std::string path =
+        (env != nullptr && *env != '\0') ? env : "tg_crash_trace.json";
+    if (WriteChromeTrace(path).ok()) {
+      std::fprintf(stderr, "crash trace written to %s\n", path.c_str());
+    }
+  }
+  std::fflush(stderr);
+}
+
+// Installed at static-init time so every binary linking the obs layer gets
+// crash reports without opting in.
+[[maybe_unused]] const bool g_crash_hook_installed = [] {
+  tg::internal_check::InstallCheckFailureHook(&CrashReportHook);
+  return true;
+}();
+
+}  // namespace
 
 }  // namespace tg::obs

@@ -99,6 +99,8 @@ class Span {
   uint64_t id() const { return id_; }
 
  private:
+  friend std::vector<std::string> CurrentSpanStack();
+
   const char* name_ = "";
   std::string detail_;
   uint64_t id_ = 0;
@@ -107,7 +109,15 @@ class Span {
   uint64_t alloc_bytes_start_ = 0;
   uint64_t allocs_start_ = 0;
   bool active_ = false;
+  // Link in the thread-local open-span chain behind CurrentSpanStack().
+  Span* prev_open_ = nullptr;
 };
+
+// Names (with details) of the spans currently open on this thread,
+// outermost first. Empty unless tracing or metrics is enabled. The TG_CHECK
+// failure hook prints this so a crash report shows where in the pipeline
+// the invariant broke.
+std::vector<std::string> CurrentSpanStack();
 
 #define TG_TRACE_CONCAT_INNER(a, b) a##b
 #define TG_TRACE_CONCAT(a, b) TG_TRACE_CONCAT_INNER(a, b)

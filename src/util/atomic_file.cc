@@ -1,0 +1,153 @@
+#include "util/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/fault.h"
+
+namespace tg {
+namespace {
+
+std::string ErrnoText() {
+  return std::strerror(errno);
+}
+
+// Durability of the rename itself: fsync the containing directory so the
+// new directory entry survives a power cut. Best-effort -- some filesystems
+// refuse O_RDONLY fsync on directories -- and never fails the commit.
+void FsyncParentDirectory(const std::string& path) {
+  const size_t slash = path.rfind('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+AtomicFileWriter::AtomicFileWriter(const std::string& path)
+    : path_(path), temp_path_(path + ".tmp") {
+  if (TG_FAULT_POINT("atomic_file.open")) {
+    error_ = fault::InjectedFault("atomic_file.open");
+    return;
+  }
+  file_ = std::fopen(temp_path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    error_ = Status::Internal("cannot open " + temp_path_ +
+                              " for writing: " + ErrnoText());
+  }
+}
+
+AtomicFileWriter::~AtomicFileWriter() { Discard(); }
+
+void AtomicFileWriter::Append(const std::string& data) {
+  if (file_ == nullptr || !error_.ok()) return;
+  if (TG_FAULT_POINT("atomic_file.write")) {
+    error_ = fault::InjectedFault("atomic_file.write");
+    return;
+  }
+  if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+    error_ = Status::Internal("short write to " + temp_path_ + ": " +
+                              ErrnoText());
+  }
+}
+
+Status AtomicFileWriter::Commit() {
+  if (finished_) {
+    return Status::FailedPrecondition("writer for " + path_ +
+                                      " already finished");
+  }
+  if (!error_.ok() || file_ == nullptr) {
+    Discard();
+    return error_.ok()
+               ? Status::Internal("temp file for " + path_ + " never opened")
+               : error_;
+  }
+  // fflush reports buffered-write failures (ENOSPC most commonly) that the
+  // earlier fwrite calls absorbed into stdio buffers.
+  if (std::fflush(file_) != 0) {
+    error_ = Status::Internal("flush failed for " + temp_path_ + ": " +
+                              ErrnoText());
+    Discard();
+    return error_;
+  }
+  if (TG_FAULT_POINT("atomic_file.fsync")) {
+    error_ = fault::InjectedFault("atomic_file.fsync");
+    Discard();
+    return error_;
+  }
+  if (::fsync(::fileno(file_)) != 0) {
+    error_ = Status::Internal("fsync failed for " + temp_path_ + ": " +
+                              ErrnoText());
+    Discard();
+    return error_;
+  }
+  if (std::fclose(file_) != 0) {
+    file_ = nullptr;
+    error_ = Status::Internal("close failed for " + temp_path_);
+    Discard();
+    return error_;
+  }
+  file_ = nullptr;
+  if (TG_FAULT_POINT("atomic_file.crash_before_rename")) {
+    // A simulated crash: the data is durable in the temp file but the
+    // rename never happened. Leave the temp file behind -- recovery
+    // tooling and tests must cope with exactly this debris.
+    finished_ = true;
+    return fault::InjectedFault("atomic_file.crash_before_rename");
+  }
+  if (TG_FAULT_POINT("atomic_file.rename")) {
+    error_ = fault::InjectedFault("atomic_file.rename");
+    Discard();
+    return error_;
+  }
+  if (std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    error_ = Status::Internal("rename " + temp_path_ + " -> " + path_ +
+                              " failed: " + ErrnoText());
+    Discard();
+    return error_;
+  }
+  finished_ = true;
+  FsyncParentDirectory(path_);
+  return Status::OK();
+}
+
+void AtomicFileWriter::Discard() {
+  if (finished_) return;
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  std::remove(temp_path_.c_str());
+  finished_ = true;
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& contents) {
+  AtomicFileWriter writer(path);
+  writer.Append(contents);
+  return writer.Commit();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  if (TG_FAULT_POINT("file.read")) return fault::InjectedFault("file.read");
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open: " + path);
+  std::string out;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    out.append(buffer, n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return Status::Internal("read error on " + path);
+  return out;
+}
+
+}  // namespace tg

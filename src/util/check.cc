@@ -1,0 +1,48 @@
+#include "util/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tg::internal_check {
+namespace {
+
+// Fixed-capacity hook table: registration happens during static init or
+// test setup, failure can happen anywhere, so everything is lock-free
+// atomics (a failing TG_CHECK must never block on a mutex the crashing
+// thread might already hold).
+constexpr int kMaxHooks = 8;
+std::atomic<CheckFailureHook> g_hooks[kMaxHooks] = {};
+std::atomic<int> g_num_hooks{0};
+std::atomic<bool> g_failing{false};
+
+}  // namespace
+
+void InstallCheckFailureHook(CheckFailureHook hook) {
+  if (hook == nullptr) return;
+  const int slot = g_num_hooks.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= kMaxHooks) return;
+  g_hooks[slot].store(hook, std::memory_order_release);
+}
+
+void CheckFail(const char* cond, const char* msg, const char* file,
+               int line) {
+  if (msg != nullptr) {
+    std::fprintf(stderr, "TG_CHECK failed: %s (%s) at %s:%d\n", cond, msg,
+                 file, line);
+  } else {
+    std::fprintf(stderr, "TG_CHECK failed: %s at %s:%d\n", cond, file, line);
+  }
+  // Hooks run once: a TG_CHECK failing inside a hook aborts immediately
+  // instead of recursing.
+  if (!g_failing.exchange(true, std::memory_order_acq_rel)) {
+    const int count = g_num_hooks.load(std::memory_order_relaxed);
+    for (int i = 0; i < count && i < kMaxHooks; ++i) {
+      CheckFailureHook hook = g_hooks[i].load(std::memory_order_acquire);
+      if (hook != nullptr) hook();
+    }
+  }
+  std::abort();
+}
+
+}  // namespace tg::internal_check

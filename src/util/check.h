@@ -1,26 +1,41 @@
 // Assertion macros used throughout the library for programmer-error checks.
 // These abort with a diagnostic; expected runtime failures use tg::Status.
+//
+// Before aborting, CheckFail runs any installed failure hooks exactly once
+// (re-entrant failures skip straight to abort). The obs layer installs a
+// hook that prints the open span stack and flushes trace/metrics buffers so
+// post-mortem Chrome traces exist for crashes -- see obs/trace.h and
+// docs/robustness.md.
 #ifndef TG_UTIL_CHECK_H_
 #define TG_UTIL_CHECK_H_
 
-#include <cstdio>
-#include <cstdlib>
+namespace tg::internal_check {
+
+// Prints the diagnostic, runs the failure hooks (first failure only), and
+// aborts. `msg` may be nullptr.
+[[noreturn]] void CheckFail(const char* cond, const char* msg,
+                            const char* file, int line);
+
+// Registers a hook to run on the first TG_CHECK failure, before abort().
+// Hooks run on the failing thread in registration order and must not
+// assume any particular program state. A small fixed number of slots is
+// available; surplus registrations are ignored.
+using CheckFailureHook = void (*)();
+void InstallCheckFailureHook(CheckFailureHook hook);
+
+}  // namespace tg::internal_check
 
 #define TG_CHECK(cond)                                                     \
   do {                                                                     \
     if (!(cond)) {                                                         \
-      std::fprintf(stderr, "TG_CHECK failed: %s at %s:%d\n", #cond,        \
-                   __FILE__, __LINE__);                                    \
-      std::abort();                                                        \
+      ::tg::internal_check::CheckFail(#cond, nullptr, __FILE__, __LINE__); \
     }                                                                      \
   } while (0)
 
 #define TG_CHECK_MSG(cond, msg)                                            \
   do {                                                                     \
     if (!(cond)) {                                                         \
-      std::fprintf(stderr, "TG_CHECK failed: %s (%s) at %s:%d\n", #cond,   \
-                   msg, __FILE__, __LINE__);                               \
-      std::abort();                                                        \
+      ::tg::internal_check::CheckFail(#cond, msg, __FILE__, __LINE__);     \
     }                                                                      \
   } while (0)
 

@@ -1,6 +1,6 @@
 #include "util/csv.h"
 
-#include <cstdio>
+#include "util/logging.h"
 
 namespace tg {
 namespace {
@@ -25,31 +25,31 @@ std::string Escape(const std::string& field) {
 
 }  // namespace
 
-CsvWriter::CsvWriter(const std::string& path) {
-  file_ = std::fopen(path.c_str(), "w");
-}
+CsvWriter::CsvWriter(const std::string& path) : writer_(path) {}
 
 CsvWriter::~CsvWriter() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (closed_) return;
+  const Status status = writer_.Commit();
+  if (!status.ok()) {
+    TG_LOG(Warning) << "CSV " << writer_.path()
+                    << " not published: " << status.ToString();
+  }
 }
 
 void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
-  if (file_ == nullptr) return;
   std::string line;
   for (size_t i = 0; i < fields.size(); ++i) {
     if (i > 0) line.push_back(',');
     line += Escape(fields[i]);
   }
   line.push_back('\n');
-  std::fputs(line.c_str(), file_);
+  writer_.Append(line);
 }
 
 Status CsvWriter::Close() {
-  if (file_ == nullptr) return Status::FailedPrecondition("file not open");
-  int rc = std::fclose(file_);
-  file_ = nullptr;
-  if (rc != 0) return Status::Internal("fclose failed");
-  return Status::OK();
+  if (closed_) return Status::FailedPrecondition("CSV already closed");
+  closed_ = true;
+  return writer_.Commit();
 }
 
 }  // namespace tg

@@ -1,33 +1,43 @@
 // CSV writer used by benches to dump the series behind each figure, so the
 // paper plots can be regenerated from files under the build directory.
+//
+// Rows accumulate in a temp file that is atomically renamed over `path` on
+// Close(), so readers never observe a half-written CSV. Write errors latch:
+// the first failure poisons the writer and Close() reports it as a Status.
 #ifndef TG_UTIL_CSV_H_
 #define TG_UTIL_CSV_H_
 
 #include <string>
 #include <vector>
 
+#include "util/atomic_file.h"
 #include "util/status.h"
 
 namespace tg {
 
 class CsvWriter {
  public:
-  // Opens (truncates) the file; check Ok() before writing rows.
+  // Opens (truncates) the temp file; check ok() before writing rows.
   explicit CsvWriter(const std::string& path);
+  // Best-effort commit for callers that never Close(); logs on failure.
   ~CsvWriter();
 
   CsvWriter(const CsvWriter&) = delete;
   CsvWriter& operator=(const CsvWriter&) = delete;
 
-  bool ok() const { return file_ != nullptr; }
+  // False once any open/write error has latched; later rows are dropped.
+  bool ok() const { return writer_.ok(); }
 
   // Writes one row; fields containing commas or quotes are quoted.
   void WriteRow(const std::vector<std::string>& fields);
 
+  // Publishes the file (fsync + rename). Returns the first latched write
+  // error if any row failed, in which case nothing is published.
   Status Close();
 
  private:
-  std::FILE* file_ = nullptr;
+  AtomicFileWriter writer_;
+  bool closed_ = false;
 };
 
 }  // namespace tg

@@ -1,0 +1,113 @@
+// Deterministic fault-injection substrate: named sites compiled into the
+// I/O, dispatch and allocation paths, armed by per-site trigger rules parsed
+// from the TG_FAULT environment spec (or installed programmatically by
+// tests). See docs/robustness.md for the grammar.
+//
+// Cost model: every TG_FAULT_POINT compiles to a single relaxed atomic load
+// of the global armed flag when no spec is installed -- the same discipline
+// as the tracing/metrics/memory substrates, so the hooks are compiled-in
+// everywhere and left on in production code.
+//
+// Determinism contract: firing decisions depend only on (site rule, per-site
+// hit index), never on wall clock, thread identity, or address-space layout.
+// The same spec over the same workload fires the same faults; with no spec
+// installed the substrate touches nothing and all outputs are bit-identical
+// to a build without it.
+//
+// Spec grammar (TG_FAULT environment variable):
+//   spec     := rule (";" rule)*
+//   rule     := site "=" mode (":" modifier)*
+//   mode     := "always" | "once" | "hit:" N | "after:" N | "prob:" P
+//   modifier := "once" | "seed:" S | "min:" BYTES
+//
+//   always     fire on every hit
+//   once       fire on the first hit only (same as always:once)
+//   hit:N      fire on the Nth eligible hit exactly (1-based)
+//   after:N    fire on every hit once more than N hits occurred
+//   prob:P     fire with probability P per hit, decided by a counter-based
+//              hash of (seed, hit index) -- deterministic and thread-safe
+//   once       (as modifier) at most one firing total for this site
+//   seed:S     seed for prob decisions (default 0)
+//   min:BYTES  only hits with weight >= BYTES are eligible (the alloc site
+//              passes the requested allocation size as weight; sites that
+//              pass no weight never fire under a min rule)
+//
+// Example: TG_FAULT="atomic_file.write=hit:3;alloc=prob:0.01:seed:7:min:1048576"
+#ifndef TG_UTIL_FAULT_H_
+#define TG_UTIL_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tg::fault {
+
+namespace internal {
+// Constant-initialized so the alloc hook can load it at any point of
+// process startup. True iff at least one site rule is installed.
+extern std::atomic<bool> g_armed;
+}  // namespace internal
+
+// One relaxed load; false unless a spec is installed.
+inline bool Armed() {
+  return internal::g_armed.load(std::memory_order_relaxed);
+}
+
+// Trigger rule for one site, parsed from one `site=mode` spec entry.
+struct SiteRule {
+  enum class Mode { kAlways, kHit, kAfter, kProb };
+
+  std::string site;
+  Mode mode = Mode::kAlways;
+  uint64_t n = 0;           // hit:N / after:N
+  double probability = 0.0; // prob:P
+  uint64_t seed = 0;        // prob decisions
+  bool once = false;        // at most one firing
+  uint64_t min_weight = 0;  // hits below this weight are not eligible
+};
+
+// Parses a spec string into rules without installing them. InvalidArgument
+// with a pointer to the offending entry on malformed input.
+Result<std::vector<SiteRule>> ParseSpec(const std::string& spec);
+
+// Parses and installs `spec`, replacing any previously installed rules and
+// resetting all hit counts. An empty spec disarms every site (same as
+// ClearFaults). Not safe concurrently with in-flight fault points that
+// could fire -- install before starting the workload.
+Status InstallSpec(const std::string& spec);
+
+// Removes every rule and disarms the substrate.
+void ClearFaults();
+
+// Full firing decision for one hit of `site`. Called via TG_FAULT_POINT
+// only when Armed(); never allocates (it runs inside operator new for the
+// "alloc" site). `weight` carries the site-specific magnitude -- the alloc
+// hook passes the requested byte count -- and is matched against min:BYTES.
+bool ShouldFail(const char* site, uint64_t weight = 0);
+
+// Eligible hits observed / faults fired at `site` since its rule was
+// installed. Zero for sites without a rule.
+uint64_t SiteHits(const std::string& site);
+uint64_t SiteFired(const std::string& site);
+
+// Total faults fired across all sites since the last InstallSpec.
+uint64_t TotalFired();
+
+// The canonical error for an injected failure at `site`.
+Status InjectedFault(const char* site);
+
+}  // namespace tg::fault
+
+// True iff a fault should be injected here. One relaxed atomic load when no
+// spec is installed.
+#define TG_FAULT_POINT(site) \
+  (::tg::fault::Armed() && ::tg::fault::ShouldFail(site))
+
+// Weighted variant: `weight` feeds min:BYTES eligibility (alloc sizes).
+#define TG_FAULT_POINT_W(site, weight) \
+  (::tg::fault::Armed() && ::tg::fault::ShouldFail((site), (weight)))
+
+#endif  // TG_UTIL_FAULT_H_

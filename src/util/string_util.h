@@ -24,6 +24,16 @@ bool StartsWith(const std::string& text, const std::string& prefix);
 
 bool EndsWith(const std::string& text, const std::string& suffix);
 
+// Strict numeric parses for untrusted input: the whole string must be a
+// single value (no trailing bytes, no leading '-' for the unsigned form)
+// and must not overflow. Unlike std::stoul/std::stod these never throw,
+// so loaders can reject corrupted bytes with a Status instead of crashing.
+bool ParseUint64(const std::string& text, uint64_t* out);
+
+// Accepts any strtod-parsable value including "nan"/"inf"; callers that
+// need finite values must check std::isfinite on the result.
+bool ParseDouble(const std::string& text, double* out);
+
 }  // namespace tg
 
 #endif  // TG_UTIL_STRING_UTIL_H_

@@ -5,10 +5,12 @@
 #include <chrono>
 #include <cstdlib>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/fault.h"
 
 namespace tg {
 namespace {
@@ -119,6 +121,12 @@ void ParallelFor(size_t begin, size_t end, size_t grain,
   const size_t num_chunks = (n + grain - 1) / grain;
 
   const auto run_chunk = [begin, end, grain, &fn](size_t c) {
+    // Chaos hook: simulates a task that dies before user code runs. The
+    // exception takes the same capture/rethrow path as one thrown by fn,
+    // so tests exercise the pool's failure plumbing end to end.
+    if (TG_FAULT_POINT("thread_pool.dispatch")) {
+      throw std::runtime_error("injected fault at thread_pool.dispatch");
+    }
     const size_t lo = begin + c * grain;
     fn(lo, std::min(end, lo + grain), c);
   };

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "obs/bench_history.h"
+#include "util/atomic_file.h"
 #include "util/json_util.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -46,32 +47,6 @@ int Usage() {
       " [--inject-time-ratio R]\n"
       "  show    --history FILE\n");
   return 2;
-}
-
-Result<std::string> ReadFile(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::NotFound("could not open " + path);
-  std::string out;
-  char buffer[4096];
-  size_t n = 0;
-  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
-    out.append(buffer, n);
-  }
-  const bool failed = std::ferror(f) != 0;
-  std::fclose(f);
-  if (failed) return Status::Internal("read error on " + path);
-  return out;
-}
-
-Status WriteFile(const std::string& path, const std::string& content) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return Status::InvalidArgument("could not open " + path);
-  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
-  std::fclose(f);
-  if (written != content.size()) {
-    return Status::Internal("short write to " + path);
-  }
-  return Status::OK();
 }
 
 std::string NowUtcIso() {
@@ -110,7 +85,7 @@ Result<Args> ParseArgs(int argc, char** argv) {
 // Loads history entries; a missing file is an empty history (first append
 // and compare-without-baseline both hit this path).
 Result<std::vector<obs::BenchRun>> LoadHistory(const std::string& path) {
-  Result<std::string> text = ReadFile(path);
+  Result<std::string> text = ReadFileToString(path);
   if (!text.ok()) {
     if (text.status().code() == StatusCode::kNotFound) {
       return std::vector<obs::BenchRun>{};
@@ -125,7 +100,7 @@ int RunAppend(const Args& args) {
   const std::string history_path = args.Get("history", "");
   if (timings_path.empty() || history_path.empty()) return Usage();
 
-  Result<std::string> timings_text = ReadFile(timings_path);
+  Result<std::string> timings_text = ReadFileToString(timings_path);
   if (!timings_text.ok()) {
     std::fprintf(stderr, "%s\n", timings_text.status().ToString().c_str());
     return 1;
@@ -152,7 +127,7 @@ int RunAppend(const Args& args) {
                  valid.ToString().c_str());
     return 1;
   }
-  Status written = WriteFile(history_path, json);
+  Status written = WriteFileAtomic(history_path, json);
   if (!written.ok()) {
     std::fprintf(stderr, "%s\n", written.ToString().c_str());
     return 1;

@@ -107,9 +107,59 @@ else
   fi
 fi
 
+section "chaos gate: fault injection under ASan/UBSan"
+# The chaos tests randomize fault schedules across the sweep's I/O,
+# dispatch, and checkpoint paths; running them under
+# AddressSanitizer+UBSan catches the use-after-free / double-close /
+# leak bugs that error paths love to hide (see docs/robustness.md).
+cmake -B build-asan -S . -DTG_SANITIZE=address \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-asan -j "$JOBS" \
+    --target fault_injection_test chaos_pipeline_test
+./build-asan/tests/fault_injection_test
+./build-asan/tests/chaos_pipeline_test
+cmake --build build-ubsan -j "$JOBS" \
+    --target fault_injection_test chaos_pipeline_test 2>/dev/null && {
+  ./build-ubsan/tests/fault_injection_test
+  ./build-ubsan/tests/chaos_pipeline_test
+} || echo "(UBSan tree unavailable; ASan chaos pass already ran)"
+
+section "chaos gate: tg_cli under injected I/O fault"
+# An injected write fault must surface as a clean Status + non-zero exit --
+# never an abort (exit 134) -- and must leave no half-written temp file.
+FAULT_OUT="$(mktemp -d /tmp/tg_fault.XXXXXX)"
+trap 'rm -rf "$FAULT_OUT"' EXIT
+set +e
+TG_FAULT="atomic_file.write=always" ./build-release/tools/tg_cli \
+    export-graph --out "$FAULT_OUT/graph.tsv" --models 16 \
+    2> "$FAULT_OUT/stderr.txt"
+FAULT_CODE=$?
+set -e
+if [ "$FAULT_CODE" -eq 0 ] || [ "$FAULT_CODE" -ge 128 ]; then
+  echo "expected clean non-zero exit under TG_FAULT, got $FAULT_CODE" >&2
+  cat "$FAULT_OUT/stderr.txt" >&2
+  exit 1
+fi
+grep -q "injected fault" "$FAULT_OUT/stderr.txt" || {
+  echo "expected 'injected fault' in stderr" >&2; exit 1;
+}
+if ls "$FAULT_OUT"/*.tmp >/dev/null 2>&1; then
+  echo "injected fault leaked a .tmp file" >&2; exit 1
+fi
+[ ! -e "$FAULT_OUT/graph.tsv" ] || {
+  echo "failed export must not publish the output file" >&2; exit 1;
+}
+# Same command without the fault must succeed and publish.
+./build-release/tools/tg_cli export-graph --out "$FAULT_OUT/graph.tsv" \
+    --models 16 >/dev/null
+[ -s "$FAULT_OUT/graph.tsv" ] || {
+  echo "fault-free export should have produced the graph" >&2; exit 1;
+}
+echo "injected I/O fault handled cleanly (exit $FAULT_CODE)"
+
 section "tg_cli trace/metrics smoke check"
 TRACE_FILE="$(mktemp /tmp/tg_trace.XXXXXX.json)"
-trap 'rm -f "$TRACE_FILE"' EXIT
+trap 'rm -f "$TRACE_FILE"; rm -rf "$FAULT_OUT"' EXIT
 # TG_THREADS=2 forces the pool path so the trace includes pool_drain spans
 # (worker-side parent handoff) even on a single-core machine. --mem and
 # --rss-sample exercise the allocation accounting and the background RSS

@@ -3,6 +3,9 @@
 // Subcommands:
 //   catalog                         list datasets and models of the zoo
 //   rank --target D [options]       rank models for a target dataset
+//   sweep [options]                 evaluate every target (resumable via
+//                                   --checkpoint FILE; --no-degrade turns
+//                                   off the metadata-only failure fallback)
 //   graph-stats [--modality M]      Table II-style graph statistics
 //   export-graph --out FILE         write the constructed graph as TSV
 //   export-history --out FILE       write the training history as CSV
@@ -73,9 +76,12 @@ struct CliArgs {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: tg_cli <catalog|rank|graph-stats|export-graph|"
+               "usage: tg_cli <catalog|rank|sweep|graph-stats|export-graph|"
                "export-history> [--option value ...]\n"
                "  rank requires --target <dataset name | evaluation index>\n"
+               "  sweep evaluates every target; --checkpoint FILE resumes an\n"
+               "    interrupted sweep, --no-degrade disables the metadata-only\n"
+               "    retry for failed targets (see docs/robustness.md)\n"
                "  export-* require --out <path>\n"
                "  observability: --trace FILE (Chrome trace JSON), "
                "--metrics (stage table + counters after rank),\n"
@@ -322,6 +328,67 @@ int RunRank(const CliArgs& args) {
   return 0;
 }
 
+// Leave-one-out sweep over every evaluation target of the modality, with
+// graceful degradation and optional --checkpoint resume. Exercised by the
+// chaos gate in tools/run_checks.sh; see docs/robustness.md.
+int RunSweep(const CliArgs& args) {
+  Result<zoo::Modality> modality = ParseModality(args.Get("modality",
+                                                          "image"));
+  Result<core::GraphLearner> learner = ParseLearner(args.Get("learner",
+                                                             "n2v"));
+  Result<core::PredictorKind> predictor =
+      ParsePredictor(args.Get("predictor", "xgb"));
+  Result<core::FeatureSet> features = ParseFeatures(args.Get("features",
+                                                             "all"));
+  if (!modality.ok() || !learner.ok() || !predictor.ok() || !features.ok()) {
+    return Usage();
+  }
+
+  core::PipelineConfig config;
+  config.strategy.learner = learner.value();
+  config.strategy.predictor = predictor.value();
+  config.strategy.features = features.value();
+
+  core::SweepOptions options;
+  options.checkpoint_path = args.Get("checkpoint", "");
+  if (options.checkpoint_path == "true") options.checkpoint_path.clear();
+  options.degrade_on_failure = !args.Flag("no-degrade");
+
+  zoo::ModelZoo zoo(ZooConfigFrom(args));
+  core::Pipeline pipeline(&zoo, modality.value());
+  const core::SweepResult result =
+      pipeline.EvaluateAllTargetsResumable(config, options);
+
+  TablePrinter table({"target", "pearson", "spearman", "top-5 acc", "note"});
+  double pearson_sum = 0.0;
+  size_t scored = 0;
+  for (const core::TargetEvaluation& eval : result.evaluations) {
+    if (eval.failed) {
+      table.AddRow({eval.target_name, "-", "-", "-", "FAILED: " + eval.error});
+      continue;
+    }
+    pearson_sum += eval.pearson;
+    ++scored;
+    table.AddRow({eval.target_name, FormatDouble(eval.pearson, 3),
+                  FormatDouble(eval.spearman, 3),
+                  FormatDouble(eval.TopKMeanAccuracy(5), 3),
+                  eval.degraded ? "degraded" : ""});
+  }
+  table.Print();
+  std::printf("\n%zu/%zu targets scored (mean pearson %.3f); "
+              "%zu resumed, %zu retried, %zu degraded, %zu failed\n",
+              scored, result.evaluations.size(),
+              scored > 0 ? pearson_sum / static_cast<double>(scored) : 0.0,
+              result.resumed, result.retried, result.degraded, result.failed);
+  if (!result.complete) {
+    for (const std::string& error : result.errors) {
+      std::fprintf(stderr, "target failed: %s\n", error.c_str());
+    }
+    return 1;
+  }
+  return 0;
+}
+
 int RunGraphStats(const CliArgs& args) {
   zoo::ModelZoo zoo(ZooConfigFrom(args));
   Result<zoo::Modality> modality = ParseModality(args.Get("modality",
@@ -374,6 +441,7 @@ int RunExportHistory(const CliArgs& args) {
 int Dispatch(const CliArgs& args) {
   if (args.command == "catalog") return RunCatalog(args);
   if (args.command == "rank") return RunRank(args);
+  if (args.command == "sweep") return RunSweep(args);
   if (args.command == "graph-stats") return RunGraphStats(args);
   if (args.command == "export-graph") return RunExportGraph(args);
   if (args.command == "export-history") return RunExportHistory(args);
