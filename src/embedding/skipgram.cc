@@ -44,12 +44,20 @@ std::vector<std::pair<uint32_t, uint32_t>> FlattenPositions(
 // randomness comes from `prng`, which callers fork off the position's global
 // index. `touched_in` / `touched_out` (nullable) flag the input/output rows
 // this position wrote, feeding the sharded dirty-row merge.
+// Prefetches the head of an embedding row; the hardware streamer follows the
+// rest of the (64B-aligned, contiguous) row once the first lines are inbound.
+inline void PrefetchRow(const double* row, size_t dim) {
+  __builtin_prefetch(row, /*rw=*/1, /*locality=*/2);
+  if (dim > 8) __builtin_prefetch(row + 8, /*rw=*/1, /*locality=*/2);
+}
+
 void UpdateOnePosition(const std::vector<uint32_t>& walk, uint32_t pos,
                        double lr, int window, int negatives,
                        const UnigramNegativeSampler& sampler, Rng* prng,
                        size_t dim, Matrix* input, Matrix* output,
                        std::vector<double>* center_grad_buf,
-                       uint8_t* touched_in, uint8_t* touched_out) {
+                       std::vector<uint32_t>* neg_buf, uint8_t* touched_in,
+                       uint8_t* touched_out) {
   const int radius =
       1 + static_cast<int>(prng->NextBelow(static_cast<uint64_t>(window)));
   const uint32_t center = walk[pos];
@@ -70,12 +78,24 @@ void UpdateOnePosition(const std::vector<uint32_t>& walk, uint32_t pos,
   for (size_t ctx_pos = lo_ctx; ctx_pos < hi_ctx; ++ctx_pos) {
     if (ctx_pos == pos) continue;
     std::fill(center_grad_buf->begin(), center_grad_buf->end(), 0.0);
-    train_pair(walk[ctx_pos], 1.0);
+    // Pre-draw this pair's negatives. The draws were already consecutive
+    // (training a pair consumes no randomness), so batching them first
+    // leaves the Rng stream -- and therefore every result -- bit-identical,
+    // while letting us issue the output-row prefetches below before the
+    // positive update instead of eating each row's miss inside the loop.
+    // PrefetchNext additionally hides the alias-table entry miss of draw
+    // k+1 under draw k.
+    neg_buf->clear();
+    sampler.PrefetchNext(*prng);
     for (int k = 0; k < negatives; ++k) {
       const uint32_t neg = static_cast<uint32_t>(sampler.Sample(prng));
+      sampler.PrefetchNext(*prng);
       if (neg == walk[ctx_pos] || neg == center) continue;
-      train_pair(neg, 0.0);
+      neg_buf->push_back(neg);
     }
+    for (uint32_t neg : *neg_buf) PrefetchRow(output->RowPtr(neg), dim);
+    train_pair(walk[ctx_pos], 1.0);
+    for (uint32_t neg : *neg_buf) train_pair(neg, 0.0);
     kernels::Add(w, center_grad, dim);
   }
 }
@@ -194,6 +214,8 @@ void SkipGramTrainer::TrainSharded(
     ParallelFor(0, shards, 1, [&](size_t s0, size_t s1, size_t /*chunk*/) {
       TG_TRACE_SPAN("skipgram_shard_train");
       std::vector<double> center_grad(dim);
+      std::vector<uint32_t> neg_buf;
+      neg_buf.reserve(static_cast<size_t>(std::max(stream.negatives, 1)));
       for (size_t s = s0; s < s1; ++s) {
         const size_t lo = s * block;
         const size_t hi = std::min(positions.size(), lo + block);
@@ -203,7 +225,8 @@ void SkipGramTrainer::TrainSharded(
           UpdateOnePosition(corpus[wi], pos, stream.LrAt(epoch_base + i),
                             stream.window, stream.negatives, *stream.sampler,
                             &prng, dim, &rep_in[s], &rep_out[s], &center_grad,
-                            touched_in[s].data(), touched_out[s].data());
+                            &neg_buf, touched_in[s].data(),
+                            touched_out[s].data());
         }
       }
     });
@@ -233,25 +256,46 @@ void SkipGramTrainer::MergeShards(
   static obs::Counter& clean_rows = obs::MetricsRegistry::Instance().GetCounter(
       "skipgram.merge.clean_rows");
 
+  // Cache-blocked: rows are merged in blocks, and within a block each shard
+  // replica is walked in one sequential pass rather than re-touched once per
+  // row -- S short sequential streams the hardware prefetcher can follow
+  // instead of S scattered reads per row. The per-row arithmetic sequence
+  // (copy rep[0], add reps 1..S-1 in shard order, scale) is unchanged, so
+  // the merge stays bit-identical to the unblocked form; rows merely
+  // interleave, and no row reads another row's data.
+  constexpr size_t kMergeRowBlock = 64;
+  std::vector<uint8_t> row_dirty(kMergeRowBlock);
   const auto merge_matrix = [&](Matrix* base, const std::vector<Matrix>& rep,
                                 const std::vector<std::vector<uint8_t>>&
                                     touched) {
     size_t dirty = 0;
-    for (size_t r = 0; r < vocab_size_; ++r) {
-      bool row_dirty = config_.full_matrix_merge;
-      for (size_t s = 0; s < shards && !row_dirty; ++s) {
-        row_dirty = touched[s][r] != 0;
-      }
-      double* dst = base->RowPtr(r);
-      if (row_dirty) {
-        ++dirty;
-        std::memcpy(dst, rep[0].RowPtr(r), dim * sizeof(double));
-        for (size_t s = 1; s < shards; ++s) {
-          kernels::Add(dst, rep[s].RowPtr(r), dim);
+    for (size_t r0 = 0; r0 < vocab_size_; r0 += kMergeRowBlock) {
+      const size_t r1 = std::min(vocab_size_, r0 + kMergeRowBlock);
+      for (size_t r = r0; r < r1; ++r) {
+        bool is_dirty = config_.full_matrix_merge;
+        for (size_t s = 0; s < shards && !is_dirty; ++s) {
+          is_dirty = touched[s][r] != 0;
         }
-        kernels::Scale(dst, inv, dim);
-      } else {
-        kernels::ReplicatedMean(dst, shards, inv, dim);
+        row_dirty[r - r0] = is_dirty ? 1 : 0;
+        dirty += is_dirty ? 1 : 0;
+      }
+      for (size_t r = r0; r < r1; ++r) {
+        if (row_dirty[r - r0]) {
+          std::memcpy(base->RowPtr(r), rep[0].RowPtr(r),
+                      dim * sizeof(double));
+        } else {
+          kernels::ReplicatedMean(base->RowPtr(r), shards, inv, dim);
+        }
+      }
+      for (size_t s = 1; s < shards; ++s) {
+        for (size_t r = r0; r < r1; ++r) {
+          if (row_dirty[r - r0]) {
+            kernels::Add(base->RowPtr(r), rep[s].RowPtr(r), dim);
+          }
+        }
+      }
+      for (size_t r = r0; r < r1; ++r) {
+        if (row_dirty[r - r0]) kernels::Scale(base->RowPtr(r), inv, dim);
       }
     }
     dirty_rows.Increment(dirty);
@@ -279,6 +323,9 @@ void SkipGramTrainer::TrainHogwild(
     ParallelFor(0, positions.size(), 256,
                 [&](size_t lo, size_t hi, size_t /*chunk*/) {
                   std::vector<double> center_grad(dim);
+                  std::vector<uint32_t> neg_buf;
+                  neg_buf.reserve(
+                      static_cast<size_t>(std::max(stream.negatives, 1)));
                   for (size_t i = lo; i < hi; ++i) {
                     const auto& [wi, pos] = positions[i];
                     Rng prng = rng->Fork(kPositionStreamBase + epoch_base + i);
@@ -286,7 +333,7 @@ void SkipGramTrainer::TrainHogwild(
                                       stream.LrAt(epoch_base + i),
                                       stream.window, stream.negatives,
                                       *stream.sampler, &prng, dim, &input_,
-                                      &output_, &center_grad,
+                                      &output_, &center_grad, &neg_buf,
                                       /*touched_in=*/nullptr,
                                       /*touched_out=*/nullptr);
                   }

@@ -1,5 +1,7 @@
 #include "graph/alias_table.h"
 
+#include <limits>
+
 #include "util/check.h"
 
 namespace tg {
@@ -7,6 +9,7 @@ namespace tg {
 AliasTable::AliasTable(const std::vector<double>& weights) {
   const size_t n = weights.size();
   TG_CHECK_GT(n, 0u);
+  TG_CHECK_LT(n, static_cast<size_t>(std::numeric_limits<uint32_t>::max()));
   double total = 0.0;
   for (double w : weights) {
     TG_CHECK_GE(w, 0.0);
@@ -14,8 +17,7 @@ AliasTable::AliasTable(const std::vector<double>& weights) {
   }
   TG_CHECK_GT(total, 0.0);
 
-  probabilities_.assign(n, 0.0);
-  aliases_.assign(n, 0);
+  entries_.assign(n, Entry{0.0, 0});
 
   // Scale and classify in one pass; the worklists can only shrink from here
   // (one index retires per pairing step), so reserving n up front makes the
@@ -36,21 +38,35 @@ AliasTable::AliasTable(const std::vector<double>& weights) {
     small.pop_back();
     const size_t l = large.back();
     large.pop_back();
-    probabilities_[s] = scaled[s];
-    aliases_[s] = l;
+    entries_[s].probability = scaled[s];
+    entries_[s].alias = static_cast<uint32_t>(l);
     scaled[l] = scaled[l] + scaled[s] - 1.0;
     (scaled[l] < 1.0 ? small : large).push_back(l);
   }
   // Leftovers are 1.0 up to roundoff.
-  for (size_t i : large) probabilities_[i] = 1.0;
-  for (size_t i : small) probabilities_[i] = 1.0;
+  for (size_t i : large) entries_[i].probability = 1.0;
+  for (size_t i : small) entries_[i].probability = 1.0;
 }
 
 size_t AliasTable::Sample(Rng* rng) const {
   TG_CHECK(!empty());
-  const size_t column = static_cast<size_t>(rng->NextBelow(size()));
-  return rng->NextDouble() < probabilities_[column] ? column
-                                                    : aliases_[column];
+  const size_t column = static_cast<size_t>(rng->NextBelow(entries_.size()));
+  const Entry& entry = entries_[column];
+  // Same draw order and select condition as the branching form
+  // (d < p ? column : alias), written as index arithmetic so it lowers to a
+  // conditional move; the unsigned difference wraps cleanly when alias <
+  // column.
+  const size_t take_alias =
+      static_cast<size_t>(rng->NextDouble() >= entry.probability);
+  return column +
+         take_alias * (static_cast<size_t>(entry.alias) - column);
+}
+
+void AliasTable::PrefetchNext(const Rng& rng) const {
+  if (entries_.empty()) return;
+  Rng peek = rng;
+  const size_t column = static_cast<size_t>(peek.NextBelow(entries_.size()));
+  __builtin_prefetch(&entries_[column], /*rw=*/0, /*locality=*/1);
 }
 
 }  // namespace tg

@@ -1,10 +1,19 @@
 // Walker/Vose alias method: O(n) construction, O(1) sampling from a discrete
 // distribution. Used for weighted next-hop selection in Node2Vec(+) walks and
 // for the unigram^0.75 negative-sampling table in skip-gram training.
+//
+// Layout: one array of {probability, alias} entries rather than two parallel
+// arrays, so each Sample touches a single cache line instead of two; the
+// select itself is branch-free (index arithmetic the compiler lowers to a
+// conditional move), keeping the hot loop free of a data-dependent branch
+// that mispredicts ~p*(1-p) of the time. PrefetchNext lets a caller that
+// knows it will sample again overlap that entry's cache miss with other work
+// (see the skip-gram negative-sampling loop).
 #ifndef TG_GRAPH_ALIAS_TABLE_H_
 #define TG_GRAPH_ALIAS_TABLE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "util/rng.h"
@@ -14,18 +23,29 @@ namespace tg {
 class AliasTable {
  public:
   AliasTable() = default;
-  // Weights must be non-negative with a positive sum.
+  // Weights must be non-negative with a positive sum; at most 2^32 - 1
+  // entries (alias indices are stored as uint32_t to keep entries 16 bytes).
   explicit AliasTable(const std::vector<double>& weights);
 
-  bool empty() const { return probabilities_.empty(); }
-  size_t size() const { return probabilities_.size(); }
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
 
-  // Samples an index with probability proportional to its weight.
+  // Samples an index with probability proportional to its weight. Consumes
+  // exactly one NextBelow and one NextDouble, in that order.
   size_t Sample(Rng* rng) const;
 
+  // Prefetches the entry the NEXT Sample(rng) call will read, by peeking the
+  // column draw on a copy of the generator (the argument is not advanced).
+  // Purely a cache hint: results are identical with or without it.
+  void PrefetchNext(const Rng& rng) const;
+
  private:
-  std::vector<double> probabilities_;
-  std::vector<size_t> aliases_;
+  struct Entry {
+    double probability;
+    uint32_t alias;
+  };
+
+  std::vector<Entry> entries_;
 };
 
 }  // namespace tg

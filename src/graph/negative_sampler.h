@@ -23,6 +23,10 @@ class UnigramNegativeSampler {
 
   NodeId Sample(Rng* rng) const;
 
+  // Cache hint: prefetch the alias-table entry the next Sample(rng) call
+  // will read (peeks on a copy; `rng` is not advanced). See AliasTable.
+  void PrefetchNext(const Rng& rng) const { table_.PrefetchNext(rng); }
+
  private:
   AliasTable table_;
 };

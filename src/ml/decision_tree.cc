@@ -19,17 +19,32 @@ struct SplitCandidate {
 
 }  // namespace
 
-void DecisionTree::Fit(const Matrix& x, const std::vector<double>& y,
-                       const std::vector<size_t>& rows, Rng* rng) {
-  TG_CHECK_EQ(x.rows(), y.size());
-  TG_CHECK(!rows.empty());
-  nodes_.clear();
-  feature_gains_.assign(x.cols(), 0.0);
-  std::vector<size_t> working = rows;
-  BuildNode(x, y, &working, 0, working.size(), 0, rng);
+FeatureColumns::FeatureColumns(const Matrix& x)
+    : rows_(x.rows()), cols_(x.cols()), data_(x.rows() * x.cols()) {
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = x.RowPtr(r);
+    for (size_t c = 0; c < cols_; ++c) data_[c * rows_ + r] = row[c];
+  }
 }
 
-int DecisionTree::BuildNode(const Matrix& x, const std::vector<double>& y,
+void DecisionTree::Fit(const Matrix& x, const std::vector<double>& y,
+                       const std::vector<size_t>& rows, Rng* rng) {
+  Fit(FeatureColumns(x), y, rows, rng);
+}
+
+void DecisionTree::Fit(const FeatureColumns& columns,
+                       const std::vector<double>& y,
+                       const std::vector<size_t>& rows, Rng* rng) {
+  TG_CHECK_EQ(columns.rows(), y.size());
+  TG_CHECK(!rows.empty());
+  nodes_.clear();
+  feature_gains_.assign(columns.cols(), 0.0);
+  std::vector<size_t> working = rows;
+  BuildNode(columns, y, &working, 0, working.size(), 0, rng);
+}
+
+int DecisionTree::BuildNode(const FeatureColumns& columns,
+                            const std::vector<double>& y,
                             std::vector<size_t>* rows, size_t begin,
                             size_t end, int depth, Rng* rng) {
   const size_t n = end - begin;
@@ -57,20 +72,22 @@ int DecisionTree::BuildNode(const Matrix& x, const std::vector<double>& y,
 
   // Candidate features (all, or a random subset per split as in RF).
   std::vector<size_t> features;
-  if (config_.max_features == 0 || config_.max_features >= x.cols()) {
-    features.resize(x.cols());
+  if (config_.max_features == 0 || config_.max_features >= columns.cols()) {
+    features.resize(columns.cols());
     std::iota(features.begin(), features.end(), 0);
   } else {
     TG_CHECK(rng != nullptr);
-    features = rng->SampleWithoutReplacement(x.cols(), config_.max_features);
+    features =
+        rng->SampleWithoutReplacement(columns.cols(), config_.max_features);
   }
 
   SplitCandidate best;
   std::vector<std::pair<double, double>> values(n);  // (feature value, y)
   for (size_t f : features) {
+    const double* col = columns.Column(f);
     for (size_t i = 0; i < n; ++i) {
       const size_t r = (*rows)[begin + i];
-      values[i] = {x(r, f), y[r]};
+      values[i] = {col[r], y[r]};
     }
     std::sort(values.begin(), values.end());
     // Prefix scan: evaluate every boundary between distinct feature values.
@@ -103,17 +120,17 @@ int DecisionTree::BuildNode(const Matrix& x, const std::vector<double>& y,
       std::max(best.score - sum * sum / static_cast<double>(n), 0.0);
 
   // Partition rows in place around the threshold.
+  const double* best_col = columns.Column(best.feature);
   auto middle = std::partition(
       rows->begin() + static_cast<long>(begin),
-      rows->begin() + static_cast<long>(end), [&](size_t r) {
-        return x(r, best.feature) <= best.threshold;
-      });
+      rows->begin() + static_cast<long>(end),
+      [&](size_t r) { return best_col[r] <= best.threshold; });
   const size_t mid = static_cast<size_t>(middle - rows->begin());
   TG_CHECK_GT(mid, begin);
   TG_CHECK_LT(mid, end);
 
-  const int left = BuildNode(x, y, rows, begin, mid, depth + 1, rng);
-  const int right = BuildNode(x, y, rows, mid, end, depth + 1, rng);
+  const int left = BuildNode(columns, y, rows, begin, mid, depth + 1, rng);
+  const int right = BuildNode(columns, y, rows, mid, end, depth + 1, rng);
   nodes_[node_index].is_leaf = false;
   nodes_[node_index].feature = best.feature;
   nodes_[node_index].threshold = best.threshold;

@@ -11,6 +11,30 @@
 
 namespace tg::ml {
 
+// Column-major copy of a feature matrix: Column(f)[r] == x(r, f). Split
+// search scans one feature at a time across many rows, so the column layout
+// turns the per-(node, feature) gather from a cols()-strided walk over the
+// row-major matrix into reads within one contiguous column that usually fits
+// in L1/L2. Build it once and share it read-only across trees (the forest
+// does); the values are the same doubles, so fitted trees are bit-identical
+// to fitting against the matrix directly.
+class FeatureColumns {
+ public:
+  explicit FeatureColumns(const Matrix& x);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  const double* Column(size_t f) const {
+    TG_CHECK_LT(f, cols_);
+    return data_.data() + f * rows_;
+  }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double, AlignedAllocator<double, 64>> data_;
+};
+
 struct TreeConfig {
   int max_depth = 5;
   size_t min_samples_leaf = 1;
@@ -25,8 +49,12 @@ class DecisionTree {
 
   // Fits on the rows of x selected by `rows` (with multiplicity, enabling
   // bootstrap samples). `rng` drives feature subsampling; may be null when
-  // max_features == 0.
+  // max_features == 0. The Matrix form builds a FeatureColumns internally;
+  // callers fitting many trees on the same data (RandomForest) pass a shared
+  // prebuilt one instead. Both produce bit-identical trees.
   void Fit(const Matrix& x, const std::vector<double>& y,
+           const std::vector<size_t>& rows, Rng* rng);
+  void Fit(const FeatureColumns& columns, const std::vector<double>& y,
            const std::vector<size_t>& rows, Rng* rng);
 
   double Predict(const std::vector<double>& row) const;
@@ -50,7 +78,7 @@ class DecisionTree {
     int depth = 0;
   };
 
-  int BuildNode(const Matrix& x, const std::vector<double>& y,
+  int BuildNode(const FeatureColumns& columns, const std::vector<double>& y,
                 std::vector<size_t>* rows, size_t begin, size_t end,
                 int depth, Rng* rng);
 

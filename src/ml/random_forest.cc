@@ -31,22 +31,31 @@ Status RandomForest::Fit(const TabularDataset& data) {
   // Trees are independent given their own random stream: tree t draws its
   // bootstrap sample and split-feature subsets from Fork(t) of the config
   // seed, so the fitted forest is bit-identical for any thread count.
+  //
+  // The column-major feature copy is built once and shared read-only by
+  // every tree; each tree's split scans then stay inside one contiguous
+  // column instead of striding the row-major matrix per sample.
   const Rng base_rng(config_.seed);
   const size_t n = data.num_rows();
+  const FeatureColumns columns(data.x);
   trees_.resize(static_cast<size_t>(config_.num_trees),
                 DecisionTree(tree_config));
-  ParallelFor(0, static_cast<size_t>(config_.num_trees), 1,
-              [&](size_t begin, size_t end, size_t /*chunk*/) {
-                std::vector<size_t> bootstrap(n);
-                for (size_t t = begin; t < end; ++t) {
-                  Rng tree_rng = base_rng.Fork(t);
-                  for (size_t i = 0; i < n; ++i) {
-                    bootstrap[i] =
-                        static_cast<size_t>(tree_rng.NextBelow(n));
-                  }
-                  trees_[t].Fit(data.x, data.y, bootstrap, &tree_rng);
-                }
-              });
+  // Work estimate: each tree visits ~n bootstrap rows per level; tiny fits
+  // (unit tests, few rows) run inline rather than paying pool dispatch.
+  const size_t estimated_work = static_cast<size_t>(config_.num_trees) * n;
+  ParallelForIfWorth(0, static_cast<size_t>(config_.num_trees), 1,
+                     estimated_work,
+                     [&](size_t begin, size_t end, size_t /*chunk*/) {
+                       std::vector<size_t> bootstrap(n);
+                       for (size_t t = begin; t < end; ++t) {
+                         Rng tree_rng = base_rng.Fork(t);
+                         for (size_t i = 0; i < n; ++i) {
+                           bootstrap[i] =
+                               static_cast<size_t>(tree_rng.NextBelow(n));
+                         }
+                         trees_[t].Fit(columns, data.y, bootstrap, &tree_rng);
+                       }
+                     });
   return Status::OK();
 }
 

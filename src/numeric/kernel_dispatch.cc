@@ -1,0 +1,141 @@
+// Backend registry + runtime selection for the kernel layer. Compiled-in
+// backends are announced by the TG_HAVE_KERNELS_* compile definitions this TU
+// (alone) is built with (src/CMakeLists.txt); host support is probed with
+// __builtin_cpu_supports on x86. aarch64 Advanced SIMD is part of the base
+// ISA, so the neon table needs no runtime probe.
+#include "numeric/kernel_backend.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace tg::kernels {
+namespace {
+
+bool HostSupportsAvx2() {
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool HostSupportsAvx512() {
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+  return __builtin_cpu_supports("avx512f");
+#else
+  return false;
+#endif
+}
+
+// Compiled-in AND host-supported backends, widest last. `auto` resolves to
+// the back of this list.
+struct Registry {
+  const KernelBackend* tables[4];
+  size_t size;
+};
+
+const Registry& AvailableRegistry() {
+  static const Registry registry = [] {
+    Registry r{};
+    r.tables[r.size++] = internal::ScalarBackendTable();
+#if defined(TG_HAVE_KERNELS_NEON)
+    r.tables[r.size++] = internal::NeonBackendTable();
+#endif
+#if defined(TG_HAVE_KERNELS_AVX2)
+    if (HostSupportsAvx2()) r.tables[r.size++] = internal::Avx2BackendTable();
+#endif
+#if defined(TG_HAVE_KERNELS_AVX512)
+    if (HostSupportsAvx512()) {
+      r.tables[r.size++] = internal::Avx512BackendTable();
+    }
+#endif
+    return r;
+  }();
+  return registry;
+}
+
+const KernelBackend* FindAvailable(const char* name) {
+  const Registry& registry = AvailableRegistry();
+  if (std::strcmp(name, "auto") == 0) {
+    return registry.tables[registry.size - 1];
+  }
+  for (size_t i = 0; i < registry.size; ++i) {
+    if (std::strcmp(registry.tables[i]->name, name) == 0) {
+      return registry.tables[i];
+    }
+  }
+  return nullptr;
+}
+
+void RecordSelection(const KernelBackend* backend) {
+  // One increment per selection (not per kernel call), so traces and
+  // bench_timings.json metrics show which backend served the run even when
+  // metrics were enabled after the first kernel call.
+  obs::MetricsRegistry::Instance()
+      .GetCounter(std::string("numeric.backend.") + backend->name)
+      .Increment();
+}
+
+std::atomic<const KernelBackend*> g_active{nullptr};
+
+const KernelBackend* ResolveActive() {
+  const char* env = std::getenv("TG_ISA");
+  const char* name = (env == nullptr || env[0] == '\0') ? "auto" : env;
+  const KernelBackend* backend = FindAvailable(name);
+  if (backend == nullptr) {
+    // A forced backend that silently fell back would invalidate whatever the
+    // caller was trying to measure or reproduce, so this is fatal.
+    std::string names;
+    for (const std::string& available : AvailableBackendNames()) {
+      names += names.empty() ? available : (", " + available);
+    }
+    std::fprintf(stderr,
+                 "TG_ISA=%s: unknown or unavailable kernel backend on this "
+                 "host (available: auto, %s)\n",
+                 name, names.c_str());
+    std::exit(1);
+  }
+  const KernelBackend* expected = nullptr;
+  if (g_active.compare_exchange_strong(expected, backend,
+                                       std::memory_order_acq_rel)) {
+    RecordSelection(backend);
+    return backend;
+  }
+  return expected;  // Another thread resolved first; use its pick.
+}
+
+}  // namespace
+
+const KernelBackend& ScalarBackend() { return *internal::ScalarBackendTable(); }
+
+const KernelBackend& ActiveBackend() {
+  const KernelBackend* backend = g_active.load(std::memory_order_acquire);
+  if (backend == nullptr) backend = ResolveActive();
+  return *backend;
+}
+
+const char* ActiveBackendName() { return ActiveBackend().name; }
+
+bool SetActiveBackend(const std::string& name) {
+  const KernelBackend* backend = FindAvailable(name.c_str());
+  if (backend == nullptr) return false;
+  g_active.store(backend, std::memory_order_release);
+  RecordSelection(backend);
+  return true;
+}
+
+std::vector<std::string> AvailableBackendNames() {
+  const Registry& registry = AvailableRegistry();
+  std::vector<std::string> names;
+  names.reserve(registry.size);
+  for (size_t i = 0; i < registry.size; ++i) {
+    names.emplace_back(registry.tables[i]->name);
+  }
+  return names;
+}
+
+}  // namespace tg::kernels

@@ -1,8 +1,18 @@
+// Public kernel entry points. The sigmoid machinery and the *ScalarRef twins
+// live here; the dense kernels themselves dispatch through the runtime-
+// selected backend table (kernel_backend.h -- scalar/avx2/avx512/neon, one TU
+// each). The fixed-order bodies that used to be inline here moved verbatim to
+// kernels_generic.h, where kernels_scalar.cc instantiates them under the base
+// architecture flags as the `scalar` backend.
 #include "numeric/kernels.h"
 
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
+
+#include "numeric/kernel_backend.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tg::kernels {
 namespace {
@@ -37,6 +47,19 @@ const SigmoidTable& Table() {
   static const SigmoidTable table;
   return table;
 }
+
+// Per-kernel invocation counters for the ISSUE-level kernels, resolved once
+// per site and gated on MetricsEnabled so disabled runs pay one predictable
+// branch per call.
+#define TG_COUNT_KERNEL(event)                                        \
+  do {                                                                \
+    if (obs::MetricsEnabled()) {                                      \
+      static obs::Counter& tg_counter =                               \
+          obs::MetricsRegistry::Instance().GetCounter(                \
+              "numeric.kernel." event ".calls");                      \
+      tg_counter.Increment();                                         \
+    }                                                                 \
+  } while (false)
 
 }  // namespace
 
@@ -78,24 +101,10 @@ double TrainingSigmoid(double x) {
 }
 
 // --- Reductions --------------------------------------------------------------
-//
-// The unrolled bodies below and their ScalarRef twins execute the exact same
-// IEEE operations in the same dependency order; the unrolled form just
-// exposes four independent accumulator chains so the compiler can pipeline
-// or vectorize them.
 
 double Dot(const double* a, const double* b, size_t n) {
-  const size_t main = n & ~static_cast<size_t>(3);
-  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
-  for (size_t i = 0; i < main; i += 4) {
-    acc0 += a[i] * b[i];
-    acc1 += a[i + 1] * b[i + 1];
-    acc2 += a[i + 2] * b[i + 2];
-    acc3 += a[i + 3] * b[i + 3];
-  }
-  double acc = (acc0 + acc1) + (acc2 + acc3);
-  for (size_t i = main; i < n; ++i) acc += a[i] * b[i];
-  return acc;
+  TG_COUNT_KERNEL("dot");
+  return ActiveBackend().dot(a, b, n);
 }
 
 double DotScalarRef(const double* a, const double* b, size_t n) {
@@ -108,17 +117,8 @@ double DotScalarRef(const double* a, const double* b, size_t n) {
 }
 
 double Sum(const double* a, size_t n) {
-  const size_t main = n & ~static_cast<size_t>(3);
-  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
-  for (size_t i = 0; i < main; i += 4) {
-    acc0 += a[i];
-    acc1 += a[i + 1];
-    acc2 += a[i + 2];
-    acc3 += a[i + 3];
-  }
-  double acc = (acc0 + acc1) + (acc2 + acc3);
-  for (size_t i = main; i < n; ++i) acc += a[i];
-  return acc;
+  TG_COUNT_KERNEL("sum");
+  return ActiveBackend().sum(a, n);
 }
 
 double SumScalarRef(const double* a, size_t n) {
@@ -132,59 +132,17 @@ double SumScalarRef(const double* a, size_t n) {
 
 // --- Elementwise -------------------------------------------------------------
 
-void Add(double* y, const double* x, size_t n) {
-  const size_t main = n & ~static_cast<size_t>(3);
-  for (size_t i = 0; i < main; i += 4) {
-    y[i] += x[i];
-    y[i + 1] += x[i + 1];
-    y[i + 2] += x[i + 2];
-    y[i + 3] += x[i + 3];
-  }
-  for (size_t i = main; i < n; ++i) y[i] += x[i];
-}
+void Add(double* y, const double* x, size_t n) { ActiveBackend().add(y, x, n); }
 
-void Sub(double* y, const double* x, size_t n) {
-  const size_t main = n & ~static_cast<size_t>(3);
-  for (size_t i = 0; i < main; i += 4) {
-    y[i] -= x[i];
-    y[i + 1] -= x[i + 1];
-    y[i + 2] -= x[i + 2];
-    y[i + 3] -= x[i + 3];
-  }
-  for (size_t i = main; i < n; ++i) y[i] -= x[i];
-}
+void Sub(double* y, const double* x, size_t n) { ActiveBackend().sub(y, x, n); }
 
-void Mul(double* y, const double* x, size_t n) {
-  const size_t main = n & ~static_cast<size_t>(3);
-  for (size_t i = 0; i < main; i += 4) {
-    y[i] *= x[i];
-    y[i + 1] *= x[i + 1];
-    y[i + 2] *= x[i + 2];
-    y[i + 3] *= x[i + 3];
-  }
-  for (size_t i = main; i < n; ++i) y[i] *= x[i];
-}
+void Mul(double* y, const double* x, size_t n) { ActiveBackend().mul(y, x, n); }
 
-void Scale(double* y, double s, size_t n) {
-  const size_t main = n & ~static_cast<size_t>(3);
-  for (size_t i = 0; i < main; i += 4) {
-    y[i] *= s;
-    y[i + 1] *= s;
-    y[i + 2] *= s;
-    y[i + 3] *= s;
-  }
-  for (size_t i = main; i < n; ++i) y[i] *= s;
-}
+void Scale(double* y, double s, size_t n) { ActiveBackend().scale(y, s, n); }
 
 void Axpy(double alpha, const double* x, double* y, size_t n) {
-  const size_t main = n & ~static_cast<size_t>(3);
-  for (size_t i = 0; i < main; i += 4) {
-    y[i] += alpha * x[i];
-    y[i + 1] += alpha * x[i + 1];
-    y[i + 2] += alpha * x[i + 2];
-    y[i + 3] += alpha * x[i + 3];
-  }
-  for (size_t i = main; i < n; ++i) y[i] += alpha * x[i];
+  TG_COUNT_KERNEL("axpy");
+  ActiveBackend().axpy(alpha, x, y, n);
 }
 
 void AxpyScalarRef(double alpha, const double* x, double* y, size_t n) {
@@ -193,14 +151,8 @@ void AxpyScalarRef(double alpha, const double* x, double* y, size_t n) {
 
 void ScaleAdd(double* y, double alpha, double beta, const double* x,
               size_t n) {
-  const size_t main = n & ~static_cast<size_t>(3);
-  for (size_t i = 0; i < main; i += 4) {
-    y[i] = alpha * y[i] + beta * x[i];
-    y[i + 1] = alpha * y[i + 1] + beta * x[i + 1];
-    y[i + 2] = alpha * y[i + 2] + beta * x[i + 2];
-    y[i + 3] = alpha * y[i + 3] + beta * x[i + 3];
-  }
-  for (size_t i = main; i < n; ++i) y[i] = alpha * y[i] + beta * x[i];
+  TG_COUNT_KERNEL("scale_add");
+  ActiveBackend().scale_add(y, alpha, beta, x, n);
 }
 
 void ScaleAddScalarRef(double* y, double alpha, double beta, const double* x,
@@ -210,28 +162,11 @@ void ScaleAddScalarRef(double* y, double alpha, double beta, const double* x,
 
 // --- Fused skip-gram pair update --------------------------------------------
 
-double FusedDotSigmoidUpdate(const double* __restrict w, double* __restrict c,
-                             double* __restrict center_grad, size_t n,
-                             double label, double lr) {
-  const double g = (label - TrainingSigmoid(Dot(w, c, n))) * lr;
-  const size_t main = n & ~static_cast<size_t>(3);
-  for (size_t i = 0; i < main; i += 4) {
-    const double c0 = c[i], c1 = c[i + 1], c2 = c[i + 2], c3 = c[i + 3];
-    center_grad[i] += g * c0;
-    center_grad[i + 1] += g * c1;
-    center_grad[i + 2] += g * c2;
-    center_grad[i + 3] += g * c3;
-    c[i] = c0 + g * w[i];
-    c[i + 1] = c1 + g * w[i + 1];
-    c[i + 2] = c2 + g * w[i + 2];
-    c[i + 3] = c3 + g * w[i + 3];
-  }
-  for (size_t i = main; i < n; ++i) {
-    const double ci = c[i];
-    center_grad[i] += g * ci;
-    c[i] = ci + g * w[i];
-  }
-  return g;
+double FusedDotSigmoidUpdate(const double* w, double* c, double* center_grad,
+                             size_t n, double label, double lr) {
+  TG_COUNT_KERNEL("fused_update");
+  return ActiveBackend().fused_dot_sigmoid_update(w, c, center_grad, n, label,
+                                                  lr);
 }
 
 double FusedDotSigmoidUpdateScalarRef(const double* w, double* c,
@@ -249,12 +184,7 @@ double FusedDotSigmoidUpdateScalarRef(const double* w, double* c,
 // --- Replica averaging -------------------------------------------------------
 
 void ReplicatedMean(double* y, size_t count, double inv, size_t n) {
-  for (size_t i = 0; i < n; ++i) {
-    const double x = y[i];
-    double acc = x;
-    for (size_t s = 1; s < count; ++s) acc += x;
-    y[i] = acc * inv;
-  }
+  ActiveBackend().replicated_mean(y, count, inv, n);
 }
 
 }  // namespace tg::kernels

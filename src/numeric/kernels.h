@@ -1,14 +1,21 @@
-// Vectorized math-kernel layer: the fixed-order dense inner loops shared by
-// the skip-gram trainer, the GNN/autograd score and gradient passes, and the
-// Matrix/linalg row operations.
+// Math-kernel layer: the dense inner loops shared by the skip-gram trainer,
+// the GNN/autograd score and gradient passes, and the Matrix/linalg row
+// operations. Each entry point dispatches through a runtime-selected
+// KernelBackend table (kernel_backend.h): `scalar` (the fixed-order unrolled
+// reference), `avx2`, `avx512`, `neon` -- resolved once per process from the
+// TG_ISA env knob ({auto,scalar,avx2,avx512,neon}; auto picks the widest
+// backend this binary + CPU supports).
 //
-// Determinism contract: every reduction kernel fixes its own floating-point
-// summation order (the "kernel order" below), so a result never depends on
-// the caller, the thread count, or the build's auto-vectorization choices.
-// For each kernel with a non-trivial order there is a *ScalarRef twin that
-// performs the identical arithmetic in straight-line scalar code; the two are
-// bit-identical by construction and tests/kernels_test.cc asserts it on
-// adversarial lengths (0, 1, dim +/- 1, unaligned tails).
+// Determinism contract: every backend is a pure function of its inputs, so
+// for any FIXED backend a result never depends on the caller or the thread
+// count. The `scalar` backend additionally fixes the floating-point
+// summation order (the "kernel order" below) and is bit-identical to the
+// *ScalarRef twins, which perform the identical arithmetic in straight-line
+// scalar code; tests/kernels_test.cc asserts that on adversarial lengths
+// (0, 1, dim +/- 1, unaligned tails). Vector backends reassociate reductions
+// and contract to FMA, staying within the ulp envelope documented in
+// docs/performance.md; Add/Sub/Mul/Scale and ReplicatedMean are bit-identical
+// across ALL backends (one IEEE operation per element / per step).
 //
 // Kernel order for reductions over n elements: four interleaved partial
 // accumulators acc[j] (j = i mod 4) over the largest multiple-of-4 prefix,

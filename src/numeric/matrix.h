@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "util/aligned.h"
 #include "util/check.h"
 
 namespace tg {
@@ -118,7 +119,9 @@ class Matrix {
  private:
   size_t rows_;
   size_t cols_;
-  std::vector<double> data_;
+  // Cache-line aligned so row 0 starts on a 64B boundary; rows whose dim is
+  // a multiple of 8 doubles then never straddle an extra line.
+  std::vector<double, AlignedAllocator<double, 64>> data_;
 };
 
 }  // namespace tg

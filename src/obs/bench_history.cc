@@ -181,9 +181,15 @@ CompareReport CompareBenchRuns(const BenchRun& baseline,
     delta.baseline_seconds = base_seconds;
     delta.latest_seconds = it->second;
     delta.ratio = base_seconds > 0.0 ? it->second / base_seconds : 0.0;
-    delta.skipped_below_floor = base_seconds < options.min_seconds;
-    delta.regressed = !delta.skipped_below_floor &&
-                      delta.ratio > options.max_time_ratio;
+    const auto override_it = options.stage_max_ratio.find(stage);
+    if (override_it != options.stage_max_ratio.end()) {
+      delta.skipped_below_floor = false;
+      delta.regressed = delta.ratio > override_it->second;
+    } else {
+      delta.skipped_below_floor = base_seconds < options.min_seconds;
+      delta.regressed = !delta.skipped_below_floor &&
+                        delta.ratio > options.max_time_ratio;
+    }
     if (delta.regressed) report.ok = false;
     report.stages.push_back(std::move(delta));
   }

@@ -67,6 +67,12 @@ struct CompareOptions {
   double min_seconds = 0.01;
   // Peak-RSS regression threshold (ratio of latest to baseline).
   double max_rss_ratio = 1.50;
+  // Per-stage overrides of max_time_ratio, keyed "component@threads". A
+  // value below 1.0 demands an improvement: the dispatch gate pins
+  // "skipgram_sharded@1" under 1/1.5 so the SIMD speedup cannot silently
+  // erode. Overridden stages ignore the min_seconds floor (pinning a stage
+  // is an explicit statement that its baseline is trustworthy).
+  std::map<std::string, double> stage_max_ratio;
 };
 
 struct StageDelta {

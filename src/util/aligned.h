@@ -1,0 +1,55 @@
+// Minimal over-aligned STL allocator. Matrix uses AlignedAllocator<double, 64>
+// so every row-major buffer starts on a cache-line (and full AVX-512 vector)
+// boundary: the vector kernel backends use unaligned loads either way, but
+// line-aligned rows mean a dim-8k row spans exactly dim/8 lines instead of
+// one extra straddled line per row.
+//
+// Allocation goes through the aligned global operator new/delete, which
+// obs/memory.cc interposes -- so over-aligned buffers stay visible to the
+// allocation tracker like every other allocation.
+#ifndef TG_UTIL_ALIGNED_H_
+#define TG_UTIL_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+
+namespace tg {
+
+template <typename T, size_t Alignment>
+class AlignedAllocator {
+  static_assert(Alignment >= alignof(T), "alignment below natural alignment");
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+
+ public:
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+}  // namespace tg
+
+#endif  // TG_UTIL_ALIGNED_H_

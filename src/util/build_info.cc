@@ -1,5 +1,6 @@
 #include "util/build_info.h"
 
+#include "numeric/kernel_backend.h"
 #include "util/json_util.h"
 #include "util/thread_pool.h"
 
@@ -47,7 +48,11 @@ std::string BuildInfoJson() {
   out += ",\"build_type\":" + JsonQuote(info.build_type);
   out += ",\"sanitizer\":" + JsonQuote(info.sanitizer);
   out += ",\"cxx_standard\":" + std::to_string(info.cxx_standard);
+  // Runtime facts, not build facts -- but bench_timings.json embeds exactly
+  // one build_info object, and both knobs shape every timing in the file.
   out += ",\"tg_threads\":" + std::to_string(ThreadCount());
+  out += ",\"numeric_backend\":" +
+         JsonQuote(kernels::ActiveBackendName());
   out += "}";
   return out;
 }

@@ -2,12 +2,15 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "embedding/skipgram.h"
 #include "graph/alias_table.h"
+#include "numeric/kernel_backend.h"
 #include "obs/metrics.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -32,16 +35,31 @@ std::vector<double> MixedMagnitude(size_t n, Rng* rng) {
   return v;
 }
 
-// Restores thread count and sigmoid mode even when an assertion fails.
+// Restores thread count, sigmoid mode, and kernel backend even when an
+// assertion fails. The bit-for-bit tests below assert kernel order, which
+// only the scalar backend guarantees, so every test starts pinned to it; the
+// backend-matrix tests re-force other backends themselves.
 class KernelsTest : public ::testing::Test {
  protected:
-  void SetUp() override { saved_mode_ = kernels::GetSigmoidMode(); }
+  void SetUp() override {
+    saved_mode_ = kernels::GetSigmoidMode();
+    saved_backend_ = kernels::ActiveBackendName();
+    ASSERT_TRUE(kernels::SetActiveBackend("scalar"));
+  }
   void TearDown() override {
     SetThreadCount(0);
     kernels::SetSigmoidMode(saved_mode_);
+    kernels::SetActiveBackend(saved_backend_);
   }
   kernels::SigmoidMode saved_mode_ = kernels::SigmoidMode::kTabulated;
+  std::string saved_backend_ = "scalar";
 };
+
+uint64_t BitsOf(double d) {
+  uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
 
 TEST_F(KernelsTest, DotMatchesScalarRefBitForBit) {
   Rng rng(7);
@@ -145,6 +163,233 @@ TEST_F(KernelsTest, ReplicatedMeanMatchesExplicitShardOrderSum) {
       double acc = base[i];
       for (size_t s = 1; s < count; ++s) acc += base[i];
       EXPECT_EQ(mean[i], acc * (1.0 / count)) << "count=" << count << " i=" << i;
+    }
+  }
+}
+
+// --- Backend dispatch --------------------------------------------------------
+
+TEST_F(KernelsTest, DispatchKnobsBehave) {
+  const std::vector<std::string> names = kernels::AvailableBackendNames();
+  ASSERT_FALSE(names.empty());
+  EXPECT_EQ(names.front(), "scalar");
+
+  // Forcing an unknown backend fails without changing the active table.
+  ASSERT_TRUE(kernels::SetActiveBackend("scalar"));
+  EXPECT_FALSE(kernels::SetActiveBackend("not-a-backend"));
+  EXPECT_STREQ(kernels::ActiveBackendName(), "scalar");
+
+  // Every advertised backend can be forced, reports itself, and "auto"
+  // resolves to the widest one (the back of the list).
+  for (const std::string& name : names) {
+    ASSERT_TRUE(kernels::SetActiveBackend(name)) << name;
+    EXPECT_EQ(kernels::ActiveBackendName(), name);
+  }
+  ASSERT_TRUE(kernels::SetActiveBackend("auto"));
+  EXPECT_EQ(kernels::ActiveBackendName(), names.back());
+
+  // Selecting a backend records it in the metrics registry.
+  EXPECT_GE(obs::MetricsRegistry::Instance()
+                .GetCounter("numeric.backend.scalar")
+                .value(),
+            1u);
+}
+
+// Bit-level anchors captured from the pre-dispatch (seed) kernel layer: the
+// scalar backend compiles the same fixed-order bodies under the same base
+// architecture flags, so TG_ISA=scalar must keep reproducing these exact
+// doubles on every host. A failure here means the exact-mode contract broke.
+TEST_F(KernelsTest, ScalarBackendMatchesSeedGoldenBits) {
+  Rng rng(20240601);
+  const size_t n = 129;
+  const std::vector<double> a = MixedMagnitude(n, &rng);
+  const std::vector<double> b = MixedMagnitude(n, &rng);
+  EXPECT_EQ(BitsOf(kernels::Dot(a.data(), b.data(), n)), 0x41d10a3000996dbdULL);
+  EXPECT_EQ(BitsOf(kernels::Sum(a.data(), n)), 0x41372f16629f7b9fULL);
+
+  std::vector<double> y = b;
+  kernels::Axpy(0.75, a.data(), y.data(), n);
+  EXPECT_EQ(BitsOf(kernels::Sum(y.data(), n)), 0x413843130b2a8f9cULL);
+  kernels::ScaleAdd(y.data(), 0.9, -0.1, a.data(), n);
+  EXPECT_EQ(BitsOf(kernels::Sum(y.data(), n)), 0x413384754cfcc1afULL);
+
+  kernels::SetSigmoidMode(kernels::SigmoidMode::kTabulated);
+  Rng rng2(77);
+  std::vector<double> w(n), c(n), grad(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    w[i] = rng2.NextUniform(-1.0, 1.0);
+    c[i] = rng2.NextUniform(-1.0, 1.0);
+  }
+  const double g =
+      kernels::FusedDotSigmoidUpdate(w.data(), c.data(), grad.data(), n, 1.0,
+                                     0.025);
+  EXPECT_EQ(BitsOf(g), 0x3f75d0f73511a4aaULL);
+  EXPECT_EQ(BitsOf(kernels::Sum(c.data(), n)), 0xc025737e517762c0ULL);
+  EXPECT_EQ(BitsOf(kernels::Sum(grad.data(), n)), 0xbfad5b5d17021b38ULL);
+}
+
+constexpr double kEps = 2.220446049250313e-16;  // 2^-52
+
+// The documented reduction envelope (docs/performance.md): a vector backend
+// may reassociate a length-n reduction and contract to FMA, but must stay
+// within 4 * (n + 16) * eps relative to the sum of absolute terms.
+double ReductionTolerance(double abs_sum, size_t n) {
+  return 4.0 * static_cast<double>(n + 16) * kEps * abs_sum;
+}
+
+TEST_F(KernelsTest, EveryBackendDotAndSumWithinEnvelopeOfScalarRef) {
+  for (const std::string& backend : kernels::AvailableBackendNames()) {
+    ASSERT_TRUE(kernels::SetActiveBackend(backend));
+    Rng rng(7);
+    for (size_t n : kLengths) {
+      // One extra leading element so data() + 1 exercises unaligned loads.
+      const std::vector<double> a = MixedMagnitude(n + 1, &rng);
+      const std::vector<double> b = MixedMagnitude(n + 1, &rng);
+      for (size_t off : {size_t{0}, size_t{1}}) {
+        double abs_dot = 0.0, abs_sum = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          abs_dot += std::abs(a[off + i] * b[off + i]);
+          abs_sum += std::abs(a[off + i]);
+        }
+        EXPECT_NEAR(kernels::Dot(a.data() + off, b.data() + off, n),
+                    kernels::DotScalarRef(a.data() + off, b.data() + off, n),
+                    ReductionTolerance(abs_dot, n))
+            << backend << " n=" << n << " off=" << off;
+        EXPECT_NEAR(kernels::Sum(a.data() + off, n),
+                    kernels::SumScalarRef(a.data() + off, n),
+                    ReductionTolerance(abs_sum, n))
+            << backend << " n=" << n << " off=" << off;
+      }
+    }
+  }
+}
+
+TEST_F(KernelsTest, EveryBackendAxpyScaleAddWithinEnvelopeOfScalarRef) {
+  for (const std::string& backend : kernels::AvailableBackendNames()) {
+    ASSERT_TRUE(kernels::SetActiveBackend(backend));
+    Rng rng(17);
+    for (size_t n : kLengths) {
+      const std::vector<double> x = MixedMagnitude(n, &rng);
+      const std::vector<double> base = MixedMagnitude(n, &rng);
+      const double alpha = rng.NextUniform(-2.0, 2.0);
+      const double beta = rng.NextUniform(-2.0, 2.0);
+
+      std::vector<double> y1 = base, y2 = base;
+      kernels::Axpy(alpha, x.data(), y1.data(), n);
+      kernels::AxpyScalarRef(alpha, x.data(), y2.data(), n);
+      for (size_t i = 0; i < n; ++i) {
+        // FMA contraction changes each element by at most one rounding of
+        // the product term.
+        const double tol =
+            4.0 * kEps * (std::abs(alpha * x[i]) + std::abs(base[i]));
+        EXPECT_NEAR(y1[i], y2[i], tol) << backend << " n=" << n << " i=" << i;
+      }
+
+      y1 = base;
+      y2 = base;
+      kernels::ScaleAdd(y1.data(), alpha, beta, x.data(), n);
+      kernels::ScaleAddScalarRef(y2.data(), alpha, beta, x.data(), n);
+      for (size_t i = 0; i < n; ++i) {
+        const double tol = 4.0 * kEps * (std::abs(alpha * base[i]) +
+                                         std::abs(beta * x[i]));
+        EXPECT_NEAR(y1[i], y2[i], tol) << backend << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_F(KernelsTest, EveryBackendElementwiseBitIdentical) {
+  // Add/Sub/Mul/Scale perform one IEEE operation per element in every
+  // backend, so unlike the reductions they carry no envelope: exact equality
+  // across the whole matrix of backends and lengths.
+  for (const std::string& backend : kernels::AvailableBackendNames()) {
+    ASSERT_TRUE(kernels::SetActiveBackend(backend));
+    Rng rng(31);
+    for (size_t n : kLengths) {
+      const std::vector<double> x = MixedMagnitude(n + 1, &rng);
+      const std::vector<double> base = MixedMagnitude(n + 1, &rng);
+      const double s = rng.NextUniform(-2.0, 2.0);
+      for (size_t off : {size_t{0}, size_t{1}}) {
+        std::vector<double> got = base;
+        std::vector<double> want = base;
+        kernels::Add(got.data() + off, x.data() + off, n);
+        for (size_t i = 0; i < n; ++i) want[off + i] += x[off + i];
+        EXPECT_EQ(got, want) << backend << " Add n=" << n << " off=" << off;
+
+        got = base;
+        want = base;
+        kernels::Sub(got.data() + off, x.data() + off, n);
+        for (size_t i = 0; i < n; ++i) want[off + i] -= x[off + i];
+        EXPECT_EQ(got, want) << backend << " Sub n=" << n << " off=" << off;
+
+        got = base;
+        want = base;
+        kernels::Mul(got.data() + off, x.data() + off, n);
+        for (size_t i = 0; i < n; ++i) want[off + i] *= x[off + i];
+        EXPECT_EQ(got, want) << backend << " Mul n=" << n << " off=" << off;
+
+        got = base;
+        want = base;
+        kernels::Scale(got.data() + off, s, n);
+        for (size_t i = 0; i < n; ++i) want[off + i] *= s;
+        EXPECT_EQ(got, want) << backend << " Scale n=" << n << " off=" << off;
+      }
+    }
+  }
+}
+
+TEST_F(KernelsTest, EveryBackendReplicatedMeanBitIdentical) {
+  // ReplicatedMean must preserve the per-element accumulate-count-times
+  // sequence in every backend (the dirty-row merge equivalence depends on
+  // it), which also makes it exactly equal across backends.
+  for (const std::string& backend : kernels::AvailableBackendNames()) {
+    ASSERT_TRUE(kernels::SetActiveBackend(backend));
+    Rng rng(29);
+    for (size_t count : {size_t{1}, size_t{3}, size_t{8}}) {
+      for (size_t n : {size_t{5}, size_t{64}, size_t{129}}) {
+        const std::vector<double> base = MixedMagnitude(n, &rng);
+        std::vector<double> mean = base;
+        kernels::ReplicatedMean(mean.data(), count, 1.0 / count, n);
+        for (size_t i = 0; i < n; ++i) {
+          double acc = base[i];
+          for (size_t s = 1; s < count; ++s) acc += base[i];
+          EXPECT_EQ(mean[i], acc * (1.0 / count))
+              << backend << " count=" << count << " n=" << n << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(KernelsTest, EveryBackendFusedUpdateWithinEnvelopeOfScalarRef) {
+  // Exact sigmoid: the tabulated form is a step function, so the envelope
+  // difference in the dot could flip a table bucket and amplify into an O(1)
+  // difference in g -- a mode question, not a backend bug. Moderate
+  // magnitudes keep the dot's absolute error tiny.
+  kernels::SetSigmoidMode(kernels::SigmoidMode::kExact);
+  for (const std::string& backend : kernels::AvailableBackendNames()) {
+    ASSERT_TRUE(kernels::SetActiveBackend(backend));
+    Rng rng(23);
+    for (size_t n : kLengths) {
+      std::vector<double> w(n), c_base(n), g_base(n);
+      for (size_t i = 0; i < n; ++i) {
+        w[i] = rng.NextUniform(-1.0, 1.0);
+        c_base[i] = rng.NextUniform(-1.0, 1.0);
+        g_base[i] = rng.NextUniform(-1.0, 1.0);
+      }
+      const double label = rng.NextBernoulli(0.5) ? 1.0 : 0.0;
+      const double lr = rng.NextUniform(0.001, 0.05);
+      std::vector<double> c1 = c_base, c2 = c_base;
+      std::vector<double> g1 = g_base, g2 = g_base;
+      const double r1 = kernels::FusedDotSigmoidUpdate(w.data(), c1.data(),
+                                                       g1.data(), n, label, lr);
+      const double r2 = kernels::FusedDotSigmoidUpdateScalarRef(
+          w.data(), c2.data(), g2.data(), n, label, lr);
+      EXPECT_NEAR(r1, r2, 1e-10) << backend << " n=" << n;
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(c1[i], c2[i], 1e-10) << backend << " n=" << n << " i=" << i;
+        EXPECT_NEAR(g1[i], g2[i], 1e-10) << backend << " n=" << n << " i=" << i;
+      }
     }
   }
 }
@@ -318,6 +563,43 @@ TEST_F(KernelsTest, ShardedTrainingBitIdenticalAcrossThreadCounts) {
             << "threads=" << threads << " " << r << "," << c;
       }
     }
+  }
+}
+
+// Any FIXED backend must give a pure-function pipeline: repeated runs and
+// different thread counts produce bit-identical embeddings (the backends only
+// differ from each other, never from themselves).
+TEST_F(KernelsTest, ShardedTrainingDeterministicUnderEveryForcedBackend) {
+  const auto corpus = MakeCorpus(24, 10, 30, 123);
+  auto train = [&] {
+    SkipGramConfig config;
+    config.dim = 16;
+    config.epochs = 2;
+    config.num_shards = 4;
+    SkipGramTrainer trainer(24, config);
+    Rng rng(9);
+    trainer.Train(corpus, &rng);
+    return trainer.embeddings();
+  };
+
+  for (const std::string& backend : kernels::AvailableBackendNames()) {
+    ASSERT_TRUE(kernels::SetActiveBackend(backend));
+    SetThreadCount(1);
+    const Matrix first = train();
+    const Matrix repeat = train();
+    SetThreadCount(4);
+    const Matrix threaded = train();
+    ASSERT_EQ(first.rows(), repeat.rows());
+    ASSERT_EQ(first.rows(), threaded.rows());
+    for (size_t r = 0; r < first.rows(); ++r) {
+      for (size_t c = 0; c < first.cols(); ++c) {
+        EXPECT_EQ(first(r, c), repeat(r, c))
+            << backend << " rerun " << r << "," << c;
+        EXPECT_EQ(first(r, c), threaded(r, c))
+            << backend << " threads=4 " << r << "," << c;
+      }
+    }
+    SetThreadCount(0);
   }
 }
 

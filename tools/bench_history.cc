@@ -20,6 +20,10 @@
 //                           before comparing -- a self-test hook letting
 //                           CI prove the gate actually fails (run_checks.sh
 //                           injects 2.0 and expects a non-zero exit)
+//   --stage-max-ratio LIST  per-stage max-time-ratio overrides, e.g.
+//                           "skipgram_sharded@1=0.70,gbdt_fit@1=1.2"
+//                           (comma-separated stage=ratio pairs; overridden
+//                           stages skip the min-seconds floor)
 #include <cstdio>
 #include <cstring>
 #include <ctime>
@@ -45,6 +49,7 @@ int Usage() {
       "  compare --history FILE [--baseline N] [--max-time-ratio R]\n"
       "          [--max-rss-ratio R] [--min-seconds S]"
       " [--inject-time-ratio R]\n"
+      "          [--stage-max-ratio stage=R[,stage=R...]]\n"
       "  show    --history FILE\n");
   return 2;
 }
@@ -171,6 +176,20 @@ int RunCompare(const Args& args) {
   options.max_time_ratio = std::stod(args.Get("max-time-ratio", "1.30"));
   options.max_rss_ratio = std::stod(args.Get("max-rss-ratio", "1.50"));
   options.min_seconds = std::stod(args.Get("min-seconds", "0.01"));
+  const std::string stage_overrides = args.Get("stage-max-ratio", "");
+  if (!stage_overrides.empty()) {
+    for (const std::string& pair : Split(stage_overrides, ',')) {
+      const std::vector<std::string> kv = Split(pair, '=');
+      double ratio = 0.0;
+      if (kv.size() != 2 || kv[0].empty() || !ParseDouble(kv[1], &ratio)) {
+        std::fprintf(stderr,
+                     "--stage-max-ratio: bad entry '%s' (want stage=R)\n",
+                     pair.c_str());
+        return 2;
+      }
+      options.stage_max_ratio[kv[0]] = ratio;
+    }
+  }
 
   obs::BenchRun latest = runs[latest_index];
   const double inject = std::stod(args.Get("inject-time-ratio", "1.0"));

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Pre-PR gate: Release + ThreadSanitizer builds, both test suites (the TSan
 # pass covers the concurrent allocation tracking in obs_memory_test), an
-# UndefinedBehaviorSanitizer pass over the kernel layer, a kernels
-# micro-bench smoke run, a bench-history append + regression compare (with
-# an injected-regression self-test of the gate), and an end-to-end smoke
+# UndefinedBehaviorSanitizer pass over the kernel layer, a kernel-backend
+# dispatch gate (kernels_test under TG_ISA=scalar and under the widest
+# host-supported backend, plus a forced-unavailable hard-error check), a
+# kernels micro-bench smoke run, a bench-history append + regression compare
+# (with an injected-regression self-test of the gate and a pinned
+# skipgram_sharded stage ratio), and an end-to-end smoke
 # check of the tg_cli observability path
 # (--trace/--metrics/--mem/--rss-sample), including validity of the exported
 # Chrome-trace JSON.
@@ -58,6 +61,31 @@ else
   ./build-ubsan/tests/kernels_test
 fi
 
+section "kernel backend dispatch gate"
+# The kernel suite must pass with dispatch forced to the exact-order scalar
+# backend AND under the widest backend this binary+CPU supports (what
+# TG_ISA=auto resolves to). `tg_cli backend` prints both facts; forcing a
+# backend that does not exist must be a hard error, never a silent
+# fallback (see docs/performance.md).
+cmake --build build-release -j "$JOBS" --target kernels_test tg_cli
+./build-release/tools/tg_cli backend
+BEST_BACKEND="$(./build-release/tools/tg_cli backend \
+    | sed -n 's/^active: //p')"
+TG_ISA=scalar ./build-release/tests/kernels_test \
+    --gtest_brief=1
+if [ "$BEST_BACKEND" != "scalar" ]; then
+  TG_ISA="$BEST_BACKEND" ./build-release/tests/kernels_test \
+      --gtest_brief=1
+else
+  echo "(no vector backend available on this host; scalar pass already ran)"
+fi
+if TG_ISA=definitely-not-a-backend ./build-release/tools/tg_cli backend \
+    >/dev/null 2>&1; then
+  echo "TG_ISA with a bogus backend must fail hard, not fall back" >&2
+  exit 1
+fi
+echo "dispatch gate passed (best backend: $BEST_BACKEND)"
+
 section "kernels micro-bench smoke"
 # TG_BENCH_SPEEDUPS=0 skips the multi-second parallel-speedup section and
 # the timings JSON; the kernel/sigmoid benches themselves take well under a
@@ -80,15 +108,25 @@ else
   # and passes trivially.
   cmake --build build-release -j "$JOBS" --target bench_history
   ./build-release/bench/bench_micro_components --benchmark_filter='^$'
+  # The timings JSON must record which kernel backend produced the numbers;
+  # a timing without its backend stamp is not reproducible evidence.
+  grep -q '"numeric_backend"' bench_csv/bench_timings.json || {
+    echo "bench_timings.json must record numeric_backend via build_info" >&2
+    exit 1
+  }
   ./build-release/tools/bench_history append \
       --timings bench_csv/bench_timings.json \
       --history bench_csv/BENCH_history.json
   # Looser thresholds than the library defaults: sub-100ms stages on shared
   # hardware jitter 30-40% run to run, so the pre-PR gate only trips on
-  # >=1.6x slowdowns of stages that take at least 50ms.
+  # >=1.6x slowdowns of stages that take at least 50ms. skipgram_sharded is
+  # pinned tighter than the generic threshold: it is the stage the SIMD
+  # dispatch layer exists to accelerate, and a quiet drift back toward the
+  # scalar baseline must trip the gate before a human would notice it.
   ./build-release/tools/bench_history compare \
       --history bench_csv/BENCH_history.json \
-      --max-time-ratio 1.60 --min-seconds 0.05
+      --max-time-ratio 1.60 --min-seconds 0.05 \
+      --stage-max-ratio "skipgram_sharded@1=1.25"
   # Gate self-test: a synthetic 2x stage-time regression must make the
   # compare exit non-zero, otherwise the gate is decorative.
   if ./build-release/tools/bench_history compare \

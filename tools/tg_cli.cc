@@ -9,6 +9,8 @@
 //   graph-stats [--modality M]      Table II-style graph statistics
 //   export-graph --out FILE         write the constructed graph as TSV
 //   export-history --out FILE       write the training history as CSV
+//   backend                         print active + available kernel backends
+//                                   (honors TG_ISA; see docs/performance.md)
 //
 // Common options:
 //   --modality image|text           (default image)
@@ -44,6 +46,7 @@
 #include "core/recommender.h"
 #include "graph/graph_stats.h"
 #include "graph/serialization.h"
+#include "numeric/kernel_backend.h"
 #include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/resource_sampler.h"
@@ -77,7 +80,7 @@ struct CliArgs {
 int Usage() {
   std::fprintf(stderr,
                "usage: tg_cli <catalog|rank|sweep|graph-stats|export-graph|"
-               "export-history> [--option value ...]\n"
+               "export-history|backend> [--option value ...]\n"
                "  rank requires --target <dataset name | evaluation index>\n"
                "  sweep evaluates every target; --checkpoint FILE resumes an\n"
                "    interrupted sweep, --no-degrade disables the metadata-only\n"
@@ -438,8 +441,25 @@ int RunExportHistory(const CliArgs& args) {
   return 0;
 }
 
+// Prints the resolved kernel backend and everything this binary+CPU could
+// run, one fact per line so shell gates can grep it. Resolution happens on
+// the ActiveBackendName() call, so TG_ISA errors (forcing an unavailable
+// backend) surface here exactly as they would in a real run.
+int RunBackend(const CliArgs& args) {
+  (void)args;
+  std::printf("active: %s\n", kernels::ActiveBackendName());
+  std::string joined;
+  for (const std::string& name : kernels::AvailableBackendNames()) {
+    if (!joined.empty()) joined += " ";
+    joined += name;
+  }
+  std::printf("available: %s\n", joined.c_str());
+  return 0;
+}
+
 int Dispatch(const CliArgs& args) {
   if (args.command == "catalog") return RunCatalog(args);
+  if (args.command == "backend") return RunBackend(args);
   if (args.command == "rank") return RunRank(args);
   if (args.command == "sweep") return RunSweep(args);
   if (args.command == "graph-stats") return RunGraphStats(args);
