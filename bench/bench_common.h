@@ -15,6 +15,7 @@
 #include "core/pipeline.h"
 #include "core/recommender.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/resource_sampler.h"
 #include "obs/trace.h"  // obs::WallTimer: the bench timing source
 #include "util/atomic_file.h"
@@ -180,7 +181,14 @@ inline void WriteTimingsJson(
                   i + 1 < records.size() ? "," : "");
     json += "    {\"component\": " + JsonQuote(r.component) + buf;
   }
-  json += "  ],\n  \"metrics\": " +
+  json += "  ],\n";
+  // Hardware-counter provenance + per-stage totals: the status object says
+  // whether the counters array means anything ("disabled"/"unavailable"
+  // runs stamp why instead of emitting silently-zero numbers); the array
+  // feeds the bench_history counter-ratio gate.
+  json += "  \"perf_counters\": " + obs::PerfCountersStatusJson() + ",\n";
+  json += "  \"counters\": " + obs::StagePerfCountersJson() + ",\n";
+  json += "  \"metrics\": " +
           obs::MetricsRegistry::Instance().ToJson() + "\n}\n";
   Status written = WriteFileAtomic(path, json);
   if (!written.ok()) {

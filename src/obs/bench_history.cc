@@ -56,6 +56,45 @@ Status ReadTimingsArray(const JsonValue* timings, BenchRun* run) {
   return Status::OK();
 }
 
+// Tolerant by design: "counters" is optional (runs appended before the
+// counter schema, or runs where perf counters were off/unavailable), and
+// malformed or partial entries are skipped rather than failing the parse --
+// counter data is advisory telemetry, not part of the core schema contract.
+void ReadCountersArray(const JsonValue* counters, BenchRun* run) {
+  if (counters == nullptr || !counters->is_array()) return;
+  for (size_t i = 0; i < counters->size(); ++i) {
+    const JsonValue& entry = counters->at(i);
+    const JsonValue* stage = entry.Find("stage");
+    if (stage == nullptr || !stage->is_string()) continue;
+    StagePerfTotals totals;
+    totals.cycles = AsU64(entry.Find("cycles"));
+    totals.instructions = AsU64(entry.Find("instructions"));
+    totals.cache_references = AsU64(entry.Find("cache_references"));
+    totals.cache_misses = AsU64(entry.Find("cache_misses"));
+    totals.branch_misses = AsU64(entry.Find("branch_misses"));
+    totals.spans = AsU64(entry.Find("spans"));
+    run->stage_counters[stage->AsString()] = totals;
+  }
+}
+
+std::string CountersArrayJson(const BenchRun& run) {
+  std::string out = "[";
+  bool first = true;
+  for (const auto& [stage, t] : run.stage_counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"stage\":" + JsonQuote(stage);
+    out += ",\"cycles\":" + std::to_string(t.cycles);
+    out += ",\"instructions\":" + std::to_string(t.instructions);
+    out += ",\"cache_references\":" + std::to_string(t.cache_references);
+    out += ",\"cache_misses\":" + std::to_string(t.cache_misses);
+    out += ",\"branch_misses\":" + std::to_string(t.branch_misses);
+    out += ",\"spans\":" + std::to_string(t.spans) + "}";
+  }
+  out += "]";
+  return out;
+}
+
 std::string BuildInfoObjectJson(const BenchRun& run) {
   std::string out = "{";
   out += "\"git_sha\":" + JsonQuote(run.git_sha);
@@ -82,6 +121,7 @@ Result<BenchRun> BenchRunFromTimingsJson(const std::string& timings_json,
   run.timestamp = timestamp;
   ReadBuildInfo(doc.Find("build_info"), &run);
   TG_RETURN_IF_ERROR(ReadTimingsArray(doc.Find("timings"), &run));
+  ReadCountersArray(doc.Find("counters"), &run);
   if (const JsonValue* resources = doc.Find("resources")) {
     run.peak_rss_bytes = AsU64(resources->Find("peak_rss_bytes"));
   }
@@ -112,6 +152,7 @@ Result<std::vector<BenchRun>> ParseHistoryJson(const std::string& json) {
     ReadBuildInfo(entry.Find("build_info"), &run);
     run.peak_rss_bytes = AsU64(entry.Find("peak_rss_bytes"));
     TG_RETURN_IF_ERROR(ReadTimingsArray(entry.Find("timings"), &run));
+    ReadCountersArray(entry.Find("counters"), &run);
     out.push_back(std::move(run));
   }
   return out;
@@ -142,7 +183,13 @@ std::string HistoryToJson(const std::vector<BenchRun>& runs) {
       out += ",\"threads\":" + threads;
       out += ",\"wall_seconds\":" + JsonNumber(seconds, 9) + "}";
     }
-    out += "]}";
+    out += "]";
+    // Optional: omitted entirely for counter-less runs so schema-1 history
+    // files round-trip unchanged.
+    if (!run.stage_counters.empty()) {
+      out += ",\"counters\":" + CountersArrayJson(run);
+    }
+    out += "}";
   }
   out += "]}";
   return out;
@@ -200,6 +247,54 @@ CompareReport CompareBenchRuns(const BenchRun& baseline,
     }
   }
 
+  const bool counter_gates_requested =
+      options.min_ipc_ratio > 0.0 || options.max_cache_miss_ratio > 0.0;
+  if (baseline.stage_counters.empty() || latest.stage_counters.empty()) {
+    // Older-schema history entries (or counters-unavailable environments)
+    // have no counter fields; the gates skip with a note instead of
+    // erroring so a new binary can still compare against old baselines.
+    if (counter_gates_requested) {
+      report.notes.push_back(
+          std::string("hardware counters missing in ") +
+          (baseline.stage_counters.empty() ? "baseline" : "latest") +
+          " run (older schema or counters unavailable); counter gates "
+          "skipped");
+    }
+  } else {
+    for (const auto& [stage, base_counters] : baseline.stage_counters) {
+      const auto it = latest.stage_counters.find(stage);
+      if (it == latest.stage_counters.end()) continue;
+      const StagePerfTotals& latest_counters = it->second;
+      CounterDelta delta;
+      delta.stage = stage;
+      delta.baseline_ipc = base_counters.Ipc();
+      delta.latest_ipc = latest_counters.Ipc();
+      delta.ipc_ratio = delta.baseline_ipc > 0.0
+                            ? delta.latest_ipc / delta.baseline_ipc
+                            : 0.0;
+      delta.baseline_miss_rate = base_counters.CacheMissRate();
+      delta.latest_miss_rate = latest_counters.CacheMissRate();
+      delta.miss_ratio = delta.baseline_miss_rate > 0.0
+                             ? delta.latest_miss_rate /
+                                   delta.baseline_miss_rate
+                             : 0.0;
+      delta.skipped_below_floor =
+          base_counters.cycles < options.min_counter_cycles;
+      if (!delta.skipped_below_floor) {
+        const bool ipc_regressed = options.min_ipc_ratio > 0.0 &&
+                                   delta.baseline_ipc > 0.0 &&
+                                   delta.ipc_ratio < options.min_ipc_ratio;
+        const bool miss_regressed =
+            options.max_cache_miss_ratio > 0.0 &&
+            delta.baseline_miss_rate > 0.0 &&
+            delta.miss_ratio > options.max_cache_miss_ratio;
+        delta.regressed = ipc_regressed || miss_regressed;
+      }
+      if (delta.regressed) report.ok = false;
+      report.counters.push_back(std::move(delta));
+    }
+  }
+
   if (baseline.peak_rss_bytes > 0 && latest.peak_rss_bytes > 0) {
     report.rss_ratio = static_cast<double>(latest.peak_rss_bytes) /
                        static_cast<double>(baseline.peak_rss_bytes);
@@ -224,6 +319,23 @@ std::string CompareReport::Render() const {
                                               : "ok"});
   }
   std::string out = table.Render();
+  if (!counters.empty()) {
+    TablePrinter counter_table({"stage", "base IPC", "latest IPC",
+                                "IPC ratio", "base miss%", "latest miss%",
+                                "verdict"});
+    for (const CounterDelta& delta : counters) {
+      counter_table.AddRow(
+          {delta.stage, FormatDouble(delta.baseline_ipc, 2),
+           FormatDouble(delta.latest_ipc, 2),
+           FormatDouble(delta.ipc_ratio, 3),
+           FormatDouble(delta.baseline_miss_rate * 100.0, 2),
+           FormatDouble(delta.latest_miss_rate * 100.0, 2),
+           delta.regressed             ? "REGRESSED"
+           : delta.skipped_below_floor ? "below floor"
+                                       : "ok"});
+    }
+    out += counter_table.Render();
+  }
   if (rss_ratio > 0.0) {
     out += "peak RSS ratio " + FormatDouble(rss_ratio, 3) +
            (rss_regressed ? "  REGRESSED\n" : "  ok\n");

@@ -16,6 +16,11 @@
 //         "peak_rss_bytes": N,
 //         "timings": [
 //           {"component": "...", "threads": N, "wall_seconds": S}, ...
+//         ],
+//         "counters": [        // optional (absent before PR 7, or when
+//           {"stage": "...",   //  hardware counters were off/unavailable)
+//            "cycles": N, "instructions": N, "cache_references": N,
+//            "cache_misses": N, "branch_misses": N, "spans": N}, ...
 //         ]
 //       }, ...
 //     ]
@@ -28,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/perf_counters.h"
 #include "util/status.h"
 
 namespace tg::obs {
@@ -44,6 +50,11 @@ struct BenchRun {
   uint64_t tg_threads = 0;
   uint64_t peak_rss_bytes = 0;
   std::map<std::string, double> stage_seconds;
+  // Hardware-counter totals keyed by plain stage (span) name -- no @threads
+  // suffix, since counter totals merge every thread configuration of a
+  // stage. Empty when the run predates the counter schema or counters were
+  // disabled/unavailable; every consumer must tolerate that.
+  std::map<std::string, StagePerfTotals> stage_counters;
 };
 
 // Parses a bench_csv/bench_timings.json document (the format
@@ -73,6 +84,16 @@ struct CompareOptions {
   // erode. Overridden stages ignore the min_seconds floor (pinning a stage
   // is an explicit statement that its baseline is trustworthy).
   std::map<std::string, double> stage_max_ratio;
+  // Hardware-counter gates (0 = disabled). A stage regresses when
+  // latest_ipc / baseline_ipc drops below min_ipc_ratio, or when
+  // latest_miss_rate / baseline_miss_rate exceeds max_cache_miss_ratio.
+  // Stages whose baseline saw fewer than min_counter_cycles cycles are
+  // skipped as noise. Runs missing counters entirely (appended before the
+  // counter schema, or counters unavailable in that environment) produce a
+  // note and skip the gates -- never an error.
+  double min_ipc_ratio = 0.0;
+  double max_cache_miss_ratio = 0.0;
+  uint64_t min_counter_cycles = 10000000;
 };
 
 struct StageDelta {
@@ -84,10 +105,23 @@ struct StageDelta {
   bool skipped_below_floor = false;
 };
 
+struct CounterDelta {
+  std::string stage;  // plain stage name (no @threads)
+  double baseline_ipc = 0.0;
+  double latest_ipc = 0.0;
+  double ipc_ratio = 0.0;        // latest / baseline (0 when baseline is 0)
+  double baseline_miss_rate = 0.0;
+  double latest_miss_rate = 0.0;
+  double miss_ratio = 0.0;       // latest / baseline (0 when baseline is 0)
+  bool regressed = false;
+  bool skipped_below_floor = false;  // baseline cycles under the noise floor
+};
+
 struct CompareReport {
   bool has_baseline = false;  // false: nothing to compare against, passes
   bool ok = true;             // false iff any stage or RSS regressed
   std::vector<StageDelta> stages;      // stages present in both runs
+  std::vector<CounterDelta> counters;  // stages with counters in both runs
   std::vector<std::string> only_in_baseline;
   std::vector<std::string> only_in_latest;
   double rss_ratio = 0.0;     // 0 when either run lacks a peak-RSS reading

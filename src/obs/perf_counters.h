@@ -1,0 +1,154 @@
+// Hardware performance counters: RAII perf_event_open counter groups
+// (cycles, instructions, cache-references, cache-misses, branch-misses)
+// scoped to spans, with per-stage aggregates feeding the metrics registry
+// (stage.<name>.ipc / stage.<name>.cache_miss_rate gauges) and the
+// bench_timings.json "counters" section consumed by the bench_history
+// counter-ratio gate.
+//
+// Cost model: every read site begins with one relaxed atomic load of the
+// enabled flag. When counters are disabled (the default) that load is the
+// entire cost -- no syscalls, no fd state -- matching the tracing / memory
+// / fault-injection substrates, so the hooks are compiled-in everywhere.
+//
+// Graceful degradation: the first enabled read on a thread opens that
+// thread's counter group. If perf_event_open is denied
+// (kernel.perf_event_paranoid, seccomp'd containers, missing PMU) or the
+// "perf_open" fault-injection site fires (TG_FAULT=perf_open=always), the
+// substrate latches a process-wide "unavailable" state with a reason
+// string; every subsequent read returns ok=false and nothing else changes.
+// bench_timings.json stamps the state via PerfCountersStatusJson() so a
+// run without counters is labeled, never silently zero.
+//
+// Determinism contract: counters are read-only telemetry on retired
+// instructions; enabling them never touches RNG or reorders work, so
+// pipeline outputs are bit-identical with counters on or off
+// (tests/obs_profiler_test.cc).
+//
+// Enabling: SetPerfCountersEnabled() at runtime, the TG_PERF_COUNTERS
+// environment variable at startup, or `tg_cli --perf-counters`.
+#ifndef TG_OBS_PERF_COUNTERS_H_
+#define TG_OBS_PERF_COUNTERS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace tg::obs {
+
+// Turns hardware-counter reads on or off process-wide. Enabling does not
+// open any fds by itself; each thread opens its group lazily on first read.
+void SetPerfCountersEnabled(bool enabled);
+bool PerfCountersEnabled();
+
+// One reading (or delta) of the counter group. `ok` is false when counters
+// are disabled or unavailable; all counts are then zero. Counts are scaled
+// for multiplexing (time_enabled / time_running) by the reader.
+struct PerfCounterValues {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t cache_references = 0;
+  uint64_t cache_misses = 0;
+  uint64_t branch_misses = 0;
+  bool ok = false;
+
+  PerfCounterValues operator-(const PerfCounterValues& other) const {
+    PerfCounterValues d;
+    d.cycles = cycles - other.cycles;
+    d.instructions = instructions - other.instructions;
+    d.cache_references = cache_references - other.cache_references;
+    d.cache_misses = cache_misses - other.cache_misses;
+    d.branch_misses = branch_misses - other.branch_misses;
+    d.ok = ok && other.ok;
+    return d;
+  }
+};
+
+// This thread's cumulative counter-group reading since its group was
+// opened. One relaxed load when disabled; one read() syscall when enabled.
+// The first enabled call on a thread opens its group (never from a signal
+// handler -- obs::Span and PerfCounterScope both construct off-signal).
+PerfCounterValues ThreadPerfCounters();
+
+// Availability probe: true once any thread successfully opened its group.
+// A false return after an enabled read means the process is degraded; the
+// reason (errno text, paranoid hint, or the injected-fault marker) is kept
+// for reports. Probing without any prior read attempts an open on the
+// calling thread.
+bool PerfCountersAvailable();
+std::string PerfCountersUnavailableReason();
+
+// "disabled" | "ok" | "unavailable" -- the one-word state for stamps.
+const char* PerfCountersStatusString();
+
+// {"status":"ok"} or {"status":"unavailable","reason":"..."} or
+// {"status":"disabled"} -- embedded in bench_timings.json so every timings
+// artifact records whether its counter fields mean anything.
+std::string PerfCountersStatusJson();
+
+// RAII counter scope: snapshots the thread's group at construction and
+// accumulates the delta into the per-stage aggregates at destruction.
+// obs::Span does this implicitly for every traced span; this class is for
+// bracketing non-span sections (benches, tests) and nests freely -- inner
+// scopes' counts are included in outer scopes' deltas, like wall time.
+class PerfCounterScope {
+ public:
+  explicit PerfCounterScope(const char* name);
+  ~PerfCounterScope();
+
+  PerfCounterScope(const PerfCounterScope&) = delete;
+  PerfCounterScope& operator=(const PerfCounterScope&) = delete;
+
+  // Counters consumed so far inside this scope (ok=false when degraded).
+  PerfCounterValues Delta() const;
+
+ private:
+  const char* name_;
+  PerfCounterValues start_;
+};
+
+// Running totals for one stage (span name), summed over every closed
+// span/scope of that name on every thread.
+struct StagePerfTotals {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t cache_references = 0;
+  uint64_t cache_misses = 0;
+  uint64_t branch_misses = 0;
+  uint64_t spans = 0;  // closes accumulated
+
+  double Ipc() const {
+    return cycles > 0
+               ? static_cast<double>(instructions) / static_cast<double>(cycles)
+               : 0.0;
+  }
+  double CacheMissRate() const {
+    return cache_references > 0 ? static_cast<double>(cache_misses) /
+                                      static_cast<double>(cache_references)
+                                : 0.0;
+  }
+};
+
+// Adds one span's delta to its stage totals and refreshes the
+// stage.<name>.ipc / stage.<name>.cache_miss_rate gauges. No-op for
+// deltas with ok=false. Called by obs::Span on close; public so custom
+// instrumentation can feed the same aggregates.
+void AccumulateStageCounters(const char* name, const PerfCounterValues& delta);
+
+// Copy of every stage's totals (stage name -> totals). Takes a lock; for
+// reports, not hot paths.
+std::map<std::string, StagePerfTotals> StagePerfSnapshot();
+
+// Clears the aggregates (tests/benches sectioning one process run).
+void ResetStagePerf();
+
+// JSON array for bench_timings.json: one object per stage with raw counts
+// plus derived ipc / cache_miss_rate. "[]" when nothing accumulated.
+std::string StagePerfCountersJson();
+
+// Aligned text table of the aggregates (stage, cycles, instructions, IPC,
+// cache-miss %, branch-miss rate); empty string when nothing accumulated.
+std::string StagePerfTable();
+
+}  // namespace tg::obs
+
+#endif  // TG_OBS_PERF_COUNTERS_H_

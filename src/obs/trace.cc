@@ -11,6 +11,8 @@
 
 #include "obs/memory.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
+#include "obs/profiler.h"
 #include "obs/resource_sampler.h"
 #include "util/atomic_file.h"
 #include "util/check.h"
@@ -21,6 +23,9 @@ namespace {
 
 constexpr uint32_t kTraceBit = 1u;
 constexpr uint32_t kMetricsBit = 2u;
+// Profiler bookkeeping only: spans maintain the thread-local id / open-span
+// chain (for SIGPROF attribution) without recording or histograms.
+constexpr uint32_t kProfileBit = 4u;
 
 bool EnvFlagSet(const char* name) {
   const char* value = std::getenv(name);
@@ -150,10 +155,19 @@ bool MetricsEnabled() {
   return (Mode().load(std::memory_order_relaxed) & kMetricsBit) != 0;
 }
 
+void SetProfilerSpansEnabled(bool enabled) {
+  if (enabled) {
+    Mode().fetch_or(kProfileBit, std::memory_order_relaxed);
+  } else {
+    Mode().fetch_and(~kProfileBit, std::memory_order_relaxed);
+  }
+}
+
 Span::Span(const char* name) : Span(name, std::string()) {}
 
 Span::Span(const char* name, std::string detail) {
-  if (Mode().load(std::memory_order_relaxed) == 0) return;  // the fast path
+  const uint32_t mode = Mode().load(std::memory_order_relaxed);
+  if (mode == 0) return;  // the fast path
   active_ = true;
   name_ = name;
   detail_ = std::move(detail);
@@ -161,7 +175,17 @@ Span::Span(const char* name, std::string detail) {
   prev_current_ = t_current_span;
   t_current_span = id_;
   prev_open_ = t_open_span;
+  // The SIGPROF handler walks the chain from t_open_span; the fence keeps
+  // the compiler from publishing the pointer before name_/prev_open_ are
+  // written (same-thread signal visibility needs only a compiler barrier).
+  std::atomic_signal_fence(std::memory_order_release);
   t_open_span = this;
+  if ((mode & kProfileBit) != 0) {
+    // Allocates this thread's sample ring on first use -- off-signal, so
+    // the handler itself never has to.
+    ProfilerEnsureThreadRegistered();
+  }
+  perf_start_ = ThreadPerfCounters();
   const AllocStats allocs = ThreadAllocStats();
   alloc_bytes_start_ = allocs.bytes;
   allocs_start_ = allocs.count;
@@ -177,8 +201,12 @@ Span::~Span() {
   const AllocStats allocs = ThreadAllocStats();
   const uint64_t alloc_bytes = allocs.bytes - alloc_bytes_start_;
   const uint64_t alloc_count = allocs.count - allocs_start_;
+  // ok=false (and zero) unless counters were enabled for the whole span.
+  const PerfCounterValues perf_delta = ThreadPerfCounters() - perf_start_;
   t_current_span = prev_current_;
+  std::atomic_signal_fence(std::memory_order_release);
   t_open_span = prev_open_;
+  if (perf_delta.ok) AccumulateStageCounters(name_, perf_delta);
   const uint32_t mode = Mode().load(std::memory_order_relaxed);
   if ((mode & kMetricsBit) != 0) {
     StageHistogram(name_).Observe(static_cast<double>(end_ns - start_ns_) *
@@ -197,11 +225,22 @@ Span::~Span() {
     record.end_ns = end_ns;
     record.alloc_bytes = alloc_bytes;
     record.allocs = alloc_count;
+    record.perf = perf_delta;
     LocalBuffer()->Append(std::move(record));
   }
 }
 
 uint64_t CurrentSpanId() { return t_current_span; }
+
+size_t OpenSpanNamesForSignal(const char** names, size_t max_names) {
+  std::atomic_signal_fence(std::memory_order_acquire);
+  size_t n = 0;
+  for (const Span* span = t_open_span; span != nullptr && n < max_names;
+       span = span->prev_open_) {
+    names[n++] = span->name_;
+  }
+  return n;
+}
 
 std::vector<std::string> CurrentSpanStack() {
   std::vector<std::string> names;
@@ -274,6 +313,10 @@ void ResetSpans() {
 
 std::string ChromeTraceJson() {
   const std::vector<SpanRecord> spans = SnapshotSpans();
+  // Profiler sample counts keyed by span id, stamped onto span args below;
+  // empty when the profiler never ran.
+  const std::map<uint64_t, uint64_t> profile_samples =
+      SpanIdProfileSampleCounts();
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   for (const auto& [tid, name] : ThreadNames()) {
@@ -301,6 +344,16 @@ std::string ChromeTraceJson() {
       out += ",\"alloc_bytes\":" + std::to_string(span.alloc_bytes);
       out += ",\"allocs\":" + std::to_string(span.allocs);
     }
+    const auto samples_it = profile_samples.find(span.id);
+    if (samples_it != profile_samples.end()) {
+      out += ",\"profile_samples\":" + std::to_string(samples_it->second);
+    }
+    if (span.perf.ok) {
+      out += ",\"cycles\":" + std::to_string(span.perf.cycles);
+      out += ",\"instructions\":" + std::to_string(span.perf.instructions);
+      out += ",\"cache_misses\":" + std::to_string(span.perf.cache_misses);
+      out += ",\"branch_misses\":" + std::to_string(span.perf.branch_misses);
+    }
     out += "}}";
   }
   // RSS timeline: "ph":"C" counter events from the resource sampler render
@@ -308,7 +361,15 @@ std::string ChromeTraceJson() {
   const std::string counters = ResourceCounterEventsJson();
   if (!counters.empty()) {
     if (!first) out += ",";
+    first = false;
     out += counters;
+  }
+  // Profiler sample track: cumulative samples on the same TraceNowNs clock,
+  // so the track lines up with the span rows it sampled.
+  const std::string samples_track = ProfilerCounterEventsJson();
+  if (!samples_track.empty()) {
+    if (!first) out += ",";
+    out += samples_track;
   }
   out += "]}";
   return out;

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/perf_counters.h"
 #include "util/status.h"
 
 namespace tg::obs {
@@ -36,6 +37,12 @@ bool TraceEnabled();
 // Metrics: span close feeds the "stage.<name>.seconds" histogram.
 void SetMetricsEnabled(bool enabled);
 bool MetricsEnabled();
+
+// Profiler bookkeeping: keeps spans maintaining the thread-local id /
+// open-span chain (without recording or histograms) when neither tracing
+// nor metrics is on, so SIGPROF samples can attribute to spans. Driven by
+// StartProfiler/StopProfiler (obs/profiler.h), not set directly.
+void SetProfilerSpansEnabled(bool enabled);
 
 // --- Clock ------------------------------------------------------------------
 
@@ -81,6 +88,10 @@ struct SpanRecord {
   // appear on the workers' pool_drain spans, not here.
   uint64_t alloc_bytes = 0;
   uint64_t allocs = 0;
+  // Hardware-counter delta over the span's lifetime on its thread (see
+  // obs/perf_counters.h); ok=false unless counters were enabled and
+  // available for the whole span.
+  PerfCounterValues perf;
   uint32_t tid = 0;  // dense per-thread index, see ThreadNames()
 };
 
@@ -100,6 +111,7 @@ class Span {
 
  private:
   friend std::vector<std::string> CurrentSpanStack();
+  friend size_t OpenSpanNamesForSignal(const char** names, size_t max_names);
 
   const char* name_ = "";
   std::string detail_;
@@ -108,6 +120,7 @@ class Span {
   uint64_t start_ns_ = 0;
   uint64_t alloc_bytes_start_ = 0;
   uint64_t allocs_start_ = 0;
+  PerfCounterValues perf_start_;
   bool active_ = false;
   // Link in the thread-local open-span chain behind CurrentSpanStack().
   Span* prev_open_ = nullptr;
@@ -118,6 +131,12 @@ class Span {
 // failure hook prints this so a crash report shows where in the pipeline
 // the invariant broke.
 std::vector<std::string> CurrentSpanStack();
+
+// Async-signal-safe variant for the SIGPROF handler: fills `names` with the
+// open spans' static-storage name pointers, innermost first, and returns
+// the count (capped at max_names). Reads only thread-local pointers; never
+// allocates or locks.
+size_t OpenSpanNamesForSignal(const char** names, size_t max_names);
 
 #define TG_TRACE_CONCAT_INNER(a, b) a##b
 #define TG_TRACE_CONCAT(a, b) TG_TRACE_CONCAT_INNER(a, b)

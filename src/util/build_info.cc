@@ -1,6 +1,7 @@
 #include "util/build_info.h"
 
 #include "numeric/kernel_backend.h"
+#include "obs/perf_counters.h"
 #include "util/json_util.h"
 #include "util/thread_pool.h"
 
@@ -53,6 +54,10 @@ std::string BuildInfoJson() {
   out += ",\"tg_threads\":" + std::to_string(ThreadCount());
   out += ",\"numeric_backend\":" +
          JsonQuote(kernels::ActiveBackendName());
+  // "disabled" | "ok" | "unavailable": whether the counter fields elsewhere
+  // in the artifact mean anything (see obs/perf_counters.h).
+  out += ",\"perf_counters\":" +
+         JsonQuote(obs::PerfCountersStatusString());
   out += "}";
   return out;
 }

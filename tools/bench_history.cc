@@ -24,6 +24,15 @@
 //                           "skipgram_sharded@1=0.70,gbdt_fit@1=1.2"
 //                           (comma-separated stage=ratio pairs; overridden
 //                           stages skip the min-seconds floor)
+//   --min-ipc-ratio R       hardware-counter gate: fail when a stage's
+//                           latest IPC drops below R x baseline IPC
+//                           (default 0 = disabled; runs without counter
+//                           fields skip the gate with a note)
+//   --max-cache-miss-ratio R  counterpart gate on cache-miss rate: fail
+//                           when latest miss rate exceeds R x baseline
+//                           (default 0 = disabled)
+//   --min-counter-cycles N  skip counter gates for stages whose baseline
+//                           saw fewer than N cycles (default 10000000)
 #include <cstdio>
 #include <cstring>
 #include <ctime>
@@ -50,6 +59,8 @@ int Usage() {
       "          [--max-rss-ratio R] [--min-seconds S]"
       " [--inject-time-ratio R]\n"
       "          [--stage-max-ratio stage=R[,stage=R...]]\n"
+      "          [--min-ipc-ratio R] [--max-cache-miss-ratio R]\n"
+      "          [--min-counter-cycles N]\n"
       "  show    --history FILE\n");
   return 2;
 }
@@ -176,6 +187,14 @@ int RunCompare(const Args& args) {
   options.max_time_ratio = std::stod(args.Get("max-time-ratio", "1.30"));
   options.max_rss_ratio = std::stod(args.Get("max-rss-ratio", "1.50"));
   options.min_seconds = std::stod(args.Get("min-seconds", "0.01"));
+  options.min_ipc_ratio = std::stod(args.Get("min-ipc-ratio", "0"));
+  options.max_cache_miss_ratio =
+      std::stod(args.Get("max-cache-miss-ratio", "0"));
+  if (!ParseUint64(args.Get("min-counter-cycles", "10000000"),
+                   &options.min_counter_cycles)) {
+    std::fprintf(stderr, "--min-counter-cycles: not a number\n");
+    return 2;
+  }
   const std::string stage_overrides = args.Get("stage-max-ratio", "");
   if (!stage_overrides.empty()) {
     for (const std::string& pair : Split(stage_overrides, ',')) {

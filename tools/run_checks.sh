@@ -5,11 +5,16 @@
 # dispatch gate (kernels_test under TG_ISA=scalar and under the widest
 # host-supported backend, plus a forced-unavailable hard-error check), a
 # kernels micro-bench smoke run, a bench-history append + regression compare
-# (with an injected-regression self-test of the gate and a pinned
-# skipgram_sharded stage ratio), and an end-to-end smoke
-# check of the tg_cli observability path
+# (with an injected-regression self-test of the gate, a pinned
+# skipgram_sharded stage ratio, and hardware-counter ratio gates), an
+# end-to-end smoke check of the tg_cli observability path
 # (--trace/--metrics/--mem/--rss-sample), including validity of the exported
-# Chrome-trace JSON.
+# Chrome-trace JSON, and a profiling gate: `tg_cli rank --profile` must
+# attribute >0 samples to named pipeline spans in a parsable
+# collapsed-stack file, the profiler test suite must pass under ASan (the
+# TSan ctest pass above covers the signal handler's race freedom), and a
+# forced TG_FAULT=perf_open=always run must degrade to a labeled
+# "perf counters unavailable" state with a clean exit.
 #
 # Usage: tools/run_checks.sh [--skip-tsan] [--skip-ubsan]
 # TG_BENCH_SPEEDUPS=0 skips the multi-second speedup section AND the
@@ -107,11 +112,22 @@ else
   # docs/observability.md). First run on a fresh checkout has no baseline
   # and passes trivially.
   cmake --build build-release -j "$JOBS" --target bench_history
-  ./build-release/bench/bench_micro_components --benchmark_filter='^$'
+  # TG_PERF_COUNTERS=1 makes the run stamp hardware-counter provenance (and
+  # per-stage counter totals when the host exposes a PMU) into the timings
+  # JSON, which feeds the compare's counter-ratio gates below.
+  TG_PERF_COUNTERS=1 \
+      ./build-release/bench/bench_micro_components --benchmark_filter='^$'
   # The timings JSON must record which kernel backend produced the numbers;
   # a timing without its backend stamp is not reproducible evidence.
   grep -q '"numeric_backend"' bench_csv/bench_timings.json || {
     echo "bench_timings.json must record numeric_backend via build_info" >&2
+    exit 1
+  }
+  # Likewise the counter provenance stamp: "ok" runs carry real per-stage
+  # counts, "unavailable"/"disabled" runs say so instead of silently
+  # emitting zeros.
+  grep -q '"perf_counters"' bench_csv/bench_timings.json || {
+    echo "bench_timings.json must stamp hardware-counter provenance" >&2
     exit 1
   }
   ./build-release/tools/bench_history append \
@@ -123,10 +139,15 @@ else
   # pinned tighter than the generic threshold: it is the stage the SIMD
   # dispatch layer exists to accelerate, and a quiet drift back toward the
   # scalar baseline must trip the gate before a human would notice it.
+  # The counter gates only engage when both runs carry counter totals
+  # (PMU-less CI hosts skip them with a note): a stage losing >30% of its
+  # baseline IPC or doubling its cache-miss rate is a regression even when
+  # wall time hides it behind frequency scaling.
   ./build-release/tools/bench_history compare \
       --history bench_csv/BENCH_history.json \
       --max-time-ratio 1.60 --min-seconds 0.05 \
-      --stage-max-ratio "skipgram_sharded@1=1.25"
+      --stage-max-ratio "skipgram_sharded@1=1.25" \
+      --min-ipc-ratio 0.70 --max-cache-miss-ratio 2.0
   # Gate self-test: a synthetic 2x stage-time regression must make the
   # compare exit non-zero, otherwise the gate is decorative.
   if ./build-release/tools/bench_history compare \
@@ -226,5 +247,70 @@ grep -q '"process_memory_mb"' "$TRACE_FILE" || {
   echo "expected process_memory_mb counter track in trace (--rss-sample)" \
       >&2; exit 1;
 }
+
+section "profiler + hardware-counter gate"
+# The sampling profiler must attribute real samples to named pipeline spans
+# and emit a parsable collapsed-stack file; counters must either produce a
+# per-stage table or say why they cannot. 997 Hz (prime) keeps this short
+# rank run well-sampled without phase-locking against periodic work.
+PROF_DIR="$(mktemp -d /tmp/tg_prof.XXXXXX)"
+trap 'rm -f "$TRACE_FILE"; rm -rf "$FAULT_OUT" "$PROF_DIR"' EXIT
+TG_THREADS=2 ./build-release/tools/tg_cli rank --modality image --target 0 \
+    --profile=997 --profile-out "$PROF_DIR/profile.collapsed" \
+    --perf-counters | tee "$PROF_DIR/stdout.txt"
+SAMPLES="$(sed -n 's/^profiler: \([0-9][0-9]*\) samples.*/\1/p' \
+    "$PROF_DIR/stdout.txt")"
+if [ -z "$SAMPLES" ] || [ "$SAMPLES" -eq 0 ]; then
+  echo "expected >0 profiler samples from rank --profile" >&2; exit 1
+fi
+[ -s "$PROF_DIR/profile.collapsed" ] || {
+  echo "rank --profile produced no collapsed-stack file" >&2; exit 1;
+}
+# Collapsed-stack grammar: every line is "frame;frame;...;leaf N", N > 0.
+awk 'NF < 2 || $NF !~ /^[0-9]+$/ || $NF == 0 { exit 1 }' \
+    "$PROF_DIR/profile.collapsed" || {
+  echo "collapsed-stack lines must be 'frames... positive-count'" >&2
+  exit 1
+}
+# Stacks are rooted at the span chain, so the rank pipeline's root span
+# must appear: samples attributed to named spans, not just raw PCs.
+grep -q "evaluate_target" "$PROF_DIR/profile.collapsed" || {
+  echo "expected evaluate_target-rooted stacks in collapsed output" >&2
+  exit 1
+}
+# --perf-counters must resolve to a table or a labeled degradation, never
+# silence: "ok" hosts print per-stage IPC, PMU-less hosts print the reason.
+grep -Eq "per-stage hardware counters|perf counters unavailable" \
+    "$PROF_DIR/stdout.txt" || {
+  echo "expected a counter table or a labeled unavailable state" >&2
+  exit 1
+}
+echo "profile smoke passed ($SAMPLES samples)"
+
+# Forced perf_event_open failure: the run must finish (exit 0) and label
+# the degradation with the injected reason -- on every host, PMU or not.
+set +e
+TG_FAULT="perf_open=always" ./build-release/tools/tg_cli rank \
+    --modality image --target 0 --perf-counters \
+    > "$PROF_DIR/fault_stdout.txt" 2>&1
+PERF_FAULT_CODE=$?
+set -e
+if [ "$PERF_FAULT_CODE" -ne 0 ]; then
+  echo "rank must survive TG_FAULT=perf_open=always, got exit" \
+      "$PERF_FAULT_CODE" >&2
+  cat "$PROF_DIR/fault_stdout.txt" >&2
+  exit 1
+fi
+grep -q "perf counters unavailable: injected fault at perf_open" \
+    "$PROF_DIR/fault_stdout.txt" || {
+  echo "expected the injected perf_open fault to be the labeled reason" >&2
+  exit 1
+}
+echo "injected perf_open fault degraded cleanly"
+
+# The profiler suite under ASan catches buffer-lifetime mistakes in the
+# signal path; the TSan ctest pass above already covers its race freedom.
+cmake --build build-asan -j "$JOBS" --target obs_profiler_test
+./build-asan/tests/obs_profiler_test
 
 section "all checks passed"

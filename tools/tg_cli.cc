@@ -11,6 +11,9 @@
 //   export-history --out FILE       write the training history as CSV
 //   backend                         print active + available kernel backends
 //                                   (honors TG_ISA; see docs/performance.md)
+//   profile [rank options]          rank (default --target 0) under the
+//                                   sampling profiler and print the report
+//                                   (implies --profile; honors --profile-out)
 //
 // Common options:
 //   --modality image|text           (default image)
@@ -33,6 +36,15 @@
 //   --rss-sample MS sample process RSS / peak RSS / major faults every MS
 //                   milliseconds on a background thread; with --trace the
 //                   samples appear as Perfetto counter tracks
+//   --profile[=HZ]  sample the run with the SIGPROF profiler (default rate
+//                   ~97 Hz, or TG_PROFILE_HZ); prints the top-N symbol
+//                   table and per-span sample counts, and writes a
+//                   collapsed-stack file (flamegraph.pl / speedscope)
+//   --profile-out FILE   collapsed-stack path (default tg_profile.collapsed)
+//   --perf-counters per-stage hardware counters (cycles, instructions,
+//                   cache + branch misses) via perf_event_open; prints the
+//                   per-stage IPC / cache-miss table after the run, or the
+//                   reason counters were unavailable; also TG_PERF_COUNTERS=1
 #include <cctype>
 #include <cstdio>
 #include <cstring>
@@ -49,6 +61,8 @@
 #include "numeric/kernel_backend.h"
 #include "obs/memory.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
+#include "obs/profiler.h"
 #include "obs/resource_sampler.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -80,7 +94,7 @@ struct CliArgs {
 int Usage() {
   std::fprintf(stderr,
                "usage: tg_cli <catalog|rank|sweep|graph-stats|export-graph|"
-               "export-history|backend> [--option value ...]\n"
+               "export-history|backend|profile> [--option value ...]\n"
                "  rank requires --target <dataset name | evaluation index>\n"
                "  sweep evaluates every target; --checkpoint FILE resumes an\n"
                "    interrupted sweep, --no-degrade disables the metadata-only\n"
@@ -90,7 +104,13 @@ int Usage() {
                "--metrics (stage table + counters after rank),\n"
                "                 --mem (per-span allocation accounting), "
                "--rss-sample MS (background RSS sampler),\n"
-               "                 --log-level debug|info|warning|error\n");
+               "                 --profile[=HZ] + --profile-out FILE "
+               "(sampling profiler, collapsed-stack output),\n"
+               "                 --perf-counters (per-stage IPC / cache-miss "
+               "table via perf_event_open),\n"
+               "                 --log-level debug|info|warning|error\n"
+               "  profile runs rank (default --target 0) under the profiler "
+               "and prints the report\n");
   return 2;
 }
 
@@ -103,7 +123,14 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       return Status::InvalidArgument(std::string("expected --option, got ") +
                                      argv[i]);
     }
-    const std::string key = argv[i] + 2;
+    std::string key = argv[i] + 2;
+    // --option=value form (e.g. --profile=397).
+    const size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      args.options[key.substr(0, eq)] = key.substr(eq + 1);
+      i += 1;
+      continue;
+    }
     // Boolean flags (e.g. --metrics) take no value: the next token is either
     // absent or another --option.
     if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
@@ -461,6 +488,13 @@ int Dispatch(const CliArgs& args) {
   if (args.command == "catalog") return RunCatalog(args);
   if (args.command == "backend") return RunBackend(args);
   if (args.command == "rank") return RunRank(args);
+  if (args.command == "profile") {
+    // Profile report subcommand: rank under the profiler (Run() started it
+    // because of the command name) with a default target.
+    CliArgs ranked = args;
+    if (ranked.Get("target", "").empty()) ranked.options["target"] = "0";
+    return RunRank(ranked);
+  }
   if (args.command == "sweep") return RunSweep(args);
   if (args.command == "graph-stats") return RunGraphStats(args);
   if (args.command == "export-graph") return RunExportGraph(args);
@@ -484,7 +518,23 @@ int Run(int argc, char** argv) {
   if (!trace_path.empty()) obs::SetTraceEnabled(true);
   if (args.Flag("metrics")) obs::SetMetricsEnabled(true);
   if (args.Flag("mem")) obs::SetMemoryTrackingEnabled(true);
+  if (args.Flag("perf-counters")) obs::SetPerfCountersEnabled(true);
   obs::SetCurrentThreadName("main");
+
+  // --profile[=HZ], or the `profile` subcommand (which implies it).
+  const std::string profile_arg = args.Get("profile", "");
+  const bool profiling = !profile_arg.empty() || args.command == "profile";
+  if (profiling) {
+    int hz = 0;  // 0 = TG_PROFILE_HZ or the 97 Hz default
+    if (!profile_arg.empty() && profile_arg != "true") {
+      hz = std::stoi(profile_arg);
+    }
+    Status started = obs::StartProfiler(hz);
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
+      return 1;
+    }
+  }
 
   const std::string rss_interval = args.Get("rss-sample", "");
   if (!rss_interval.empty() && rss_interval != "true") {
@@ -494,6 +544,53 @@ int Run(int argc, char** argv) {
   }
 
   const int code = Dispatch(args);
+
+  if (profiling) {
+    (void)obs::StopProfiler();  // drains every thread's sample buffer
+    const uint64_t samples = obs::ProfilerSampleCount();
+    const uint64_t dropped = obs::ProfilerDroppedSampleCount();
+    const std::string collapsed_path =
+        args.Get("profile-out", "tg_profile.collapsed");
+    Status written = obs::WriteCollapsedStacks(collapsed_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return code != 0 ? code : 1;
+    }
+    std::printf("\nprofiler: %llu samples at %d Hz (%llu dropped), "
+                "collapsed stacks in %s\n",
+                static_cast<unsigned long long>(samples), obs::ProfilerHz(),
+                static_cast<unsigned long long>(dropped),
+                collapsed_path.c_str());
+    const std::string report = obs::ProfileReportTable(20);
+    if (!report.empty()) {
+      std::printf("\nhottest symbols (self = leaf frame, total = anywhere "
+                  "in stack):\n%s",
+                  report.c_str());
+    }
+    const std::map<std::string, uint64_t> span_samples =
+        obs::SpanProfileSampleCounts();
+    if (!span_samples.empty()) {
+      TablePrinter spans({"span", "samples"});
+      for (const auto& [span, count] : span_samples) {
+        spans.AddRow({span, std::to_string(count)});
+      }
+      std::printf("\nsamples by innermost open span:\n%s",
+                  spans.Render().c_str());
+    }
+  }
+
+  if (obs::PerfCountersEnabled()) {
+    if (obs::PerfCountersAvailable()) {
+      const std::string counter_table = obs::StagePerfTable();
+      if (!counter_table.empty()) {
+        std::printf("\nper-stage hardware counters:\n%s",
+                    counter_table.c_str());
+      }
+    } else {
+      std::printf("\nperf counters unavailable: %s\n",
+                  obs::PerfCountersUnavailableReason().c_str());
+    }
+  }
 
   if (obs::ResourceSampler::Instance().running()) {
     obs::ResourceSampler::Instance().Stop();
