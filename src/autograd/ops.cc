@@ -53,8 +53,10 @@ Var Mul(const Var& a, const Var& b) {
   TG_CHECK(a->value().SameShape(b->value()));
   return MakeOp(a->value().Hadamard(b->value()), {a, b},
                 [a, b](const Matrix& g) {
-                  a->AccumulateGrad(g.Hadamard(b->value()));
-                  b->AccumulateGrad(g.Hadamard(a->value()));
+                  // Fused grad += g (*) other -- skips the two Hadamard
+                  // temporaries the unfused form allocated per backward.
+                  a->AccumulateGradMulAdd(g, b->value());
+                  b->AccumulateGradMulAdd(g, a->value());
                 });
 }
 
@@ -161,12 +163,18 @@ Var ElementwiseOp(const Var& a, const std::function<double(double)>& fwd,
   Matrix saved = out;  // captured by value in the closure
   return MakeOp(std::move(out), {a},
                 [a, saved, dfdx](const Matrix& g) {
+                  // Fill the derivative flat, then one elementwise-multiply
+                  // kernel pass by g. Same single IEEE multiply per element
+                  // as the old g * dfdx loop (Mul is bit-identical across
+                  // every backend), but the std::function call stays out of
+                  // a 2-D indexed loop and the multiply vectorizes.
                   Matrix ga(g.rows(), g.cols());
-                  for (size_t r = 0; r < g.rows(); ++r) {
-                    for (size_t c = 0; c < g.cols(); ++c) {
-                      ga(r, c) = g(r, c) * dfdx(a->value()(r, c), saved(r, c));
-                    }
-                  }
+                  const size_t n = g.size();
+                  const double* av = a->value().data();
+                  const double* sv = saved.data();
+                  double* gd = ga.data();
+                  for (size_t i = 0; i < n; ++i) gd[i] = dfdx(av[i], sv[i]);
+                  kernels::Mul(gd, g.data(), n);
                   a->AccumulateGrad(ga);
                 });
 }
@@ -335,20 +343,25 @@ Var BceWithLogits(const Var& logits, const Var& targets) {
                 [logits, targets, n](const Matrix& g) {
                   // d/dx = sigmoid(x) - t, scaled by upstream/n.
                   const double scale = g(0, 0) / static_cast<double>(n);
+                  // (sigmoid(x) - t) filled flat, then one Scale kernel
+                  // pass: the same multiply the old scale * (sig - t) loop
+                  // performed per element, so gradients are bit-identical.
                   Matrix gl(logits->value().rows(), logits->value().cols());
-                  for (size_t r = 0; r < gl.rows(); ++r) {
-                    for (size_t c = 0; c < gl.cols(); ++c) {
-                      const double x = logits->value()(r, c);
-                      double sig;
-                      if (x >= 0.0) {
-                        sig = 1.0 / (1.0 + std::exp(-x));
-                      } else {
-                        const double e = std::exp(x);
-                        sig = e / (1.0 + e);
-                      }
-                      gl(r, c) = scale * (sig - targets->value()(r, c));
+                  const double* xs = logits->value().data();
+                  const double* ts = targets->value().data();
+                  double* gd = gl.data();
+                  for (size_t i = 0; i < n; ++i) {
+                    const double x = xs[i];
+                    double sig;
+                    if (x >= 0.0) {
+                      sig = 1.0 / (1.0 + std::exp(-x));
+                    } else {
+                      const double e = std::exp(x);
+                      sig = e / (1.0 + e);
                     }
+                    gd[i] = sig - ts[i];
                   }
+                  kernels::Scale(gd, scale, n);
                   logits->AccumulateGrad(gl);
                 });
 }

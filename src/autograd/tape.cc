@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "numeric/kernels.h"
 #include "util/check.h"
 
 namespace tg::autograd {
@@ -11,6 +12,14 @@ void Node::AccumulateGrad(const Matrix& delta) {
   if (grad_.empty()) grad_ = Matrix(value_.rows(), value_.cols());
   TG_CHECK(grad_.SameShape(delta));
   grad_ += delta;
+}
+
+void Node::AccumulateGradMulAdd(const Matrix& g, const Matrix& scale) {
+  if (!requires_grad_ && !has_backward()) return;
+  if (grad_.empty()) grad_ = Matrix(value_.rows(), value_.cols());
+  TG_CHECK(grad_.SameShape(g));
+  TG_CHECK(grad_.SameShape(scale));
+  kernels::MulAdd(grad_.data(), g.data(), scale.data(), grad_.size());
 }
 
 Var MakeParameter(Matrix value) {

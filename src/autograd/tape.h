@@ -40,6 +40,13 @@ class Node {
   // Adds `delta` into the gradient accumulator (lazily sized).
   void AccumulateGrad(const Matrix& delta);
 
+  // Fused grad += g (*) scale through the kernels::MulAdd backend -- no
+  // Hadamard temporary. The scalar backend performs the same mul-then-add
+  // rounding sequence as AccumulateGrad(g.Hadamard(scale)), so TG_ISA=scalar
+  // stays bit-identical to the unfused form; vector backends may contract to
+  // FMA within the documented ulp envelope.
+  void AccumulateGradMulAdd(const Matrix& g, const Matrix& scale);
+
   void ZeroGrad() { grad_ = Matrix(); }
 
   // --- Graph-construction internals (used by ops.cc) ---

@@ -1,0 +1,35 @@
+#include "ml/binning.h"
+
+#include <algorithm>
+
+namespace tg::ml {
+
+std::vector<double> ComputeBinEdges(const double* values_in, size_t n,
+                                    int max_bins) {
+  std::vector<double> values(values_in, values_in + n);
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+
+  std::vector<double> edges;
+  const size_t distinct = values.size();
+  if (distinct <= 1) return edges;
+  const size_t num_edges =
+      std::min<size_t>(static_cast<size_t>(max_bins) - 1, distinct - 1);
+  edges.reserve(num_edges);
+  for (size_t i = 1; i <= num_edges; ++i) {
+    // Boundary between quantile blocks; midpoint keeps Predict consistent
+    // with raw values.
+    const size_t idx = i * distinct / (num_edges + 1);
+    const size_t lo = idx > 0 ? idx - 1 : 0;
+    edges.push_back(0.5 * (values[lo] + values[std::min(idx, distinct - 1)]));
+  }
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+uint16_t BinOf(double value, const std::vector<double>& edges) {
+  const auto it = std::lower_bound(edges.begin(), edges.end(), value);
+  return static_cast<uint16_t>(it - edges.begin());
+}
+
+}  // namespace tg::ml

@@ -1,11 +1,34 @@
-// CART regression tree with exact greedy splits (variance reduction),
-// the base learner for the random forest.
+// CART regression tree with variance-reduction splits, the base learner for
+// the random forest. Split search runs on one of two engines
+// (ml/tree_engine.h):
+//
+//   * kExact (default) -- pre-sorted exact greedy splits. Instead of the
+//     classic per-node std::sort of (value, y) pairs, each feature's row
+//     order is sorted ONCE per FeatureColumns (by an explicit
+//     (value, row index) key) and every node walks its contiguous segment of
+//     those order lists, partitioning them stably into the children. The
+//     boundaries evaluated, the accumulation order of every partial sum, and
+//     the tie-breaks are arranged to reproduce the per-node-sort formulation
+//     EXACTLY, so fitted trees are bit-identical to the historical
+//     implementation while skipping the O(n log n) factor per node.
+//   * kHist -- LightGBM-style histogram splits. Feature values are quantile-
+//     binned once per FeatureColumns into uint8/uint16 codes; each node
+//     accumulates per-feature (sum_y, count) histograms with the
+//     kernels::HistAccumulate backend kernel and scans O(bins) boundaries
+//     instead of O(n). A node builds only its smaller child's histogram and
+//     derives the larger by subtracting from the parent's. Thresholds stay
+//     raw-value midpoints, so Predict needs no binning. Trees are not
+//     bit-identical to kExact (boundaries are quantized) but draw the same
+//     RNG stream, so switching engines never perturbs sibling trees.
 #ifndef TG_ML_DECISION_TREE_H_
 #define TG_ML_DECISION_TREE_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
+#include "ml/tree_engine.h"
 #include "numeric/matrix.h"
 #include "util/rng.h"
 
@@ -18,6 +41,12 @@ namespace tg::ml {
 // in L1/L2. Build it once and share it read-only across trees (the forest
 // does); the values are the same doubles, so fitted trees are bit-identical
 // to fitting against the matrix directly.
+//
+// The split engines need per-fit-invariant side structures: call
+// EnsureSortedOrders() (exact engine) and/or EnsureHistBins() (hist engine)
+// BEFORE sharing the object read-only across threads -- DecisionTree::Fit
+// checks they exist rather than building them lazily, precisely so a shared
+// const FeatureColumns is never mutated under a parallel fit.
 class FeatureColumns {
  public:
   explicit FeatureColumns(const Matrix& x);
@@ -29,10 +58,54 @@ class FeatureColumns {
     return data_.data() + f * rows_;
   }
 
+  // Exact engine: for each feature, the row indices sorted by the explicit
+  // key (value, row index). The secondary key makes equal-value runs a
+  // deterministic function of the data alone, independent of std::sort
+  // implementation details. Idempotent.
+  void EnsureSortedOrders();
+  bool has_sorted_orders() const { return orders_built_; }
+  const uint32_t* SortedOrder(size_t f) const {
+    TG_CHECK_LT(f, cols_);
+    TG_CHECK(has_sorted_orders());
+    return sorted_.data() + f * rows_;
+  }
+
+  // Hist engine: quantile bin edges (ml/binning.h) plus per-row bin codes
+  // for each feature. Codes are uint8 when max_bins <= 256 (one byte per
+  // row per feature keeps node histogram builds cache-resident), uint16
+  // otherwise. Idempotent for a fixed max_bins; calling again with a
+  // different max_bins is a hard error.
+  void EnsureHistBins(int max_bins);
+  bool has_hist_bins() const { return hist_max_bins_ != 0; }
+  int hist_max_bins() const { return hist_max_bins_; }
+  bool codes_are_u8() const { return !codes8_.empty() || rows_ == 0; }
+  const std::vector<double>& BinEdges(size_t f) const {
+    TG_CHECK_LT(f, edges_.size());
+    return edges_[f];
+  }
+  // Bins per feature: edges partition values into edges.size() + 1 buckets.
+  size_t NumBins(size_t f) const { return BinEdges(f).size() + 1; }
+  const uint8_t* BinCodes8(size_t f) const {
+    TG_CHECK_LT(f, cols_);
+    return codes8_.data() + f * rows_;
+  }
+  const uint16_t* BinCodes16(size_t f) const {
+    TG_CHECK_LT(f, cols_);
+    return codes16_.data() + f * rows_;
+  }
+
  private:
   size_t rows_;
   size_t cols_;
   std::vector<double, AlignedAllocator<double, 64>> data_;
+  // Exact engine side structure (EnsureSortedOrders): cols_ blocks of rows_.
+  bool orders_built_ = false;
+  std::vector<uint32_t> sorted_;
+  // Hist engine side structures (EnsureHistBins).
+  int hist_max_bins_ = 0;
+  std::vector<std::vector<double>> edges_;
+  std::vector<uint8_t, AlignedAllocator<uint8_t, 64>> codes8_;
+  std::vector<uint16_t, AlignedAllocator<uint16_t, 64>> codes16_;
 };
 
 struct TreeConfig {
@@ -41,6 +114,10 @@ struct TreeConfig {
   size_t min_samples_split = 2;
   // Number of candidate features per split; 0 means all features.
   size_t max_features = 0;
+  // Split-search engine; kAuto resolves through TG_TREE (tree_engine.h).
+  TreeEngineChoice engine = TreeEngineChoice::kAuto;
+  // Hist engine only: histogram resolution per feature.
+  int max_bins = 256;
 };
 
 class DecisionTree {
@@ -49,9 +126,11 @@ class DecisionTree {
 
   // Fits on the rows of x selected by `rows` (with multiplicity, enabling
   // bootstrap samples). `rng` drives feature subsampling; may be null when
-  // max_features == 0. The Matrix form builds a FeatureColumns internally;
-  // callers fitting many trees on the same data (RandomForest) pass a shared
-  // prebuilt one instead. Both produce bit-identical trees.
+  // max_features == 0. The Matrix form builds a FeatureColumns (plus the
+  // engine's side structure) internally; callers fitting many trees on the
+  // same data (RandomForest) pass a shared prebuilt one instead -- with
+  // EnsureSortedOrders()/EnsureHistBins() already called for the resolved
+  // engine. Both forms produce bit-identical trees.
   void Fit(const Matrix& x, const std::vector<double>& y,
            const std::vector<size_t>& rows, Rng* rng);
   void Fit(const FeatureColumns& columns, const std::vector<double>& y,
@@ -67,6 +146,11 @@ class DecisionTree {
   // empty before Fit.
   const std::vector<double>& feature_gains() const { return feature_gains_; }
 
+  // One line per node ("<i>: leaf value=..." / "<i>: f=... t=... l=... r=..."
+  // with %.17g doubles): byte-equal iff the trees are bit-identical. Golden
+  // tests diff this against a reference fit.
+  std::string DebugString() const;
+
  private:
   struct TreeNode {
     bool is_leaf = true;
@@ -78,9 +162,12 @@ class DecisionTree {
     int depth = 0;
   };
 
-  int BuildNode(const FeatureColumns& columns, const std::vector<double>& y,
-                std::vector<size_t>* rows, size_t begin, size_t end,
-                int depth, Rng* rng);
+  struct ExactContext;
+  struct HistContext;
+
+  int BuildExactNode(ExactContext* ctx, size_t begin, size_t end, int depth);
+  int BuildHistNode(HistContext* ctx, size_t begin, size_t end, int depth,
+                    double* hist);
 
   TreeConfig config_;
   std::vector<TreeNode> nodes_;

@@ -5,7 +5,10 @@
 #include <limits>
 #include <numeric>
 
+#include "ml/binning.h"
+#include "numeric/kernels.h"
 #include "numeric/stats.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -13,42 +16,22 @@
 namespace tg::ml {
 namespace {
 
-// Per-feature quantile bin edges; value v falls in the first bin b with
-// v <= edges[b], or in the final overflow bin.
-std::vector<double> ComputeBinEdges(const Matrix& x, size_t feature,
-                                    int max_bins) {
-  std::vector<double> values(x.rows());
-  for (size_t r = 0; r < x.rows(); ++r) values[r] = x(r, feature);
-  std::sort(values.begin(), values.end());
-  values.erase(std::unique(values.begin(), values.end()), values.end());
-
-  std::vector<double> edges;
-  const size_t distinct = values.size();
-  if (distinct <= 1) return edges;
-  const size_t num_edges =
-      std::min<size_t>(static_cast<size_t>(max_bins) - 1, distinct - 1);
-  edges.reserve(num_edges);
-  for (size_t i = 1; i <= num_edges; ++i) {
-    // Boundary between quantile blocks; midpoint keeps Predict consistent
-    // with raw values.
-    const size_t idx = i * distinct / (num_edges + 1);
-    const size_t lo = idx > 0 ? idx - 1 : 0;
-    edges.push_back(0.5 * (values[lo] + values[std::min(idx, distinct - 1)]));
-  }
-  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
-  return edges;
-}
-
-uint16_t BinOf(double value, const std::vector<double>& edges) {
-  // First edge >= value; equality goes left, matching `x <= threshold`.
-  const auto it = std::lower_bound(edges.begin(), edges.end(), value);
-  return static_cast<uint16_t>(it - edges.begin());
-}
-
 struct NodeStats {
   double g = 0.0;
   double h = 0.0;
 };
+
+// Same flush-once-per-event-batch pattern as the decision tree counters:
+// disabled runs pay one predictable branch.
+void BumpGbdtCounters(uint64_t split_evals, uint64_t hist_builds) {
+  if (!obs::MetricsEnabled()) return;
+  static obs::Counter& eval_counter =
+      obs::MetricsRegistry::Instance().GetCounter("tree.split_evaluations");
+  static obs::Counter& hist_counter =
+      obs::MetricsRegistry::Instance().GetCounter("tree.hist_builds");
+  if (split_evals != 0) eval_counter.Increment(split_evals);
+  if (hist_builds != 0) hist_counter.Increment(hist_builds);
+}
 
 }  // namespace
 
@@ -84,16 +67,21 @@ Status Gbdt::Fit(const TabularDataset& data) {
   // more queue/wakeup overhead than the fan-out saves).
   std::vector<std::vector<double>> edges(d);
   std::vector<std::vector<uint16_t>> binned(d);
-  ParallelForIfWorth(
-      0, d, 1, n * d, [&](size_t begin, size_t end, size_t /*chunk*/) {
-        for (size_t f = begin; f < end; ++f) {
-          edges[f] = ComputeBinEdges(data.x, f, config_.max_bins);
-          binned[f].resize(n);
-          for (size_t r = 0; r < n; ++r) {
-            binned[f][r] = BinOf(data.x(r, f), edges[f]);
+  {
+    TG_TRACE_SPAN("bin_build");
+    ParallelForIfWorth(
+        0, d, 1, n * d, [&](size_t begin, size_t end, size_t /*chunk*/) {
+          std::vector<double> column(n);
+          for (size_t f = begin; f < end; ++f) {
+            for (size_t r = 0; r < n; ++r) column[r] = data.x(r, f);
+            edges[f] = ComputeBinEdges(column.data(), n, config_.max_bins);
+            binned[f].resize(n);
+            for (size_t r = 0; r < n; ++r) {
+              binned[f][r] = BinOf(column[r], edges[f]);
+            }
           }
-        }
-      });
+        });
+  }
 
   std::vector<double> predictions(n, base_score_);
   std::vector<double> grad(n);
@@ -154,24 +142,29 @@ Status Gbdt::Fit(const TabularDataset& data) {
         const size_t num_features = binned.size();
         std::vector<double> feature_best_gain(num_features, 0.0);
         std::vector<uint16_t> feature_best_bin(num_features, 0);
-        const auto scan_feature = [&](size_t f, std::vector<NodeStats>* hist) {
+        // SoA histogram halves (gradient sums, then hessian counts) feed
+        // the backend hist_accumulate kernel; the scatter adds run in the
+        // same index order the old AoS loop used, so accumulated g/h -- and
+        // therefore every split -- are bit-identical to it.
+        const auto scan_feature = [&](size_t f, std::vector<double>* hist) {
           if (edges[f].empty()) return;
-          hist->assign(edges[f].size() + 1, NodeStats{});
-          for (size_t i = begin; i < end; ++i) {
-            const size_t r = rows[i];
-            NodeStats& s = (*hist)[binned[f][r]];
-            s.g += grad[r];
-            s.h += 1.0;
-          }
+          const size_t nb = edges[f].size() + 1;
+          hist->assign(2 * nb, 0.0);
+          double* gsum = hist->data();
+          double* hcount = hist->data() + nb;
+          kernels::HistAccumulate(binned[f].data(), rows.data() + begin,
+                                  end - begin, grad.data(), gsum, hcount);
+          uint64_t evals = 0;
           NodeStats left;
-          for (size_t b = 0; b + 1 < hist->size(); ++b) {
-            left.g += (*hist)[b].g;
-            left.h += (*hist)[b].h;
+          for (size_t b = 0; b + 1 < nb; ++b) {
+            left.g += gsum[b];
+            left.h += hcount[b];
             const NodeStats right{total.g - left.g, total.h - left.h};
             if (left.h < config.min_child_weight ||
                 right.h < config.min_child_weight) {
               continue;
             }
+            ++evals;
             const double gain =
                 0.5 * (left.g * left.g / (left.h + lambda) +
                        right.g * right.g / (right.h + lambda) -
@@ -182,18 +175,22 @@ Status Gbdt::Fit(const TabularDataset& data) {
               feature_best_bin[f] = static_cast<uint16_t>(b);
             }
           }
+          BumpGbdtCounters(evals, 1);
         };
         // Histogram work is (rows x features); ParallelForIfWorth fans out
         // only when the node is large enough for the dispatch to pay for
         // itself and runs inline (same chunking) otherwise.
-        ParallelForIfWorth(
-            0, num_features, 1, (end - begin) * num_features,
-            [&](size_t f_begin, size_t f_end, size_t /*chunk*/) {
-              std::vector<NodeStats> hist;
-              for (size_t f = f_begin; f < f_end; ++f) {
-                scan_feature(f, &hist);
-              }
-            });
+        {
+          TG_TRACE_SPAN("split_search");
+          ParallelForIfWorth(
+              0, num_features, 1, (end - begin) * num_features,
+              [&](size_t f_begin, size_t f_end, size_t /*chunk*/) {
+                std::vector<double> hist;
+                for (size_t f = f_begin; f < f_end; ++f) {
+                  scan_feature(f, &hist);
+                }
+              });
+        }
         double best_gain = 0.0;
         size_t best_feature = 0;
         uint16_t best_bin = 0;
@@ -228,7 +225,10 @@ Status Gbdt::Fit(const TabularDataset& data) {
 
     Builder builder{config_, edges,  binned,        grad,
                     tree,    rows,   lambda,        feature_gains_};
-    builder.Build(0, rows.size(), 0);
+    {
+      TG_TRACE_SPAN("tree_fit");
+      builder.Build(0, rows.size(), 0);
+    }
 
     // Update predictions on all rows with the new tree (disjoint writes).
     // Per-row work is one root-to-leaf descent, so the work estimate scales

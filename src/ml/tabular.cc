@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "numeric/kernels.h"
 #include "numeric/stats.h"
+#include "util/thread_pool.h"
 
 namespace tg::ml {
 
@@ -28,11 +30,14 @@ void Standardizer::Fit(const Matrix& x) {
 Matrix Standardizer::Transform(const Matrix& x) const {
   TG_CHECK_EQ(x.cols(), mean_.size());
   Matrix out = x;
+  // (row - mean) * inv_std as two elementwise kernel passes per row --
+  // Sub and Mul perform the exact per-element subtract and multiply of the
+  // scalar loop in every backend, so transformed features (and thus every
+  // downstream artifact) are bit-identical to the unkerneled form.
   for (size_t r = 0; r < out.rows(); ++r) {
     double* row = out.RowPtr(r);
-    for (size_t c = 0; c < out.cols(); ++c) {
-      row[c] = (row[c] - mean_[c]) * inv_std_[c];
-    }
+    kernels::Sub(row, mean_.data(), out.cols());
+    kernels::Mul(row, inv_std_.data(), out.cols());
   }
   return out;
 }
@@ -40,16 +45,23 @@ Matrix Standardizer::Transform(const Matrix& x) const {
 std::vector<double> Standardizer::TransformRow(
     const std::vector<double>& row) const {
   TG_CHECK_EQ(row.size(), mean_.size());
-  std::vector<double> out(row.size());
-  for (size_t c = 0; c < row.size(); ++c) {
-    out[c] = (row[c] - mean_[c]) * inv_std_[c];
-  }
+  std::vector<double> out = row;
+  kernels::Sub(out.data(), mean_.data(), out.size());
+  kernels::Mul(out.data(), inv_std_.data(), out.size());
   return out;
 }
 
 std::vector<double> Regressor::PredictBatch(const Matrix& x) const {
   std::vector<double> out(x.rows());
-  for (size_t r = 0; r < x.rows(); ++r) out[r] = Predict(x.Row(r));
+  // Rows predict independently into disjoint slots, so the batch fans out
+  // over the pool; tiny batches (grain 256) run inline. Output values do
+  // not depend on the thread count.
+  ParallelForIfWorth(0, x.rows(), 256, x.rows() * x.cols(),
+                     [&](size_t begin, size_t end, size_t /*chunk*/) {
+                       for (size_t r = begin; r < end; ++r) {
+                         out[r] = Predict(x.Row(r));
+                       }
+                     });
   return out;
 }
 

@@ -1,0 +1,62 @@
+#include "ml/tree_engine.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace tg::ml {
+namespace {
+
+// 0 = unresolved, 1 = exact, 2 = hist.
+std::atomic<int> g_engine{0};
+
+int ResolveFromEnv() {
+  const char* env = std::getenv("TG_TREE");
+  if (env == nullptr || env[0] == '\0' || std::strcmp(env, "exact") == 0) {
+    return 1;
+  }
+  if (std::strcmp(env, "hist") == 0) return 2;
+  // Same policy as TG_ISA: a forced knob must never silently fall back.
+  std::fprintf(stderr,
+               "TG_TREE=%s: unknown tree engine (available: exact, hist)\n",
+               env);
+  std::exit(1);
+}
+
+}  // namespace
+
+TreeEngine DefaultTreeEngine() {
+  int engine = g_engine.load(std::memory_order_relaxed);
+  if (engine == 0) {
+    engine = ResolveFromEnv();
+    int expected = 0;
+    g_engine.compare_exchange_strong(expected, engine,
+                                     std::memory_order_relaxed);
+    engine = g_engine.load(std::memory_order_relaxed);
+  }
+  return engine == 2 ? TreeEngine::kHist : TreeEngine::kExact;
+}
+
+void SetDefaultTreeEngine(TreeEngine engine) {
+  g_engine.store(engine == TreeEngine::kHist ? 2 : 1,
+                 std::memory_order_relaxed);
+}
+
+TreeEngine ResolveTreeEngine(TreeEngineChoice choice) {
+  switch (choice) {
+    case TreeEngineChoice::kExact:
+      return TreeEngine::kExact;
+    case TreeEngineChoice::kHist:
+      return TreeEngine::kHist;
+    case TreeEngineChoice::kAuto:
+      break;
+  }
+  return DefaultTreeEngine();
+}
+
+const char* TreeEngineName(TreeEngine engine) {
+  return engine == TreeEngine::kHist ? "hist" : "exact";
+}
+
+}  // namespace tg::ml

@@ -9,6 +9,7 @@
 // the whole kernel stays in one code shape.
 #include "numeric/kernel_backend.h"
 #include "numeric/kernels.h"
+#include "numeric/kernels_generic.h"  // HistAccumulatePrefetch (scalar adds)
 
 #if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
 #include <immintrin.h>
@@ -144,6 +145,22 @@ void ScaleAddAvx512(double* y, double alpha, double beta, const double* x,
   }
 }
 
+void MulAddAvx512(double* z, const double* x, const double* y, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_pd(z + i, _mm512_fmadd_pd(_mm512_loadu_pd(x + i),
+                                            _mm512_loadu_pd(y + i),
+                                            _mm512_loadu_pd(z + i)));
+  }
+  if (i < n) {
+    const __mmask8 m = TailMask(n - i);
+    const __m512d vx = _mm512_maskz_loadu_pd(m, x + i);
+    const __m512d vy = _mm512_maskz_loadu_pd(m, y + i);
+    const __m512d vz = _mm512_maskz_loadu_pd(m, z + i);
+    _mm512_mask_storeu_pd(z + i, m, _mm512_fmadd_pd(vx, vy, vz));
+  }
+}
+
 double FusedDotSigmoidUpdateAvx512(const double* w, double* c,
                                    double* center_grad, size_t n, double label,
                                    double lr) {
@@ -196,6 +213,9 @@ const KernelBackend kAvx512Backend = {
     ScaleAvx512,
     AxpyAvx512,
     ScaleAddAvx512,
+    MulAddAvx512,
+    generic::HistAccumulatePrefetch<uint8_t>,
+    generic::HistAccumulatePrefetch<uint16_t>,
     FusedDotSigmoidUpdateAvx512,
     ReplicatedMeanAvx512,
 };

@@ -16,6 +16,7 @@
 #define TG_NUMERIC_KERNELS_GENERIC_H_
 
 #include <cstddef>
+#include <cstdint>
 
 #include "numeric/kernels.h"  // TrainingSigmoid for the fused update
 
@@ -114,6 +115,59 @@ inline void ScaleAdd(double* y, double alpha, double beta, const double* x,
     y[i + 3] = alpha * y[i + 3] + beta * x[i + 3];
   }
   for (size_t i = main; i < n; ++i) y[i] = alpha * y[i] + beta * x[i];
+}
+
+inline void MulAdd(double* __restrict z, const double* __restrict x,
+                   const double* __restrict y, size_t n) {
+  const size_t main = n & ~static_cast<size_t>(3);
+  for (size_t i = 0; i < main; i += 4) {
+    z[i] += x[i] * y[i];
+    z[i + 1] += x[i + 1] * y[i + 1];
+    z[i + 2] += x[i + 2] * y[i + 2];
+    z[i + 3] += x[i + 3] * y[i + 3];
+  }
+  for (size_t i = main; i < n; ++i) z[i] += x[i] * y[i];
+}
+
+// Histogram scatter-accumulate (see kernel_backend.h). Bins repeat across
+// iterations, so the adds are a serial dependence chain in index order --
+// every backend must keep that order, which is exactly why the kernel is
+// bit-identical across backends. The plain body below is the scalar
+// backend; HistAccumulatePrefetch adds software prefetch of the gathered
+// rows (a hint, not arithmetic) for the vector backend tables.
+template <typename Code>
+inline void HistAccumulate(const Code* codes, const size_t* rows, size_t n,
+                           const double* values, double* sums,
+                           double* counts) {
+  for (size_t i = 0; i < n; ++i) {
+    const size_t r = rows[i];
+    const size_t b = codes[r];
+    sums[b] += values[r];
+    counts[b] += 1.0;
+  }
+}
+
+template <typename Code>
+inline void HistAccumulatePrefetch(const Code* codes, const size_t* rows,
+                                   size_t n, const double* values,
+                                   double* sums, double* counts) {
+  constexpr size_t kAhead = 16;  // ~one L2 miss of row-gather latency
+  size_t i = 0;
+  for (; i + kAhead < n; ++i) {
+    const size_t ahead = rows[i + kAhead];
+    __builtin_prefetch(codes + ahead, 0, 1);
+    __builtin_prefetch(values + ahead, 0, 1);
+    const size_t r = rows[i];
+    const size_t b = codes[r];
+    sums[b] += values[r];
+    counts[b] += 1.0;
+  }
+  for (; i < n; ++i) {
+    const size_t r = rows[i];
+    const size_t b = codes[r];
+    sums[b] += values[r];
+    counts[b] += 1.0;
+  }
 }
 
 inline double FusedDotSigmoidUpdate(const double* __restrict w,

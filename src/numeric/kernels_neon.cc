@@ -8,6 +8,7 @@
 // across backends.
 #include "numeric/kernel_backend.h"
 #include "numeric/kernels.h"
+#include "numeric/kernels_generic.h"  // HistAccumulatePrefetch (scalar adds)
 
 #if defined(__aarch64__)
 #include <arm_neon.h>
@@ -95,6 +96,15 @@ void ScaleAddNeon(double* y, double alpha, double beta, const double* x,
   for (; i < n; ++i) y[i] = alpha * y[i] + beta * x[i];
 }
 
+void MulAddNeon(double* z, const double* x, const double* y, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(z + i,
+              vfmaq_f64(vld1q_f64(z + i), vld1q_f64(x + i), vld1q_f64(y + i)));
+  }
+  for (; i < n; ++i) z[i] += x[i] * y[i];
+}
+
 double FusedDotSigmoidUpdateNeon(const double* w, double* c,
                                  double* center_grad, size_t n, double label,
                                  double lr) {
@@ -143,6 +153,9 @@ const KernelBackend kNeonBackend = {
     ScaleNeon,
     AxpyNeon,
     ScaleAddNeon,
+    MulAddNeon,
+    generic::HistAccumulatePrefetch<uint8_t>,
+    generic::HistAccumulatePrefetch<uint16_t>,
     FusedDotSigmoidUpdateNeon,
     ReplicatedMeanNeon,
 };

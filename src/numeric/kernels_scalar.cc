@@ -19,6 +19,9 @@ const KernelBackend kScalarBackend = {
     generic::Scale,
     generic::Axpy,
     generic::ScaleAdd,
+    generic::MulAdd,
+    generic::HistAccumulate<uint8_t>,
+    generic::HistAccumulate<uint16_t>,
     generic::FusedDotSigmoidUpdate,
     generic::ReplicatedMean,
 };

@@ -195,6 +195,28 @@ std::string HistoryToJson(const std::vector<BenchRun>& runs) {
   return out;
 }
 
+std::vector<CeilingDelta> EvaluateCeilings(
+    const std::map<std::string, double>& stage_max_seconds,
+    const BenchRun& latest) {
+  std::vector<CeilingDelta> out;
+  out.reserve(stage_max_seconds.size());
+  for (const auto& [stage, ceiling] : stage_max_seconds) {
+    CeilingDelta delta;
+    delta.stage = stage;
+    delta.ceiling_seconds = ceiling;
+    const auto it = latest.stage_seconds.find(stage);
+    if (it == latest.stage_seconds.end()) {
+      delta.missing = true;
+      delta.regressed = true;
+    } else {
+      delta.latest_seconds = it->second;
+      delta.regressed = it->second > ceiling;
+    }
+    out.push_back(std::move(delta));
+  }
+  return out;
+}
+
 CompareReport CompareBenchRuns(const BenchRun& baseline,
                                const BenchRun& latest,
                                const CompareOptions& options) {
@@ -245,6 +267,13 @@ CompareReport CompareBenchRuns(const BenchRun& baseline,
     if (baseline.stage_seconds.find(stage) == baseline.stage_seconds.end()) {
       report.only_in_latest.push_back(stage);
     }
+  }
+
+  // Absolute ceilings judge the latest run alone -- the baseline plays no
+  // role, so they hold even as ratio baselines drift downward.
+  report.ceilings = EvaluateCeilings(options.stage_max_seconds, latest);
+  for (const CeilingDelta& delta : report.ceilings) {
+    if (delta.regressed) report.ok = false;
   }
 
   const bool counter_gates_requested =
@@ -319,6 +348,16 @@ std::string CompareReport::Render() const {
                                               : "ok"});
   }
   std::string out = table.Render();
+  if (!ceilings.empty()) {
+    TablePrinter ceiling_table({"stage", "ceiling s", "latest s", "verdict"});
+    for (const CeilingDelta& delta : ceilings) {
+      ceiling_table.AddRow(
+          {delta.stage, FormatDouble(delta.ceiling_seconds, 4),
+           delta.missing ? "missing" : FormatDouble(delta.latest_seconds, 4),
+           delta.regressed ? "REGRESSED" : "ok"});
+    }
+    out += ceiling_table.Render();
+  }
   if (!counters.empty()) {
     TablePrinter counter_table({"stage", "base IPC", "latest IPC",
                                 "IPC ratio", "base miss%", "latest miss%",

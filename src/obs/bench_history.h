@@ -84,6 +84,14 @@ struct CompareOptions {
   // erode. Overridden stages ignore the min_seconds floor (pinning a stage
   // is an explicit statement that its baseline is trustworthy).
   std::map<std::string, double> stage_max_ratio;
+  // Absolute wall-time ceilings in seconds, keyed "component@threads",
+  // evaluated against the LATEST run only. Unlike a sub-1.0 ratio pin --
+  // which starts failing the run after the improvement it demanded lands in
+  // the baseline -- an absolute ceiling is stable run over run, so it is the
+  // right way to make a speedup permanently improvement-demanding. A ceiling
+  // stage missing from the latest run regresses (a gate that silently
+  // stopped measuring is not a passing gate).
+  std::map<std::string, double> stage_max_seconds;
   // Hardware-counter gates (0 = disabled). A stage regresses when
   // latest_ipc / baseline_ipc drops below min_ipc_ratio, or when
   // latest_miss_rate / baseline_miss_rate exceeds max_cache_miss_ratio.
@@ -117,10 +125,20 @@ struct CounterDelta {
   bool skipped_below_floor = false;  // baseline cycles under the noise floor
 };
 
+// One absolute-ceiling verdict (CompareOptions::stage_max_seconds).
+struct CeilingDelta {
+  std::string stage;  // "component@threads"
+  double ceiling_seconds = 0.0;
+  double latest_seconds = 0.0;  // 0 when missing
+  bool missing = false;         // stage absent from the latest run
+  bool regressed = false;
+};
+
 struct CompareReport {
   bool has_baseline = false;  // false: nothing to compare against, passes
   bool ok = true;             // false iff any stage or RSS regressed
   std::vector<StageDelta> stages;      // stages present in both runs
+  std::vector<CeilingDelta> ceilings;  // absolute stage_max_seconds gates
   std::vector<CounterDelta> counters;  // stages with counters in both runs
   std::vector<std::string> only_in_baseline;
   std::vector<std::string> only_in_latest;
@@ -131,6 +149,13 @@ struct CompareReport {
   // Human-readable multi-line rendering (table + verdict line).
   std::string Render() const;
 };
+
+// Evaluates absolute stage ceilings against a single run. Needs no
+// baseline, so callers can gate the very first run in a fresh history;
+// CompareBenchRuns routes CompareOptions::stage_max_seconds through this.
+std::vector<CeilingDelta> EvaluateCeilings(
+    const std::map<std::string, double>& stage_max_seconds,
+    const BenchRun& latest);
 
 // Diffs `latest` against `baseline`. Build-stamp mismatches (different
 // build_type / sanitizer / compiler) do not fail the compare but are noted

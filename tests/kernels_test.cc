@@ -361,6 +361,92 @@ TEST_F(KernelsTest, EveryBackendReplicatedMeanBitIdentical) {
   }
 }
 
+TEST_F(KernelsTest, MulAddScalarMatchesMulThenAddBitForBit) {
+  // The scalar backend must perform the unfused two-rounding sequence
+  // z[i] += x[i] * y[i]; autograd's TG_ISA=scalar bit-identity (the fused
+  // AccumulateGradMulAdd vs a Hadamard temporary) rests on this.
+  Rng rng(37);
+  for (size_t n : kLengths) {
+    const std::vector<double> x = MixedMagnitude(n, &rng);
+    const std::vector<double> y = MixedMagnitude(n, &rng);
+    const std::vector<double> base = MixedMagnitude(n, &rng);
+    std::vector<double> z1 = base, z2 = base;
+    kernels::MulAdd(z1.data(), x.data(), y.data(), n);
+    kernels::MulAddScalarRef(z2.data(), x.data(), y.data(), n);
+    EXPECT_EQ(z1, z2) << "n=" << n;
+    for (size_t i = 0; i < n; ++i) {
+      const double want = base[i] + x[i] * y[i];
+      EXPECT_EQ(z1[i], want) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_F(KernelsTest, EveryBackendMulAddWithinEnvelopeOfScalarRef) {
+  // Vector backends may contract x*y+z to a single FMA rounding.
+  for (const std::string& backend : kernels::AvailableBackendNames()) {
+    ASSERT_TRUE(kernels::SetActiveBackend(backend));
+    Rng rng(37);
+    for (size_t n : kLengths) {
+      const std::vector<double> x = MixedMagnitude(n + 1, &rng);
+      const std::vector<double> y = MixedMagnitude(n + 1, &rng);
+      const std::vector<double> base = MixedMagnitude(n + 1, &rng);
+      for (size_t off : {size_t{0}, size_t{1}}) {
+        std::vector<double> z1 = base, z2 = base;
+        kernels::MulAdd(z1.data() + off, x.data() + off, y.data() + off, n);
+        kernels::MulAddScalarRef(z2.data() + off, x.data() + off,
+                                 y.data() + off, n);
+        for (size_t i = 0; i < n; ++i) {
+          const double tol = 4.0 * kEps * (std::abs(x[off + i] * y[off + i]) +
+                                           std::abs(base[off + i]));
+          EXPECT_NEAR(z1[off + i], z2[off + i], tol)
+              << backend << " n=" << n << " off=" << off << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+// Builds a scatter-accumulate fixture: n row indices into a value array of
+// n + 7 entries (gathers are not the identity), codes striped over `bins`
+// with repeats so multiple rows land in one bin.
+template <typename Code>
+void CheckHistAccumulateEveryBackend(size_t bins, uint64_t seed) {
+  for (const std::string& backend : kernels::AvailableBackendNames()) {
+    ASSERT_TRUE(kernels::SetActiveBackend(backend));
+    Rng rng(seed);
+    for (size_t n : kLengths) {
+      const std::vector<double> values = MixedMagnitude(n + 7, &rng);
+      std::vector<Code> codes(n + 7);
+      std::vector<size_t> rows(n);
+      for (size_t i = 0; i < n + 7; ++i) {
+        codes[i] = static_cast<Code>(rng.NextBelow(bins));
+      }
+      for (size_t i = 0; i < n; ++i) rows[i] = rng.NextBelow(n + 7);
+      std::vector<double> sums1(bins, 0.0), counts1(bins, 0.0);
+      std::vector<double> sums2(bins, 0.0), counts2(bins, 0.0);
+      kernels::HistAccumulate(codes.data(), rows.data(), n, values.data(),
+                              sums1.data(), counts1.data());
+      kernels::HistAccumulateScalarRef(codes.data(), rows.data(), n,
+                                       values.data(), sums2.data(),
+                                       counts2.data());
+      // Scatter-accumulate is a serial dependence chain in index order in
+      // EVERY backend, so this is exact equality, not an envelope: the hist
+      // tree engine must not change with TG_ISA.
+      EXPECT_EQ(sums1, sums2) << backend << " n=" << n;
+      EXPECT_EQ(counts1, counts2) << backend << " n=" << n;
+    }
+  }
+}
+
+TEST_F(KernelsTest, EveryBackendHistAccumulateU8BitIdentical) {
+  CheckHistAccumulateEveryBackend<uint8_t>(256, 41);
+  CheckHistAccumulateEveryBackend<uint8_t>(3, 43);  // heavy bin collisions
+}
+
+TEST_F(KernelsTest, EveryBackendHistAccumulateU16BitIdentical) {
+  CheckHistAccumulateEveryBackend<uint16_t>(1024, 47);
+}
+
 TEST_F(KernelsTest, EveryBackendFusedUpdateWithinEnvelopeOfScalarRef) {
   // Exact sigmoid: the tabulated form is a step function, so the envelope
   // difference in the dot could flip a table bucket and amplify into an O(1)

@@ -5,6 +5,7 @@
 // threads, and the BENCH_history.json parse/serialize/compare cycle.
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -381,6 +382,61 @@ TEST(BenchHistoryTest, MissingBaselineRendersAsPassing) {
   const obs::CompareReport report;  // default: has_baseline = false
   EXPECT_TRUE(report.ok);
   EXPECT_NE(report.Render().find("nothing to compare"), std::string::npos);
+}
+
+TEST(BenchHistoryTest, StageCeilingPassesUnderAndFailsOver) {
+  const obs::BenchRun baseline = MakeRun("aaa", 1.0, 2.0, 1000);
+  const obs::BenchRun latest = MakeRun("bbb", 0.9, 2.0, 1000);
+  obs::CompareOptions options;
+  options.stage_max_seconds["graph_build@4"] = 1.0;
+  obs::CompareReport report =
+      obs::CompareBenchRuns(baseline, latest, options);
+  EXPECT_TRUE(report.ok);
+  ASSERT_EQ(report.ceilings.size(), 1u);
+  EXPECT_EQ(report.ceilings[0].stage, "graph_build@4");
+  EXPECT_DOUBLE_EQ(report.ceilings[0].latest_seconds, 0.9);
+  EXPECT_FALSE(report.ceilings[0].regressed);
+  EXPECT_NE(report.Render().find("ceiling"), std::string::npos);
+
+  // The ceiling binds on the LATEST run even when the ratio gate passes:
+  // baseline 2.0 -> latest 1.5 is a 0.75 ratio improvement, yet over an
+  // absolute 1.0s ceiling.
+  const obs::BenchRun slow = MakeRun("ccc", 1.5, 2.0, 1000);
+  const obs::BenchRun slow_baseline = MakeRun("ddd", 2.0, 2.0, 1000);
+  report = obs::CompareBenchRuns(slow_baseline, slow, options);
+  EXPECT_FALSE(report.ok);
+  ASSERT_EQ(report.ceilings.size(), 1u);
+  EXPECT_TRUE(report.ceilings[0].regressed);
+  EXPECT_FALSE(report.ceilings[0].missing);
+}
+
+TEST(BenchHistoryTest, StageCeilingMissingStageRegresses) {
+  // A gate whose stage vanished from the bench is a silent gap, not a pass.
+  const obs::BenchRun baseline = MakeRun("aaa", 1.0, 2.0, 1000);
+  const obs::BenchRun latest = MakeRun("bbb", 1.0, 2.0, 1000);
+  obs::CompareOptions options;
+  options.stage_max_seconds["not_measured@1"] = 0.5;
+  const obs::CompareReport report =
+      obs::CompareBenchRuns(baseline, latest, options);
+  EXPECT_FALSE(report.ok);
+  ASSERT_EQ(report.ceilings.size(), 1u);
+  EXPECT_TRUE(report.ceilings[0].missing);
+  EXPECT_TRUE(report.ceilings[0].regressed);
+  EXPECT_NE(report.Render().find("missing"), std::string::npos);
+}
+
+TEST(BenchHistoryTest, EvaluateCeilingsWorksWithoutBaseline) {
+  // The standalone evaluator backs the single-run path in the CLI: a fresh
+  // history (one run) must still enforce absolute ceilings.
+  const obs::BenchRun only = MakeRun("aaa", 0.3, 2.0, 1000);
+  std::map<std::string, double> ceilings;
+  ceilings["graph_build@4"] = 0.38;
+  ceilings["gbdt_fit@4"] = 1.0;
+  const std::vector<obs::CeilingDelta> deltas =
+      obs::EvaluateCeilings(ceilings, only);
+  ASSERT_EQ(deltas.size(), 2u);
+  EXPECT_FALSE(deltas[1].regressed);  // graph_build 0.3 <= 0.38
+  EXPECT_TRUE(deltas[0].regressed);   // gbdt 2.0 > 1.0
 }
 
 TEST(BenchHistoryTest, StageSetChangesAreNotedNotFailed) {

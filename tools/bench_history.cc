@@ -24,6 +24,12 @@
 //                           "skipgram_sharded@1=0.70,gbdt_fit@1=1.2"
 //                           (comma-separated stage=ratio pairs; overridden
 //                           stages skip the min-seconds floor)
+//   --stage-max-seconds LIST  absolute wall-time ceilings on the LATEST run,
+//                           e.g. "random_forest_fit@1=0.38" (comma-separated
+//                           stage=S pairs). Baseline-independent, so the
+//                           gate stays meaningful as ratio baselines drift;
+//                           enforced even on a single-run history, and a
+//                           listed stage missing from the latest run fails
 //   --min-ipc-ratio R       hardware-counter gate: fail when a stage's
 //                           latest IPC drops below R x baseline IPC
 //                           (default 0 = disabled; runs without counter
@@ -59,6 +65,7 @@ int Usage() {
       "          [--max-rss-ratio R] [--min-seconds S]"
       " [--inject-time-ratio R]\n"
       "          [--stage-max-ratio stage=R[,stage=R...]]\n"
+      "          [--stage-max-seconds stage=S[,stage=S...]]\n"
       "          [--min-ipc-ratio R] [--max-cache-miss-ratio R]\n"
       "          [--min-counter-cycles N]\n"
       "  show    --history FILE\n");
@@ -164,24 +171,6 @@ int RunCompare(const Args& args) {
     return 1;
   }
   const std::vector<obs::BenchRun>& runs = history.value();
-  if (runs.size() < 2) {
-    std::printf("bench-compare: %zu run(s) in %s; no baseline yet "
-                "(passing)\n",
-                runs.size(), history_path.c_str());
-    return 0;
-  }
-
-  const size_t latest_index = runs.size() - 1;
-  size_t baseline_index = latest_index - 1;
-  const std::string baseline_arg = args.Get("baseline", "");
-  if (!baseline_arg.empty()) {
-    baseline_index = static_cast<size_t>(std::stoul(baseline_arg));
-    if (baseline_index >= latest_index) {
-      std::fprintf(stderr, "--baseline %zu is not before the latest run %zu\n",
-                   baseline_index, latest_index);
-      return 2;
-    }
-  }
 
   obs::CompareOptions options;
   options.max_time_ratio = std::stod(args.Get("max-time-ratio", "1.30"));
@@ -207,6 +196,56 @@ int RunCompare(const Args& args) {
         return 2;
       }
       options.stage_max_ratio[kv[0]] = ratio;
+    }
+  }
+  const std::string stage_ceilings = args.Get("stage-max-seconds", "");
+  if (!stage_ceilings.empty()) {
+    for (const std::string& pair : Split(stage_ceilings, ',')) {
+      const std::vector<std::string> kv = Split(pair, '=');
+      double seconds = 0.0;
+      if (kv.size() != 2 || kv[0].empty() || !ParseDouble(kv[1], &seconds) ||
+          seconds <= 0.0) {
+        std::fprintf(stderr,
+                     "--stage-max-seconds: bad entry '%s' (want stage=S)\n",
+                     pair.c_str());
+        return 2;
+      }
+      options.stage_max_seconds[kv[0]] = seconds;
+    }
+  }
+
+  if (runs.size() < 2) {
+    // No baseline: ratio gates cannot run, but absolute ceilings judge the
+    // latest run alone, so a fresh history still enforces them.
+    int exit_code = 0;
+    if (!runs.empty() && !options.stage_max_seconds.empty()) {
+      for (const obs::CeilingDelta& delta :
+           obs::EvaluateCeilings(options.stage_max_seconds, runs.back())) {
+        std::printf("ceiling %s: latest %s vs max %s  %s\n",
+                    delta.stage.c_str(),
+                    delta.missing ? "missing"
+                                  : FormatDouble(delta.latest_seconds,
+                                                 4).c_str(),
+                    FormatDouble(delta.ceiling_seconds, 4).c_str(),
+                    delta.regressed ? "REGRESSED" : "ok");
+        if (delta.regressed) exit_code = 1;
+      }
+    }
+    std::printf("bench-compare: %zu run(s) in %s; no baseline yet (%s)\n",
+                runs.size(), history_path.c_str(),
+                exit_code == 0 ? "passing" : "ceiling REGRESSION");
+    return exit_code;
+  }
+
+  const size_t latest_index = runs.size() - 1;
+  size_t baseline_index = latest_index - 1;
+  const std::string baseline_arg = args.Get("baseline", "");
+  if (!baseline_arg.empty()) {
+    baseline_index = static_cast<size_t>(std::stoul(baseline_arg));
+    if (baseline_index >= latest_index) {
+      std::fprintf(stderr, "--baseline %zu is not before the latest run %zu\n",
+                   baseline_index, latest_index);
+      return 2;
     }
   }
 

@@ -5,8 +5,11 @@
 # dispatch gate (kernels_test under TG_ISA=scalar and under the widest
 # host-supported backend, plus a forced-unavailable hard-error check), a
 # kernels micro-bench smoke run, a bench-history append + regression compare
-# (with an injected-regression self-test of the gate, a pinned
-# skipgram_sharded stage ratio, and hardware-counter ratio gates), an
+# (with an injected-regression self-test of the gate, pinned
+# skipgram_sharded/random_forest_fit stage ratios, an absolute
+# random_forest_fit wall-time ceiling, and hardware-counter ratio gates), a
+# tree-engine gate (TG_TREE resolution, a bogus-value hard-error check, and
+# a TG_TREE=hist rank smoke under ASan), an
 # end-to-end smoke check of the tg_cli observability path
 # (--trace/--metrics/--mem/--rss-sample), including validity of the exported
 # Chrome-trace JSON, and a profiling gate: `tg_cli rank --profile` must
@@ -143,10 +146,16 @@ else
   # (PMU-less CI hosts skip them with a note): a stage losing >30% of its
   # baseline IPC or doubling its cache-miss rate is a regression even when
   # wall time hides it behind frequency scaling.
+  # random_forest_fit@1 carries both a ratio pin (like skipgram_sharded, the
+  # stage a dedicated optimization landed in -- the pre-sorted tree engine)
+  # and an absolute 0.38s ceiling: the seed's per-node-sort forest took
+  # ~0.75s here, so the ceiling keeps roughly half that speedup banked
+  # permanently, baseline drift or not.
   ./build-release/tools/bench_history compare \
       --history bench_csv/BENCH_history.json \
       --max-time-ratio 1.60 --min-seconds 0.05 \
-      --stage-max-ratio "skipgram_sharded@1=1.25" \
+      --stage-max-ratio "skipgram_sharded@1=1.25,random_forest_fit@1=1.25" \
+      --stage-max-seconds "random_forest_fit@1=0.38" \
       --min-ipc-ratio 0.70 --max-cache-miss-ratio 2.0
   # Gate self-test: a synthetic 2x stage-time regression must make the
   # compare exit non-zero, otherwise the gate is decorative.
@@ -216,9 +225,43 @@ fi
 }
 echo "injected I/O fault handled cleanly (exit $FAULT_CODE)"
 
+section "tree engine gate: TG_TREE dispatch + hist smoke under ASan"
+# TG_TREE follows the TG_ISA discipline: `backend` reports the resolved
+# engine, and forcing an engine that does not exist must be a hard error,
+# never a silent fallback to exact.
+./build-release/tools/tg_cli backend | grep -q "tree engine: exact" || {
+  echo "expected the default tree engine to resolve to exact" >&2; exit 1;
+}
+TG_TREE=hist ./build-release/tools/tg_cli backend \
+    | grep -q "tree engine: hist" || {
+  echo "TG_TREE=hist must resolve to the hist engine" >&2; exit 1;
+}
+if TG_TREE=bogus ./build-release/tools/tg_cli backend >/dev/null 2>&1; then
+  echo "TG_TREE with a bogus engine must fail hard, not fall back" >&2
+  exit 1
+fi
+# Full rank pipeline on the histogram engine under ASan: the recycled
+# histogram buffers and the in-place sibling subtraction are exactly the
+# kind of raw-pointer lifetime code ASan exists for. The run must also
+# produce a non-degenerate ranking (a real pearson, not the 0.000 of a
+# constant prediction).
+cmake --build build-asan -j "$JOBS" --target tg_cli
+HIST_OUT="$(mktemp /tmp/tg_hist.XXXXXX.txt)"
+trap 'rm -f "$HIST_OUT"; rm -rf "$FAULT_OUT"' EXIT
+TG_TREE=hist ./build-asan/tools/tg_cli rank --modality image --target 0 \
+    --predictor rf | tee "$HIST_OUT"
+HIST_PEARSON="$(sed -n 's/.*pearson \(-\{0,1\}[0-9.]*\),.*/\1/p' "$HIST_OUT")"
+if [ -z "$HIST_PEARSON" ]; then
+  echo "TG_TREE=hist rank printed no pearson line" >&2; exit 1
+fi
+if [ "$HIST_PEARSON" = "0.000" ] || [ "$HIST_PEARSON" = "-0.000" ]; then
+  echo "TG_TREE=hist rank produced a degenerate ranking" >&2; exit 1
+fi
+echo "hist engine smoke passed (pearson $HIST_PEARSON)"
+
 section "tg_cli trace/metrics smoke check"
 TRACE_FILE="$(mktemp /tmp/tg_trace.XXXXXX.json)"
-trap 'rm -f "$TRACE_FILE"; rm -rf "$FAULT_OUT"' EXIT
+trap 'rm -f "$TRACE_FILE" "$HIST_OUT"; rm -rf "$FAULT_OUT"' EXIT
 # TG_THREADS=2 forces the pool path so the trace includes pool_drain spans
 # (worker-side parent handoff) even on a single-core machine. --mem and
 # --rss-sample exercise the allocation accounting and the background RSS
@@ -254,7 +297,7 @@ section "profiler + hardware-counter gate"
 # per-stage table or say why they cannot. 997 Hz (prime) keeps this short
 # rank run well-sampled without phase-locking against periodic work.
 PROF_DIR="$(mktemp -d /tmp/tg_prof.XXXXXX)"
-trap 'rm -f "$TRACE_FILE"; rm -rf "$FAULT_OUT" "$PROF_DIR"' EXIT
+trap 'rm -f "$TRACE_FILE" "$HIST_OUT"; rm -rf "$FAULT_OUT" "$PROF_DIR"' EXIT
 TG_THREADS=2 ./build-release/tools/tg_cli rank --modality image --target 0 \
     --profile=997 --profile-out "$PROF_DIR/profile.collapsed" \
     --perf-counters | tee "$PROF_DIR/stdout.txt"

@@ -58,6 +58,7 @@
 #include "core/recommender.h"
 #include "graph/graph_stats.h"
 #include "graph/serialization.h"
+#include "ml/tree_engine.h"
 #include "numeric/kernel_backend.h"
 #include "obs/memory.h"
 #include "obs/metrics.h"
@@ -471,7 +472,8 @@ int RunExportHistory(const CliArgs& args) {
 // Prints the resolved kernel backend and everything this binary+CPU could
 // run, one fact per line so shell gates can grep it. Resolution happens on
 // the ActiveBackendName() call, so TG_ISA errors (forcing an unavailable
-// backend) surface here exactly as they would in a real run.
+// backend) surface here exactly as they would in a real run; likewise the
+// DefaultTreeEngine() call makes a bad TG_TREE fail here, not mid-pipeline.
 int RunBackend(const CliArgs& args) {
   (void)args;
   std::printf("active: %s\n", kernels::ActiveBackendName());
@@ -481,6 +483,8 @@ int RunBackend(const CliArgs& args) {
     joined += name;
   }
   std::printf("available: %s\n", joined.c_str());
+  std::printf("tree engine: %s (available: exact hist)\n",
+              ml::TreeEngineName(ml::DefaultTreeEngine()));
   return 0;
 }
 
