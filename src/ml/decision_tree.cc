@@ -486,13 +486,14 @@ void DecisionTree::Fit(const FeatureColumns& columns,
       ++mult[static_cast<uint32_t>(r)];
     }
     const size_t d = columns.cols();
-    // +3 slack: the expansion below stores four copies unconditionally and
-    // advances by the actual multiplicity, so the final row of a block may
-    // write up to three entries past its logical end (overwritten by the
-    // next block, absorbed by the slack on the last one). Bootstrap
-    // multiplicities are ~Poisson(1), which makes a per-row copy loop
-    // mispredict constantly; the unconditional stores cost nothing extra.
-    ctx.order.resize(d * n + 3);
+    // +4 slack: the expansion below stores four copies unconditionally and
+    // advances by the actual multiplicity, so trailing rows of a block may
+    // write up to four entries past its logical end (multiplicity 0 leaves k
+    // at n while out[k..k+3] are still stored; overwritten by the next block,
+    // absorbed by the slack on the last one). Bootstrap multiplicities are
+    // ~Poisson(1), which makes a per-row copy loop mispredict constantly;
+    // the unconditional stores cost nothing extra.
+    ctx.order.resize(d * n + 4);
     for (size_t f = 0; f < d; ++f) {
       const uint32_t* global = columns.SortedOrder(f);
       uint32_t* out = ctx.order.data() + f * n;

@@ -175,7 +175,7 @@ Status Gbdt::Fit(const TabularDataset& data) {
               feature_best_bin[f] = static_cast<uint16_t>(b);
             }
           }
-          BumpGbdtCounters(evals, 1);
+          BumpGbdtCounters(evals, 0);
         };
         // Histogram work is (rows x features); ParallelForIfWorth fans out
         // only when the node is large enough for the dispatch to pay for
@@ -191,6 +191,9 @@ Status Gbdt::Fit(const TabularDataset& data) {
                 }
               });
         }
+        // One histogram build per node (covering all features), matching the
+        // decision tree's hist engine so tree.hist_builds has uniform units.
+        BumpGbdtCounters(0, 1);
         double best_gain = 0.0;
         size_t best_feature = 0;
         uint16_t best_bin = 0;
