@@ -8,6 +8,7 @@
 #include "core/sweep_checkpoint.h"
 #include "numeric/pca.h"
 #include "numeric/stats.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/build_info.h"
@@ -326,6 +327,19 @@ SweepResult Pipeline::EvaluateAllTargetsResumable(
   static obs::Counter& checkpoint_write_failures =
       obs::MetricsRegistry::Instance().GetCounter(
           "pipeline.checkpoint_write_failures");
+  // Sweep heartbeat: progress gauges for /metrics and /statusz (the live
+  // telemetry plane), refreshed per target. Write-only relaxed stores --
+  // nothing numeric ever reads them back.
+  static obs::Gauge& targets_total_gauge =
+      obs::MetricsRegistry::Instance().GetGauge("sweep.targets_total");
+  static obs::Gauge& targets_done_gauge =
+      obs::MetricsRegistry::Instance().GetGauge("sweep.targets_done");
+  static obs::Gauge& targets_retried_gauge =
+      obs::MetricsRegistry::Instance().GetGauge("sweep.targets_retried");
+  static obs::Gauge& targets_degraded_gauge =
+      obs::MetricsRegistry::Instance().GetGauge("sweep.targets_degraded");
+  static obs::Gauge& targets_failed_gauge =
+      obs::MetricsRegistry::Instance().GetGauge("sweep.targets_failed");
 
   const std::vector<size_t> targets = zoo_->EvaluationTargets(modality_);
   TG_TRACE_SPAN("evaluate_all_targets");
@@ -369,6 +383,17 @@ SweepResult Pipeline::EvaluateAllTargetsResumable(
     }
   }
 
+  // Heartbeat baseline: resumed targets count as done from the start.
+  size_t processed = result.resumed;
+  targets_total_gauge.Set(static_cast<double>(targets.size()));
+  targets_done_gauge.Set(static_cast<double>(processed));
+  targets_retried_gauge.Set(0.0);
+  targets_degraded_gauge.Set(0.0);
+  targets_failed_gauge.Set(0.0);
+  obs::EmitEvent("sweep.begin",
+                 std::to_string(targets.size()) + " targets, " +
+                     std::to_string(result.resumed) + " resumed");
+
   // Serializes result/done mutation and checkpoint writes; the heavy
   // per-target work runs outside it.
   std::mutex mu;
@@ -389,6 +414,8 @@ SweepResult Pipeline::EvaluateAllTargetsResumable(
   };
 
   auto run_target = [&](size_t i) {
+    const std::string& target_name = zoo_->datasets()[targets[i]].name;
+    obs::EmitEvent("sweep.target_begin", target_name);
     TargetEvaluation eval;
     std::string error;
     int retries = 0;
@@ -396,6 +423,7 @@ SweepResult Pipeline::EvaluateAllTargetsResumable(
     bool ok = TryEvaluateTarget(config, targets[i], &eval, &error);
     if (!ok && options.degrade_on_failure) {
       ++retries;
+      obs::EmitEvent("sweep.target_retry", target_name, error);
       // Degraded strategy: metadata-only features need no graph, no
       // embedding training, and no dataset representations -- the smallest
       // surface that still yields a ranking for every model.
@@ -439,6 +467,15 @@ SweepResult Pipeline::EvaluateAllTargetsResumable(
       TG_LOG(Warning) << "target " << slot.target_name
                       << " failed: " << error;
     }
+    // Heartbeat refresh: processed counts every finished attempt (ok,
+    // degraded, or failed), so done/total reaches 1.0 even on lossy sweeps.
+    ++processed;
+    targets_done_gauge.Set(static_cast<double>(processed));
+    targets_retried_gauge.Set(static_cast<double>(result.retried));
+    targets_degraded_gauge.Set(static_cast<double>(result.degraded));
+    targets_failed_gauge.Set(static_cast<double>(result.failed));
+    obs::EmitEvent("sweep.target_end", target_name,
+                   ok ? (degraded ? "degraded" : "ok") : "failed");
   };
 
   try {
@@ -458,6 +495,12 @@ SweepResult Pipeline::EvaluateAllTargetsResumable(
       if (!done[i] && !result.evaluations[i].failed) run_target(i);
     }
   }
+  obs::EmitEvent("sweep.end", std::to_string(targets.size()) + " targets, " +
+                                  std::to_string(result.retried) +
+                                  " retried, " +
+                                  std::to_string(result.degraded) +
+                                  " degraded, " +
+                                  std::to_string(result.failed) + " failed");
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/event_log.h"
 #include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/perf_counters.h"
@@ -17,6 +18,7 @@
 #include "util/atomic_file.h"
 #include "util/check.h"
 #include "util/json_util.h"
+#include "util/logging.h"
 
 namespace tg::obs {
 namespace {
@@ -26,6 +28,12 @@ constexpr uint32_t kMetricsBit = 2u;
 // Profiler bookkeeping only: spans maintain the thread-local id / open-span
 // chain (for SIGPROF attribution) without recording or histograms.
 constexpr uint32_t kProfileBit = 4u;
+// Event-log bookkeeping: span closes above the event log's duration
+// threshold emit a structured event (obs/event_log.h).
+constexpr uint32_t kEventLogBit = 8u;
+// Telemetry bookkeeping: spans publish their names into per-thread atomic
+// stacks that AllThreadsOpenSpans() reads for /statusz.
+constexpr uint32_t kTelemetryBit = 16u;
 
 bool EnvFlagSet(const char* name) {
   const char* value = std::getenv(name);
@@ -50,6 +58,10 @@ std::atomic<uint32_t>& Mode() {
 
 constexpr size_t kBlockSize = 256;
 
+// Cross-thread-readable open-span stack depth. Deeper nesting than this is
+// still tracked by the thread-local chain; only the /statusz view truncates.
+constexpr size_t kMaxPublishedOpenSpans = 32;
+
 struct Block {
   SpanRecord slots[kBlockSize];
   std::atomic<Block*> next{nullptr};
@@ -59,6 +71,12 @@ struct ThreadBuffer {
   uint32_t tid = 0;
   std::string name;  // guarded by Buffers().mu
   Block head;
+  // Published open-span names for /statusz: owner thread stores, any thread
+  // loads. Values are string literals (static storage), so a reader can
+  // dereference whatever it sees; depth is published after the name slot so
+  // an observed depth never exposes an unwritten slot.
+  std::atomic<const char*> open_names[kMaxPublishedOpenSpans] = {};
+  std::atomic<uint32_t> open_depth{0};
   Block* write_block = &head;   // owner thread only
   uint64_t write_count = 0;     // owner thread only
   std::atomic<uint64_t> published{0};
@@ -163,6 +181,22 @@ void SetProfilerSpansEnabled(bool enabled) {
   }
 }
 
+void SetEventLogSpansEnabled(bool enabled) {
+  if (enabled) {
+    Mode().fetch_or(kEventLogBit, std::memory_order_relaxed);
+  } else {
+    Mode().fetch_and(~kEventLogBit, std::memory_order_relaxed);
+  }
+}
+
+void SetTelemetrySpansEnabled(bool enabled) {
+  if (enabled) {
+    Mode().fetch_or(kTelemetryBit, std::memory_order_relaxed);
+  } else {
+    Mode().fetch_and(~kTelemetryBit, std::memory_order_relaxed);
+  }
+}
+
 Span::Span(const char* name) : Span(name, std::string()) {}
 
 Span::Span(const char* name, std::string detail) {
@@ -180,6 +214,17 @@ Span::Span(const char* name, std::string detail) {
   // written (same-thread signal visibility needs only a compiler barrier).
   std::atomic_signal_fence(std::memory_order_release);
   t_open_span = this;
+  if ((mode & kTelemetryBit) != 0) {
+    // Publish the name for cross-thread /statusz reads: slot first, then
+    // depth, so a reader that sees the new depth also sees the name.
+    ThreadBuffer* buffer = LocalBuffer();
+    const uint32_t depth = buffer->open_depth.load(std::memory_order_relaxed);
+    if (depth < kMaxPublishedOpenSpans) {
+      buffer->open_names[depth].store(name, std::memory_order_release);
+    }
+    buffer->open_depth.store(depth + 1, std::memory_order_release);
+    published_open_ = true;
+  }
   if ((mode & kProfileBit) != 0) {
     // Allocates this thread's sample ring on first use -- off-signal, so
     // the handler itself never has to.
@@ -206,6 +251,13 @@ Span::~Span() {
   t_current_span = prev_current_;
   std::atomic_signal_fence(std::memory_order_release);
   t_open_span = prev_open_;
+  if (published_open_) {
+    ThreadBuffer* buffer = LocalBuffer();
+    const uint32_t depth = buffer->open_depth.load(std::memory_order_relaxed);
+    if (depth > 0) {
+      buffer->open_depth.store(depth - 1, std::memory_order_release);
+    }
+  }
   if (perf_delta.ok) AccumulateStageCounters(name_, perf_delta);
   const uint32_t mode = Mode().load(std::memory_order_relaxed);
   if ((mode & kMetricsBit) != 0) {
@@ -214,6 +266,10 @@ Span::~Span() {
     if (MemoryTrackingEnabled()) {
       StageAllocHistogram(name_).Observe(static_cast<double>(alloc_bytes));
     }
+  }
+  // Event-log reporting happens before the trace append consumes detail_.
+  if ((mode & kEventLogBit) != 0) {
+    MaybeEmitSpanEvent(name_, detail_, start_ns_, end_ns);
   }
   if ((mode & kTraceBit) != 0) {
     SpanRecord record;
@@ -240,6 +296,32 @@ size_t OpenSpanNamesForSignal(const char** names, size_t max_names) {
     names[n++] = span->name_;
   }
   return n;
+}
+
+const char* CurrentSpanName() {
+  return t_open_span != nullptr ? t_open_span->name_ : nullptr;
+}
+
+std::vector<ThreadOpenSpans> AllThreadsOpenSpans() {
+  std::vector<ThreadOpenSpans> out;
+  BufferRegistry& registry = Buffers();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  out.reserve(registry.buffers.size());
+  for (const auto& buffer : registry.buffers) {
+    ThreadOpenSpans entry;
+    entry.tid = buffer->tid;
+    entry.thread_name = buffer->name;
+    const uint32_t depth = std::min<uint32_t>(
+        buffer->open_depth.load(std::memory_order_acquire),
+        kMaxPublishedOpenSpans);
+    for (uint32_t i = 0; i < depth; ++i) {
+      const char* name = buffer->open_names[i].load(std::memory_order_acquire);
+      if (name == nullptr) break;  // slot racing with a push; stop cleanly
+      entry.spans.emplace_back(name);
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
 }
 
 std::vector<std::string> CurrentSpanStack() {
@@ -414,6 +496,9 @@ void CrashReportHook() {
 // crash reports without opting in.
 [[maybe_unused]] const bool g_crash_hook_installed = [] {
   tg::internal_check::InstallCheckFailureHook(&CrashReportHook);
+  // Stderr log lines carry the innermost open span ("@span_name") so logs
+  // and spans correlate even without the structured event log.
+  SetLogSpanProvider(&CurrentSpanName);
   return true;
 }();
 

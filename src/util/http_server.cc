@@ -1,0 +1,286 @@
+#include "util/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/fault.h"
+#include "util/logging.h"
+
+namespace tg {
+namespace {
+
+// Serve-loop poll period: the granularity at which Stop() is noticed. Short
+// enough that shutdown feels immediate, long enough that an idle endpoint
+// costs nothing measurable.
+constexpr int kPollTimeoutMs = 100;
+// Request cap: a scrape request line plus a handful of headers. Anything
+// bigger is not a scraper and gets cut off with 400.
+constexpr size_t kMaxRequestBytes = 8192;
+// Per-connection socket deadlines: a scraper that cannot send its request
+// or drain a response in this long is stuck; drop it rather than wedge the
+// single-threaded serve loop.
+constexpr int kConnectionTimeoutMs = 2000;
+
+void SetSocketTimeout(int fd, int timeout_ms) {
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+bool SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a scraper hanging up mid-response must surface as an
+    // error return here, never as SIGPIPE taking the process down.
+    const ssize_t n = send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
+void WriteResponse(int fd, const HttpResponse& response) {
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     StatusText(response.status) + "\r\n";
+  head += "Content-Type: " + response.content_type + "\r\n";
+  head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  head += "Connection: close\r\n\r\n";
+  if (SendAll(fd, head.data(), head.size())) {
+    (void)SendAll(fd, response.body.data(), response.body.size());
+  }
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(std::string path, HttpHandler handler) {
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+Status HttpServer::Start(int port) {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("http server already running");
+  }
+  if (TG_FAULT_POINT("telemetry_bind")) {
+    return fault::InjectedFault("telemetry_bind");
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  (void)setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string reason =
+        "bind 127.0.0.1:" + std::to_string(port) + ": " +
+        std::strerror(errno);
+    close(fd);
+    return Status::Internal(reason);
+  }
+  if (listen(fd, 16) != 0) {
+    const std::string reason = std::string("listen: ") + std::strerror(errno);
+    close(fd);
+    return Status::Internal(reason);
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    const std::string reason =
+        std::string("getsockname: ") + std::strerror(errno);
+    close(fd);
+    return Status::Internal(reason);
+  }
+  listen_fd_ = fd;
+  bound_port_ = static_cast<int>(ntohs(bound.sin_port));
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { ServeLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (thread_.joinable()) {
+    stop_.store(true, std::memory_order_release);
+    thread_.join();
+  }
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void HttpServer::ServeLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = poll(&pfd, 1, kPollTimeoutMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      if (error_callback_) {
+        error_callback_(Status::Internal(std::string("poll: ") +
+                                         std::strerror(errno)));
+      }
+      break;
+    }
+    if (ready == 0 || (pfd.revents & POLLIN) == 0) continue;
+    if (TG_FAULT_POINT("telemetry_accept")) {
+      // Drain the pending connection so the peer sees a close rather than a
+      // hang, then shut the plane down through the latched-state callback.
+      const int doomed = accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+      if (doomed >= 0) close(doomed);
+      if (error_callback_) {
+        error_callback_(fault::InjectedFault("telemetry_accept"));
+      }
+      break;
+    }
+    const int conn = accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (conn < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+          errno == ECONNABORTED) {
+        continue;
+      }
+      if (error_callback_) {
+        error_callback_(Status::Internal(std::string("accept: ") +
+                                         std::strerror(errno)));
+      }
+      break;
+    }
+    HandleConnection(conn);
+    close(conn);
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void HttpServer::HandleConnection(int fd) {
+  SetSocketTimeout(fd, kConnectionTimeoutMs);
+  std::string request;
+  char buffer[1024];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < kMaxRequestBytes) {
+    const ssize_t n = recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;  // timeout / peer hangup: whatever arrived is all we parse
+    }
+    request.append(buffer, static_cast<size_t>(n));
+  }
+  const size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) {
+    WriteResponse(fd, {400, "text/plain; charset=utf-8", "bad request\n"});
+    return;
+  }
+  // Request line: METHOD SP TARGET SP VERSION.
+  const std::string line = request.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                              : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    WriteResponse(fd, {400, "text/plain; charset=utf-8", "bad request\n"});
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET") {
+    WriteResponse(fd,
+                  {405, "text/plain; charset=utf-8", "GET only\n"});
+    return;
+  }
+  std::string query;
+  const size_t q = target.find('?');
+  if (q != std::string::npos) {
+    query = target.substr(q + 1);
+    target.resize(q);
+  }
+  const auto it = handlers_.find(target);
+  if (it == handlers_.end()) {
+    WriteResponse(fd, {404, "text/plain; charset=utf-8",
+                       "not found: " + target + "\n"});
+    return;
+  }
+  WriteResponse(fd, it->second(target, query));
+}
+
+Result<HttpGetResult> HttpGet(int port, const std::string& path,
+                              int timeout_ms) {
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  SetSocketTimeout(fd, timeout_ms);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+              sizeof(addr)) != 0) {
+    const std::string reason = "connect 127.0.0.1:" + std::to_string(port) +
+                               ": " + std::strerror(errno);
+    close(fd);
+    return Status::Internal(reason);
+  }
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  if (!SendAll(fd, request.data(), request.size())) {
+    const std::string reason = std::string("send: ") + std::strerror(errno);
+    close(fd);
+    return Status::Internal(reason);
+  }
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  close(fd);
+  const size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::Internal("malformed HTTP response (no header terminator)");
+  }
+  // Status line: HTTP/1.1 SP CODE SP TEXT.
+  const size_t sp = response.find(' ');
+  if (sp == std::string::npos || sp + 4 > header_end) {
+    return Status::Internal("malformed HTTP status line");
+  }
+  HttpGetResult result;
+  result.status = std::atoi(response.c_str() + sp + 1);
+  result.body = response.substr(header_end + 4);
+  return result;
+}
+
+}  // namespace tg

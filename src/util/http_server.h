@@ -1,0 +1,101 @@
+// Minimal poll-based HTTP/1.1 server for the telemetry plane: one raw-socket
+// listener bound to loopback, one server thread, exact-path GET handlers.
+// Deliberately dependency-free (no third-party HTTP stack) and deliberately
+// small: requests are served one at a time, connections are closed after
+// every response, and anything that is not a well-formed GET gets a 4xx.
+// That is the right shape for a scrape endpoint polled every few seconds by
+// Prometheus or tools/scrape -- not a general web server.
+//
+// Fault injection (docs/robustness.md): the "telemetry_bind" site fires
+// before bind(), the "telemetry_accept" site before each accept(). Both
+// degrade cleanly: Start() returns a Status the caller latches, a poisoned
+// accept shuts the serve loop down through the error callback, and neither
+// ever takes the process down.
+//
+// Threading: Start()/Stop() are serialized by the caller (the telemetry
+// plane); handlers run on the server thread and must be thread-safe against
+// the rest of the process (registry snapshots, atomic reads).
+#ifndef TG_UTIL_HTTP_SERVER_H_
+#define TG_UTIL_HTTP_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "util/status.h"
+
+namespace tg {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+// Exact-match path handler ("/metrics"); the query string (if any) is
+// stripped before dispatch and passed as the second argument.
+using HttpHandler =
+    std::function<HttpResponse(const std::string& path,
+                               const std::string& query)>;
+
+class HttpServer {
+ public:
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Registers `handler` for exact path `path`. Must be called before
+  // Start(); the handler map is read-only while the server thread runs.
+  void Handle(std::string path, HttpHandler handler);
+
+  // Called on the server thread when the serve loop dies (fatal accept
+  // error or injected telemetry_accept fault), with the reason. Must be set
+  // before Start().
+  void set_error_callback(std::function<void(const Status&)> callback) {
+    error_callback_ = std::move(callback);
+  }
+
+  // Binds 127.0.0.1:`port` (port 0 = kernel-assigned ephemeral port; read it
+  // back via bound_port()) and spawns the server thread. Fails with a Status
+  // -- never an abort -- on socket/bind/listen errors or an injected
+  // "telemetry_bind" fault.
+  Status Start(int port);
+
+  // Stops the serve loop and joins the server thread. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  int bound_port() const { return bound_port_; }
+
+ private:
+  void ServeLoop();
+  void HandleConnection(int fd);
+
+  std::map<std::string, HttpHandler> handlers_;
+  std::function<void(const Status&)> error_callback_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  int bound_port_ = 0;
+};
+
+// Blocking HTTP GET against 127.0.0.1:`port` with a total deadline; used by
+// tools/scrape and the telemetry tests. Returns the parsed status code plus
+// the response body (headers stripped). Fails with a Status on connect /
+// timeout / malformed-response errors.
+struct HttpGetResult {
+  int status = 0;
+  std::string body;
+};
+
+Result<HttpGetResult> HttpGet(int port, const std::string& path,
+                              int timeout_ms = 2000);
+
+}  // namespace tg
+
+#endif  // TG_UTIL_HTTP_SERVER_H_

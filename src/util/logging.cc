@@ -11,6 +11,11 @@ namespace {
 // filter knob, not a synchronization point.
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
+// Constant-initialized function-pointer hooks so lines emitted during static
+// init (before any installer runs) fall back to plain stderr.
+std::atomic<LogSink> g_sink{nullptr};
+std::atomic<LogSpanProvider> g_span_provider{nullptr};
+
 const char* LevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
@@ -33,19 +38,41 @@ LogLevel SetLogLevel(LogLevel level) {
 
 LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
+void SetLogSink(LogSink sink) {
+  g_sink.store(sink, std::memory_order_relaxed);
+}
+
+void SetLogSpanProvider(LogSpanProvider provider) {
+  g_span_provider.store(provider, std::memory_order_relaxed);
+}
+
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
-}
+    : level_(level), file_(file), line_(line) {}
 
 LogMessage::~LogMessage() {
   if (static_cast<int>(level_) <
       static_cast<int>(g_level.load(std::memory_order_relaxed))) {
     return;
   }
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  const std::string message = stream_.str();
+  if (LogSink sink = g_sink.load(std::memory_order_relaxed)) {
+    sink(level_, file_, line_, message);
+    return;
+  }
+  const char* span = nullptr;
+  if (LogSpanProvider provider =
+          g_span_provider.load(std::memory_order_relaxed)) {
+    span = provider();
+  }
+  if (span != nullptr) {
+    std::fprintf(stderr, "[%s %s:%d @%s] %s\n", LevelName(level_), file_,
+                 line_, span, message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level_), file_, line_,
+                 message.c_str());
+  }
 }
 
 }  // namespace internal_logging

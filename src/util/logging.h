@@ -14,6 +14,23 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 LogLevel SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+// --- Observability integration ----------------------------------------------
+
+// When a sink is installed, emitted lines go to the sink INSTEAD of stderr:
+// one source of truth for process logs. obs/event_log.cc installs one while
+// TG_EVENT_LOG is active so every TG_LOG line becomes a structured JSON
+// record. The sink receives the raw message (no "[LEVEL file:line]" prefix).
+using LogSink = void (*)(LogLevel level, const char* file, int line,
+                         const std::string& message);
+void SetLogSink(LogSink sink);  // nullptr restores stderr
+
+// Provider for the innermost open span name, stamped onto stderr lines
+// ("[INFO file:12 @span_name] ...") so logs and spans correlate without the
+// structured log. obs/trace.cc installs obs::CurrentSpanName at startup;
+// returns nullptr when no span is open (no tag printed).
+using LogSpanProvider = const char* (*)();
+void SetLogSpanProvider(LogSpanProvider provider);
+
 namespace internal_logging {
 
 class LogMessage {
@@ -32,6 +49,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 

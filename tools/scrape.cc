@@ -1,0 +1,162 @@
+// scrape: minimal client for the embedded telemetry plane (tg_cli
+// --telemetry-port). Fetches one endpoint from 127.0.0.1 and optionally
+// asserts on the exposition, so shell gates (tools/run_checks.sh) can poll a
+// live sweep without curl or a Prometheus install.
+//
+// Usage:
+//   scrape --port P [--path /metrics] [--timeout-ms 2000] [--retries N]
+//          [--quiet] [--print-metric NAME] [--assert-histogram-activity]
+//
+//   --port P          required; the server's bound port
+//   --path PATH       endpoint (default /metrics)
+//   --retries N       retry the GET up to N times, 100 ms apart, before
+//                     failing (a just-started server may not be bound yet)
+//   --print-metric NAME   print only the value of exposition sample NAME
+//                     (exact first-token match, e.g. tg_sweep_targets_done);
+//                     exit 1 when absent
+//   --assert-histogram-activity   exit 1 unless at least one histogram
+//                     _count sample is nonzero
+//   --quiet           suppress the body dump (asserts still run)
+//
+// Exit codes: 0 ok, 1 assertion/HTTP failure, 2 usage.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "util/http_server.h"
+
+namespace tg {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: scrape --port P [--path /metrics] [--timeout-ms MS] "
+               "[--retries N]\n"
+               "              [--quiet] [--print-metric NAME] "
+               "[--assert-histogram-activity]\n");
+  return 2;
+}
+
+// One exposition line is "<name>[{labels}] <value>"; returns the name with
+// the label set stripped, so bucket series compare equal to their family.
+std::string SampleName(const std::string& line) {
+  const size_t space = line.find(' ');
+  std::string name = space == std::string::npos ? line : line.substr(0, space);
+  const size_t brace = name.find('{');
+  if (brace != std::string::npos) name = name.substr(0, brace);
+  return name;
+}
+
+int Run(int argc, char** argv) {
+  int port = 0;
+  std::string path = "/metrics";
+  int timeout_ms = 2000;
+  int retries = 0;
+  bool quiet = false;
+  bool assert_histogram_activity = false;
+  std::string print_metric;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--port") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      port = std::atoi(value);
+    } else if (arg == "--path") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      path = value;
+    } else if (arg == "--timeout-ms") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      timeout_ms = std::atoi(value);
+    } else if (arg == "--retries") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      retries = std::atoi(value);
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--assert-histogram-activity") {
+      assert_histogram_activity = true;
+    } else if (arg == "--print-metric") {
+      const char* value = next();
+      if (value == nullptr) return Usage();
+      print_metric = value;
+    } else {
+      return Usage();
+    }
+  }
+  if (port <= 0) return Usage();
+
+  Result<HttpGetResult> fetched = Status::Internal("unreached");
+  for (int attempt = 0;; ++attempt) {
+    fetched = HttpGet(port, path, timeout_ms);
+    if (fetched.ok() || attempt >= retries) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  if (!fetched.ok()) {
+    std::fprintf(stderr, "scrape: %s\n", fetched.status().ToString().c_str());
+    return 1;
+  }
+  const HttpGetResult& response = fetched.value();
+  if (response.status != 200) {
+    std::fprintf(stderr, "scrape: HTTP %d from %s\n", response.status,
+                 path.c_str());
+    return 1;
+  }
+
+  if (!print_metric.empty()) {
+    std::istringstream lines(response.body);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      if (SampleName(line) == print_metric) {
+        const size_t space = line.rfind(' ');
+        std::printf("%s\n", line.substr(space + 1).c_str());
+        return 0;
+      }
+    }
+    std::fprintf(stderr, "scrape: metric %s not found\n",
+                 print_metric.c_str());
+    return 1;
+  }
+
+  if (!quiet) std::fwrite(response.body.data(), 1, response.body.size(),
+                          stdout);
+
+  if (assert_histogram_activity) {
+    std::istringstream lines(response.body);
+    std::string line;
+    bool active = false;
+    while (std::getline(lines, line) && !active) {
+      if (line.empty() || line[0] == '#') continue;
+      const std::string name = SampleName(line);
+      if (name.size() < 6 ||
+          name.compare(name.size() - 6, 6, "_count") != 0) {
+        continue;
+      }
+      const size_t space = line.rfind(' ');
+      active = space != std::string::npos &&
+               std::strtoull(line.c_str() + space + 1, nullptr, 10) > 0;
+    }
+    if (!active) {
+      std::fprintf(stderr,
+                   "scrape: no histogram with a nonzero _count in %s\n",
+                   path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tg
+
+int main(int argc, char** argv) { return tg::Run(argc, argv); }

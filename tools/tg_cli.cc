@@ -45,6 +45,14 @@
 //                   cache + branch misses) via perf_event_open; prints the
 //                   per-stage IPC / cache-miss table after the run, or the
 //                   reason counters were unavailable; also TG_PERF_COUNTERS=1
+//   --telemetry-port P   serve /metrics (Prometheus text), /statusz (JSON)
+//                   and /healthz on 127.0.0.1:P for the whole run; P=0 (or
+//                   the bare flag) picks an ephemeral port, announced on
+//                   stderr; also TG_TELEMETRY_PORT=P. A failed bind degrades
+//                   to "telemetry unavailable", never a crash.
+//   TG_EVENT_LOG=F  route every log line, slow span close, and sweep
+//                   heartbeat event to F as structured JSON lines
+//                   (TG_EVENT_LOG_RATE / TG_EVENT_LOG_SPAN_MS tune shedding)
 #include <cctype>
 #include <cstdio>
 #include <cstring>
@@ -60,11 +68,13 @@
 #include "graph/serialization.h"
 #include "ml/tree_engine.h"
 #include "numeric/kernel_backend.h"
+#include "obs/event_log.h"
 #include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/perf_counters.h"
 #include "obs/profiler.h"
 #include "obs/resource_sampler.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/json_util.h"
@@ -109,6 +119,8 @@ int Usage() {
                "(sampling profiler, collapsed-stack output),\n"
                "                 --perf-counters (per-stage IPC / cache-miss "
                "table via perf_event_open),\n"
+               "                 --telemetry-port P (serve /metrics /statusz "
+               "/healthz on 127.0.0.1:P; 0 = ephemeral),\n"
                "                 --log-level debug|info|warning|error\n"
                "  profile runs rank (default --target 0) under the profiler "
                "and prints the report\n");
@@ -525,6 +537,29 @@ int Run(int argc, char** argv) {
   if (args.Flag("perf-counters")) obs::SetPerfCountersEnabled(true);
   obs::SetCurrentThreadName("main");
 
+  // Structured event log (TG_EVENT_LOG) and telemetry plane
+  // (--telemetry-port / TG_TELEMETRY_PORT). Both degrade to a stderr
+  // warning, never a failed run.
+  obs::MaybeStartEventLogFromEnv();
+  bool telemetry_started = false;
+  const std::string telemetry_port = args.Get("telemetry-port", "");
+  if (!telemetry_port.empty()) {
+    // Bare --telemetry-port means "any port": 0 binds ephemeral and the
+    // announcement below carries the resolved port.
+    const int port = telemetry_port == "true" ? 0 : std::stoi(telemetry_port);
+    Status started = obs::StartTelemetry(port);
+    if (started.ok()) {
+      telemetry_started = true;
+      std::fprintf(stderr, "telemetry: listening on 127.0.0.1:%d\n",
+                   obs::TelemetryPort());
+    } else {
+      std::fprintf(stderr, "telemetry unavailable: %s\n",
+                   started.ToString().c_str());
+    }
+  } else {
+    telemetry_started = obs::MaybeStartTelemetryFromEnv();
+  }
+
   // --profile[=HZ], or the `profile` subcommand (which implies it).
   const std::string profile_arg = args.Get("profile", "");
   const bool profiling = !profile_arg.empty() || args.command == "profile";
@@ -629,6 +664,9 @@ int Run(int argc, char** argv) {
                 "https://ui.perfetto.dev)\n",
                 trace_path.c_str());
   }
+
+  if (telemetry_started) obs::StopTelemetry();
+  obs::StopEventLog();  // idempotent; flushes the tail of the JSON log
   return code;
 }
 
