@@ -1,11 +1,13 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
 
 #include "core/sweep_checkpoint.h"
+#include "util/backoff.h"
 #include "numeric/pca.h"
 #include "numeric/stats.h"
 #include "obs/event_log.h"
@@ -18,6 +20,32 @@
 #include "util/thread_pool.h"
 
 namespace tg::core {
+namespace {
+
+// Constant-initialized so a SIGTERM arriving at any point of process
+// lifetime can store to it; sweeps poll it between targets.
+std::atomic<bool> g_sweep_drain{false};
+
+}  // namespace
+
+void RequestSweepDrain() {
+  g_sweep_drain.store(true, std::memory_order_relaxed);
+}
+
+bool SweepDrainRequested() {
+  return g_sweep_drain.load(std::memory_order_relaxed);
+}
+
+void ClearSweepDrain() {
+  g_sweep_drain.store(false, std::memory_order_relaxed);
+}
+
+PipelineConfig DegradedFallbackConfig(const PipelineConfig& config) {
+  PipelineConfig fallback = config;
+  fallback.strategy.features = FeatureSet::kMetadataOnly;
+  fallback.strategy.learner = GraphLearner::kNone;
+  return fallback;
+}
 
 double TargetEvaluation::TopKMeanAccuracy(int k) const {
   TG_CHECK_GT(k, 0);
@@ -424,12 +452,18 @@ SweepResult Pipeline::EvaluateAllTargetsResumable(
     if (!ok && options.degrade_on_failure) {
       ++retries;
       obs::EmitEvent("sweep.target_retry", target_name, error);
+      // Back off briefly before the retry: transient faults (I/O pressure,
+      // injected prob schedules) often clear with a pause. The delay is
+      // deterministic under (config seed, target index) -- see util/backoff.
+      BackoffPolicy retry_backoff;
+      retry_backoff.initial_sec = 0.005;
+      retry_backoff.max_sec = 0.05;
+      retry_backoff.seed = config.seed ^ targets[i];
+      Backoff(retry_backoff).SleepNext();
       // Degraded strategy: metadata-only features need no graph, no
       // embedding training, and no dataset representations -- the smallest
       // surface that still yields a ranking for every model.
-      PipelineConfig fallback = config;
-      fallback.strategy.features = FeatureSet::kMetadataOnly;
-      fallback.strategy.learner = GraphLearner::kNone;
+      const PipelineConfig fallback = DegradedFallbackConfig(config);
       std::string retry_error;
       ok = TryEvaluateTarget(fallback, targets[i], &eval, &retry_error);
       if (ok) {
@@ -482,6 +516,9 @@ SweepResult Pipeline::EvaluateAllTargetsResumable(
     ParallelFor(0, targets.size(), 1,
                 [&](size_t begin, size_t end, size_t /*chunk*/) {
                   for (size_t i = begin; i < end; ++i) {
+                    // A drain request (SIGTERM) stops new targets; the
+                    // completed ones are already checkpointed.
+                    if (SweepDrainRequested()) return;
                     if (!done[i]) run_target(i);
                   }
                 });
@@ -492,8 +529,18 @@ SweepResult Pipeline::EvaluateAllTargetsResumable(
     TG_LOG(Warning) << "parallel sweep aborted (" << e.what()
                     << "); finishing remaining targets serially";
     for (size_t i = 0; i < targets.size(); ++i) {
+      if (SweepDrainRequested()) break;
       if (!done[i] && !result.evaluations[i].failed) run_target(i);
     }
+  }
+  if (SweepDrainRequested()) {
+    result.drained = true;
+    for (size_t i = 0; i < targets.size(); ++i) {
+      if (!done[i]) result.complete = false;
+    }
+    obs::EmitEvent("sweep.drained",
+                   std::to_string(processed) + "/" +
+                       std::to_string(targets.size()) + " targets done");
   }
   obs::EmitEvent("sweep.end", std::to_string(targets.size()) + " targets, " +
                                   std::to_string(result.retried) +

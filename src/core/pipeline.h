@@ -80,7 +80,8 @@ struct SweepOptions {
 // Outcome of a resumable sweep: per-target evaluations (in
 // EvaluationTargets order) plus counters describing what the fault
 // machinery had to do. `complete` is false iff any target failed even
-// after the degraded retry; failed slots carry failed=true and the error.
+// after the degraded retry, or was left unstarted by a drain request;
+// failed slots carry failed=true and the error.
 struct SweepResult {
   std::vector<TargetEvaluation> evaluations;
   size_t resumed = 0;   // targets restored from the checkpoint
@@ -89,7 +90,27 @@ struct SweepResult {
   size_t failed = 0;    // targets with no result at all
   std::vector<std::string> errors;
   bool complete = true;
+  // True iff a drain request (RequestSweepDrain, e.g. from a SIGTERM
+  // handler) stopped the sweep early; completed targets are checkpointed
+  // as usual and unstarted targets are simply left for a resumed run.
+  bool drained = false;
 };
+
+// Cooperative graceful-shutdown flag for sweeps. RequestSweepDrain is
+// async-signal-safe (one atomic store): tg_cli's SIGTERM/SIGINT handler
+// calls it so an orchestrator can drain a worker -- the in-flight target
+// finishes, state is checkpointed / leases released, and the process exits
+// cleanly instead of being killed mid-write.
+void RequestSweepDrain();
+bool SweepDrainRequested();
+void ClearSweepDrain();  // tests / repeated sweeps within one process
+
+// The smallest strategy that still yields a ranking for every model:
+// metadata-only features need no graph, no embedding training, and no
+// dataset representations. Both the resumable sweep's once-degraded retry
+// and the distributed worker's fallback use exactly this transform so their
+// degraded results are bit-identical.
+PipelineConfig DegradedFallbackConfig(const PipelineConfig& config);
 
 class Pipeline {
  public:
@@ -117,6 +138,13 @@ class Pipeline {
   SweepResult EvaluateAllTargetsResumable(const PipelineConfig& config,
                                           const SweepOptions& options);
 
+  // EvaluateTarget with every failure mode (exceptions, injected faults,
+  // non-finite predictions) converted into a false return plus error text.
+  // Public so the distributed sweep worker (core/distributed_sweep.h) gets
+  // exactly the resumable sweep's per-target semantics.
+  bool TryEvaluateTarget(const PipelineConfig& config, size_t target_dataset,
+                         TargetEvaluation* out, std::string* error);
+
   // Node embeddings for the given graph/learner configuration (cached per
   // configuration; shared across prediction models and feature sets).
   const Matrix& EmbeddingsFor(const PipelineConfig& config,
@@ -127,10 +155,6 @@ class Pipeline {
 
  private:
   std::string EmbeddingCacheKey(const PipelineConfig& config) const;
-  // EvaluateTarget with every failure mode (exceptions, injected faults,
-  // non-finite predictions) converted into a false return plus error text.
-  bool TryEvaluateTarget(const PipelineConfig& config, size_t target_dataset,
-                         TargetEvaluation* out, std::string* error);
   // Node feature matrix for GNN learners: dataset representation for
   // dataset nodes, metadata for model nodes, plus node-type indicators.
   Matrix BuildNodeFeatures(const PipelineConfig& config,

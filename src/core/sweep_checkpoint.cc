@@ -86,25 +86,15 @@ Status SaveSweepCheckpoint(const std::string& path,
   json += ",\"fingerprint\":" + JsonQuote(checkpoint.fingerprint);
   json += ",\"targets\":[";
   for (size_t i = 0; i < checkpoint.targets.size(); ++i) {
-    const TargetEvaluation& eval = checkpoint.targets[i];
     if (i > 0) json.push_back(',');
-    json += "{\"target_dataset\":" + std::to_string(eval.target_dataset);
-    json += ",\"target_name\":" + JsonQuote(eval.target_name);
-    json += ",\"degraded\":" + std::string(eval.degraded ? "true" : "false");
-    json += ",\"retries\":" + std::to_string(eval.retries);
-    json += ",\"model_indices\":[";
-    for (size_t m = 0; m < eval.model_indices.size(); ++m) {
-      if (m > 0) json.push_back(',');
-      json += std::to_string(eval.model_indices[m]);
-    }
-    json += "],\"predicted\":";
-    AppendDoubleArray(eval.predicted, &json);
-    json += ",\"actual\":";
-    AppendDoubleArray(eval.actual, &json);
-    json += "}";
+    AppendTargetEvaluationJson(checkpoint.targets[i], &json);
   }
   json += "]}\n";
-  return WriteFileAtomic(path, json);
+  // unique_temp: checkpoints and merged artifacts may be written by several
+  // processes racing on one path (see distributed_sweep.h); a per-writer
+  // temp name keeps every replace whole-file (last-writer-wins, no torn
+  // reads).
+  return WriteFileAtomic(path, json, /*unique_temp=*/true);
 }
 
 Result<SweepCheckpoint> LoadSweepCheckpoint(const std::string& path) {
@@ -139,59 +129,84 @@ Result<SweepCheckpoint> LoadSweepCheckpoint(const std::string& path) {
     return BadCheckpoint(path, "missing targets array");
   }
   for (size_t i = 0; i < targets->size(); ++i) {
-    const JsonValue& entry = targets->at(i);
-    if (!entry.is_object()) return BadCheckpoint(path, "target not an object");
-    TargetEvaluation eval;
-    const JsonValue* dataset = entry.Find("target_dataset");
-    if (dataset == nullptr || !dataset->is_number() ||
-        dataset->AsDouble() < 0.0 ||
-        dataset->AsDouble() !=
-            std::floor(dataset->AsDouble())) {
-      return BadCheckpoint(path, "bad target_dataset");
+    Result<TargetEvaluation> eval = ParseTargetEvaluationJson(targets->at(i));
+    if (!eval.ok()) {
+      return BadCheckpoint(path, eval.status().message());
     }
-    eval.target_dataset = static_cast<size_t>(dataset->AsDouble());
-    const JsonValue* name = entry.Find("target_name");
-    if (name == nullptr || !name->is_string() || name->AsString().empty()) {
-      return BadCheckpoint(path, "bad target_name");
-    }
-    eval.target_name = name->AsString();
-    if (const JsonValue* degraded = entry.Find("degraded");
-        degraded != nullptr) {
-      eval.degraded = degraded->AsBool();
-    }
-    if (const JsonValue* retries = entry.Find("retries"); retries != nullptr) {
-      eval.retries = static_cast<int>(retries->AsDouble());
-    }
-    std::vector<double> indices;
-    if (!ReadDoubleArray(entry.Find("model_indices"), /*finite=*/true,
-                         &indices)) {
-      return BadCheckpoint(path, "bad model_indices");
-    }
-    eval.model_indices.reserve(indices.size());
-    for (double v : indices) {
-      if (v < 0.0 || v != std::floor(v)) {
-        return BadCheckpoint(path, "bad model index");
-      }
-      eval.model_indices.push_back(static_cast<size_t>(v));
-    }
-    if (!ReadDoubleArray(entry.Find("predicted"), /*finite=*/true,
-                         &eval.predicted) ||
-        !ReadDoubleArray(entry.Find("actual"), /*finite=*/true,
-                         &eval.actual)) {
-      return BadCheckpoint(path, "bad score arrays");
-    }
-    if (eval.predicted.size() != eval.model_indices.size() ||
-        eval.actual.size() != eval.model_indices.size() ||
-        eval.model_indices.empty()) {
-      return BadCheckpoint(path, "inconsistent per-target arrays");
-    }
-    // Correlations are derived state; recompute instead of trusting (or
-    // round-tripping) the file.
-    eval.pearson = PearsonCorrelation(eval.predicted, eval.actual);
-    eval.spearman = SpearmanCorrelation(eval.predicted, eval.actual);
-    checkpoint.targets.push_back(std::move(eval));
+    checkpoint.targets.push_back(std::move(eval).value());
   }
   return checkpoint;
+}
+
+void AppendTargetEvaluationJson(const TargetEvaluation& eval,
+                                std::string* out) {
+  *out += "{\"target_dataset\":" + std::to_string(eval.target_dataset);
+  *out += ",\"target_name\":" + JsonQuote(eval.target_name);
+  *out += ",\"degraded\":" + std::string(eval.degraded ? "true" : "false");
+  *out += ",\"retries\":" + std::to_string(eval.retries);
+  *out += ",\"model_indices\":[";
+  for (size_t m = 0; m < eval.model_indices.size(); ++m) {
+    if (m > 0) out->push_back(',');
+    *out += std::to_string(eval.model_indices[m]);
+  }
+  *out += "],\"predicted\":";
+  AppendDoubleArray(eval.predicted, out);
+  *out += ",\"actual\":";
+  AppendDoubleArray(eval.actual, out);
+  *out += "}";
+}
+
+Result<TargetEvaluation> ParseTargetEvaluationJson(const JsonValue& entry) {
+  if (!entry.is_object()) {
+    return Status::InvalidArgument("target not an object");
+  }
+  TargetEvaluation eval;
+  const JsonValue* dataset = entry.Find("target_dataset");
+  if (dataset == nullptr || !dataset->is_number() ||
+      dataset->AsDouble() < 0.0 ||
+      dataset->AsDouble() != std::floor(dataset->AsDouble())) {
+    return Status::InvalidArgument("bad target_dataset");
+  }
+  eval.target_dataset = static_cast<size_t>(dataset->AsDouble());
+  const JsonValue* name = entry.Find("target_name");
+  if (name == nullptr || !name->is_string() || name->AsString().empty()) {
+    return Status::InvalidArgument("bad target_name");
+  }
+  eval.target_name = name->AsString();
+  if (const JsonValue* degraded = entry.Find("degraded");
+      degraded != nullptr) {
+    eval.degraded = degraded->AsBool();
+  }
+  if (const JsonValue* retries = entry.Find("retries"); retries != nullptr) {
+    eval.retries = static_cast<int>(retries->AsDouble());
+  }
+  std::vector<double> indices;
+  if (!ReadDoubleArray(entry.Find("model_indices"), /*finite=*/true,
+                       &indices)) {
+    return Status::InvalidArgument("bad model_indices");
+  }
+  eval.model_indices.reserve(indices.size());
+  for (double v : indices) {
+    if (v < 0.0 || v != std::floor(v)) {
+      return Status::InvalidArgument("bad model index");
+    }
+    eval.model_indices.push_back(static_cast<size_t>(v));
+  }
+  if (!ReadDoubleArray(entry.Find("predicted"), /*finite=*/true,
+                       &eval.predicted) ||
+      !ReadDoubleArray(entry.Find("actual"), /*finite=*/true, &eval.actual)) {
+    return Status::InvalidArgument("bad score arrays");
+  }
+  if (eval.predicted.size() != eval.model_indices.size() ||
+      eval.actual.size() != eval.model_indices.size() ||
+      eval.model_indices.empty()) {
+    return Status::InvalidArgument("inconsistent per-target arrays");
+  }
+  // Correlations are derived state; recompute instead of trusting (or
+  // round-tripping) the file.
+  eval.pearson = PearsonCorrelation(eval.predicted, eval.actual);
+  eval.spearman = SpearmanCorrelation(eval.predicted, eval.actual);
+  return eval;
 }
 
 }  // namespace tg::core

@@ -211,6 +211,18 @@ std::string RenderStatusz() {
          JsonNumber(GaugeOrZero(snap, "sweep.targets_degraded"), 0);
   out += ",\"targets_failed\":" +
          JsonNumber(GaugeOrZero(snap, "sweep.targets_failed"), 0);
+  // Distributed-worker gauges (core/distributed_sweep.cc): this process's
+  // claim/steal/reclaim activity against the shared workdir, plus janitor
+  // work (the counter lives in snap.counters, not gauges).
+  out += ",\"claims\":" + JsonNumber(GaugeOrZero(snap, "sweep.claims"), 0);
+  out += ",\"steals\":" + JsonNumber(GaugeOrZero(snap, "sweep.steals"), 0);
+  out += ",\"lease_expiries\":" +
+         JsonNumber(GaugeOrZero(snap, "sweep.lease_expiries"), 0);
+  {
+    auto tmp = snap.counters.find("sweep.tmp_reclaimed");
+    out += ",\"tmp_reclaimed\":" +
+           std::to_string(tmp == snap.counters.end() ? 0 : tmp->second);
+  }
   out += ",\"in_progress\":";
   out += (total > 0.0 && done < total) ? "true" : "false";
   out += "}";

@@ -3,7 +3,9 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
+#include <cstdint>
 #include <cstring>
 
 #include "util/fault.h"
@@ -13,6 +15,16 @@ namespace {
 
 std::string ErrnoText() {
   return std::strerror(errno);
+}
+
+// Distinct temp names for writers that race other processes (and other
+// threads) on the same final path. The pid separates processes; the
+// counter separates threads within one process.
+std::string UniqueTempPath(const std::string& path) {
+  static std::atomic<uint64_t> sequence{0};
+  return path + "." + std::to_string(static_cast<long>(::getpid())) + "-" +
+         std::to_string(sequence.fetch_add(1, std::memory_order_relaxed)) +
+         ".tmp";
 }
 
 // Durability of the rename itself: fsync the containing directory so the
@@ -31,8 +43,9 @@ void FsyncParentDirectory(const std::string& path) {
 
 }  // namespace
 
-AtomicFileWriter::AtomicFileWriter(const std::string& path)
-    : path_(path), temp_path_(path + ".tmp") {
+AtomicFileWriter::AtomicFileWriter(const std::string& path, bool unique_temp)
+    : path_(path),
+      temp_path_(unique_temp ? UniqueTempPath(path) : path + ".tmp") {
   if (TG_FAULT_POINT("atomic_file.open")) {
     error_ = fault::InjectedFault("atomic_file.open");
     return;
@@ -128,8 +141,9 @@ void AtomicFileWriter::Discard() {
   finished_ = true;
 }
 
-Status WriteFileAtomic(const std::string& path, const std::string& contents) {
-  AtomicFileWriter writer(path);
+Status WriteFileAtomic(const std::string& path, const std::string& contents,
+                       bool unique_temp) {
+  AtomicFileWriter writer(path, unique_temp);
   writer.Append(contents);
   return writer.Commit();
 }

@@ -15,6 +15,15 @@
 // "atomic_file.crash_before_rename" (simulates process death after the data
 // is durable in the temp file but before the rename publishes it -- the
 // temp file is deliberately left behind, exactly as a real crash would).
+//
+// Concurrency: with the default shared temp name (`path + ".tmp"`), two
+// writers racing on the SAME final path clobber each other's temp file and
+// can briefly expose a partially-written inode through the final name.
+// Producers that are legitimately raced by other processes (distributed
+// sweep shards, checkpoints, the workdir manifest) pass unique_temp=true:
+// each writer streams into `path + ".<pid>-<seq>.tmp"`, so the rename is a
+// true whole-file replace and racing writers degrade to last-writer-wins
+// with no torn-read window.
 #ifndef TG_UTIL_ATOMIC_FILE_H_
 #define TG_UTIL_ATOMIC_FILE_H_
 
@@ -27,9 +36,11 @@ namespace tg {
 
 class AtomicFileWriter {
  public:
-  // Opens `path + ".tmp"` for writing. Check ok() (or just Commit(), which
-  // reports the open error) before relying on the writes.
-  explicit AtomicFileWriter(const std::string& path);
+  // Opens the temp file for writing. Check ok() (or just Commit(), which
+  // reports the open error) before relying on the writes. unique_temp
+  // selects a per-writer temp name (see file comment) for paths that
+  // concurrent processes may publish simultaneously.
+  explicit AtomicFileWriter(const std::string& path, bool unique_temp = false);
   ~AtomicFileWriter();
 
   AtomicFileWriter(const AtomicFileWriter&) = delete;
@@ -62,7 +73,8 @@ class AtomicFileWriter {
 };
 
 // One-shot convenience: atomically replaces `path` with `contents`.
-Status WriteFileAtomic(const std::string& path, const std::string& contents);
+Status WriteFileAtomic(const std::string& path, const std::string& contents,
+                       bool unique_temp = false);
 
 // Whole-file read with explicit error propagation (fault site "file.read").
 Result<std::string> ReadFileToString(const std::string& path);

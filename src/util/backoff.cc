@@ -1,0 +1,55 @@
+#include "util/backoff.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace tg {
+namespace {
+
+// Same counter-based hash as util/fault.cc: decisions depend only on
+// (seed, counter), never on wall clock or interleaving.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Uniform in [0, 1) from 53 hash bits, the util/fault prob construction.
+double UnitUniform(uint64_t seed, uint64_t counter) {
+  return static_cast<double>(SplitMix64(seed ^ counter) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+Backoff::Backoff(const BackoffPolicy& policy) : policy_(policy) {}
+
+double Backoff::NextDelaySec() {
+  const uint64_t attempt = attempt_++;
+  double base = policy_.initial_sec;
+  // Multiply iteratively with an early cap so huge attempt counts never
+  // overflow to inf before the cap applies.
+  for (uint64_t i = 0; i < attempt && base < policy_.max_sec; ++i) {
+    base *= policy_.multiplier;
+  }
+  base = std::min(base, policy_.max_sec);
+  if (policy_.jitter > 0.0) {
+    const double u = UnitUniform(policy_.seed, attempt + 1);
+    base *= 1.0 + policy_.jitter * (2.0 * u - 1.0);
+    base = std::min(base, policy_.max_sec);
+  }
+  return std::max(base, 0.0);
+}
+
+double Backoff::SleepNext() {
+  const double delay = NextDelaySec();
+  if (delay > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+  }
+  return delay;
+}
+
+void Backoff::Reset() { attempt_ = 0; }
+
+}  // namespace tg

@@ -1,0 +1,59 @@
+// Bounded exponential backoff with deterministic jitter, shared by every
+// retry loop in the repo (distributed-sweep claim races, transient
+// checkpoint/shard I/O faults, the pipeline's once-degraded target retry).
+//
+// Determinism contract: the delay sequence depends only on (policy, attempt
+// index) -- jitter comes from a counter-based SplitMix64 hash of
+// (seed, attempt), the same discipline as util/fault's prob decisions -- so
+// two Backoff instances with equal policies produce bit-identical delay
+// sequences regardless of wall clock or thread interleaving. Sleeping is the
+// only side effect; results of the retried work never depend on the delays.
+#ifndef TG_UTIL_BACKOFF_H_
+#define TG_UTIL_BACKOFF_H_
+
+#include <cstdint>
+
+namespace tg {
+
+struct BackoffPolicy {
+  // Base delay of attempt k is initial_sec * multiplier^k, capped at max_sec.
+  double initial_sec = 0.01;
+  double multiplier = 2.0;
+  double max_sec = 1.0;
+  // Fraction of the base delay randomized: the jittered delay is uniform in
+  // [base * (1 - jitter), base * (1 + jitter)], still capped at max_sec.
+  // 0 disables jitter entirely (delays are exactly the base sequence).
+  double jitter = 0.5;
+  // Seed for the jitter hash; callers derive it from their own seed (e.g.
+  // the sweep config seed xor a worker index) for reproducible schedules.
+  uint64_t seed = 0;
+};
+
+class Backoff {
+ public:
+  explicit Backoff(const BackoffPolicy& policy = {});
+
+  // The delay for the current attempt; advances the attempt index.
+  double NextDelaySec();
+
+  // NextDelaySec() followed by a blocking sleep of that many seconds.
+  // Returns the slept delay.
+  double SleepNext();
+
+  // Restarts the sequence (after a success, so the next failure burst
+  // starts cheap again).
+  void Reset();
+
+  // Attempts consumed since construction / the last Reset.
+  uint64_t attempts() const { return attempt_; }
+
+  const BackoffPolicy& policy() const { return policy_; }
+
+ private:
+  BackoffPolicy policy_;
+  uint64_t attempt_ = 0;
+};
+
+}  // namespace tg
+
+#endif  // TG_UTIL_BACKOFF_H_

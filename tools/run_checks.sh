@@ -9,7 +9,12 @@
 # skipgram_sharded/random_forest_fit stage ratios, an absolute
 # random_forest_fit wall-time ceiling, and hardware-counter ratio gates), a
 # tree-engine gate (TG_TREE resolution, a bogus-value hard-error check, and
-# a TG_TREE=hist rank smoke under ASan), an
+# a TG_TREE=hist rank smoke under ASan), a distributed-sweep chaos gate
+# (three workers sharing a workdir with one kill -9'd mid-run: the
+# survivors must reclaim the expired lease and sweep-merge must emit an
+# artifact byte-identical to a serial sweep under TG_THREADS=1 and =4,
+# plus an ASan pass of the claim/lease/merge protocol with injected
+# claim.rename and merge.read faults), an
 # end-to-end smoke check of the tg_cli observability path
 # (--trace/--metrics/--mem/--rss-sample), including validity of the exported
 # Chrome-trace JSON, and a profiling gate: `tg_cli rank --profile` must
@@ -225,6 +230,94 @@ fi
 }
 echo "injected I/O fault handled cleanly (exit $FAULT_CODE)"
 
+section "distributed sweep chaos gate: kill -9, lease reclaim, merge"
+# Three workers share a workdir; one is kill -9'd mid-target. The survivors
+# must steal its expired lease (--lease-sec 2), finish every target, exit 0,
+# and sweep-merge must produce an artifact byte-identical to an
+# uninterrupted serial checkpointed sweep -- under TG_THREADS=1 and =4
+# alike (see docs/robustness.md). The heavy strategy keeps each target slow
+# enough (~seconds) that the kill reliably lands mid-run.
+DIST_DIR="$(mktemp -d /tmp/tg_dist.XXXXXX)"
+trap 'rm -rf "$FAULT_OUT" "$DIST_DIR"' EXIT
+DIST_FLAGS="--modality image --models 48 \
+    --learner n2v --features all --predictor xgb"
+# shellcheck disable=SC2086  # DIST_FLAGS is a deliberate word list
+./build-release/tools/tg_cli sweep $DIST_FLAGS \
+    --checkpoint "$DIST_DIR/serial.json" > /dev/null
+for T in 1 4; do
+  WD="$DIST_DIR/wd$T"
+  WORKER_PIDS=()
+  for W in 0 1 2; do
+    # shellcheck disable=SC2086
+    TG_THREADS="$T" ./build-release/tools/tg_cli sweep $DIST_FLAGS \
+        --workdir "$WD" --worker-id "w$W" --lease-sec 2 \
+        > "$DIST_DIR/w$W.t$T.log" 2>&1 &
+    WORKER_PIDS[W]=$!
+  done
+  sleep 2.5
+  if kill -9 "${WORKER_PIDS[1]}" 2>/dev/null; then
+    echo "(TG_THREADS=$T: killed worker w1 mid-run)"
+  else
+    echo "(TG_THREADS=$T: w1 finished before the kill; reclaim not" \
+        "exercised this round)"
+  fi
+  wait "${WORKER_PIDS[1]}" 2>/dev/null || true
+  for W in 0 2; do
+    wait "${WORKER_PIDS[W]}" || {
+      echo "surviving worker w$W (TG_THREADS=$T) exited non-zero" >&2
+      cat "$DIST_DIR/w$W.t$T.log" >&2
+      exit 1
+    }
+  done
+  # shellcheck disable=SC2086
+  ./build-release/tools/tg_cli sweep-merge $DIST_FLAGS --workdir "$WD" \
+      --out "$WD/merged.json"
+  cmp "$DIST_DIR/serial.json" "$WD/merged.json" || {
+    echo "merged artifact (TG_THREADS=$T) differs from the serial sweep" >&2
+    exit 1
+  }
+  echo "TG_THREADS=$T: survivors reclaimed and merged bit-identical"
+done
+
+# The same protocol under ASan with a 20% injected claim-rename failure
+# rate: claim losses must stay transient (workers retry and finish), the
+# merge must survive a transient read fault, and the artifact must still be
+# byte-identical to a serial sweep from the SAME ASan binary (cross-binary
+# byte comparisons would conflate FP codegen differences with protocol
+# bugs). Fast strategy: ASan makes the heavy one needlessly slow here.
+cmake --build build-asan -j "$JOBS" --target tg_cli distributed_sweep_test
+./build-asan/tests/distributed_sweep_test
+ASAN_FLAGS="--modality image --models 48 \
+    --learner none --features metadata --predictor lr"
+# shellcheck disable=SC2086
+./build-asan/tools/tg_cli sweep $ASAN_FLAGS \
+    --checkpoint "$DIST_DIR/asan_serial.json" > /dev/null
+ASAN_WD="$DIST_DIR/asan_wd"
+ASAN_PIDS=()
+for W in 0 1; do
+  # shellcheck disable=SC2086
+  TG_FAULT="claim.rename=prob:0.2:seed:1$W" \
+      ./build-asan/tools/tg_cli sweep $ASAN_FLAGS \
+      --workdir "$ASAN_WD" --worker-id "w$W" --lease-sec 2 \
+      > "$DIST_DIR/asan_w$W.log" 2>&1 &
+  ASAN_PIDS[W]=$!
+done
+for W in 0 1; do
+  wait "${ASAN_PIDS[W]}" || {
+    echo "ASan worker w$W under claim.rename=prob:0.2 exited non-zero" >&2
+    cat "$DIST_DIR/asan_w$W.log" >&2
+    exit 1
+  }
+done
+# shellcheck disable=SC2086
+TG_FAULT="merge.read=hit:2" ./build-asan/tools/tg_cli sweep-merge \
+    $ASAN_FLAGS --workdir "$ASAN_WD" --out "$ASAN_WD/merged.json"
+cmp "$DIST_DIR/asan_serial.json" "$ASAN_WD/merged.json" || {
+  echo "ASan faulted-claim merge differs from the ASan serial sweep" >&2
+  exit 1
+}
+echo "ASan claim-fault workers + faulted merge stayed bit-identical"
+
 section "tree engine gate: TG_TREE dispatch + hist smoke under ASan"
 # TG_TREE follows the TG_ISA discipline: `backend` reports the resolved
 # engine, and forcing an engine that does not exist must be a hard error,
@@ -247,7 +340,7 @@ fi
 # constant prediction).
 cmake --build build-asan -j "$JOBS" --target tg_cli
 HIST_OUT="$(mktemp /tmp/tg_hist.XXXXXX.txt)"
-trap 'rm -f "$HIST_OUT"; rm -rf "$FAULT_OUT"' EXIT
+trap 'rm -f "$HIST_OUT"; rm -rf "$FAULT_OUT" "$DIST_DIR"' EXIT
 TG_TREE=hist ./build-asan/tools/tg_cli rank --modality image --target 0 \
     --predictor rf | tee "$HIST_OUT"
 # Accept plain decimals, e-notation, and nan/-nan so a degenerate pearson is
@@ -274,7 +367,8 @@ echo "exact engine RF rank passed under ASan"
 
 section "tg_cli trace/metrics smoke check"
 TRACE_FILE="$(mktemp /tmp/tg_trace.XXXXXX.json)"
-trap 'rm -f "$TRACE_FILE" "$HIST_OUT"; rm -rf "$FAULT_OUT"' EXIT
+trap 'rm -f "$TRACE_FILE" "$HIST_OUT"; \
+     rm -rf "$FAULT_OUT" "$DIST_DIR"' EXIT
 # TG_THREADS=2 forces the pool path so the trace includes pool_drain spans
 # (worker-side parent handoff) even on a single-core machine. --mem and
 # --rss-sample exercise the allocation accounting and the background RSS
@@ -310,7 +404,8 @@ section "profiler + hardware-counter gate"
 # per-stage table or say why they cannot. 997 Hz (prime) keeps this short
 # rank run well-sampled without phase-locking against periodic work.
 PROF_DIR="$(mktemp -d /tmp/tg_prof.XXXXXX)"
-trap 'rm -f "$TRACE_FILE" "$HIST_OUT"; rm -rf "$FAULT_OUT" "$PROF_DIR"' EXIT
+trap 'rm -f "$TRACE_FILE" "$HIST_OUT"; \
+     rm -rf "$FAULT_OUT" "$PROF_DIR" "$DIST_DIR"' EXIT
 TG_THREADS=2 ./build-release/tools/tg_cli rank --modality image --target 0 \
     --profile=997 --profile-out "$PROF_DIR/profile.collapsed" \
     --perf-counters | tee "$PROF_DIR/stdout.txt"
@@ -378,7 +473,7 @@ section "telemetry gate: live scrape of a running sweep"
 cmake --build build-release -j "$JOBS" --target scrape tg_cli
 TELEM_DIR="$(mktemp -d /tmp/tg_telem.XXXXXX)"
 trap 'rm -f "$TRACE_FILE" "$HIST_OUT"; \
-     rm -rf "$FAULT_OUT" "$PROF_DIR" "$TELEM_DIR"' EXIT
+     rm -rf "$FAULT_OUT" "$PROF_DIR" "$TELEM_DIR" "$DIST_DIR"' EXIT
 ./build-release/tools/tg_cli sweep --modality image --models 48 \
     --learner n2v --features all --predictor xgb --telemetry-port 0 \
     > "$TELEM_DIR/stdout.txt" 2> "$TELEM_DIR/stderr.txt" &

@@ -5,7 +5,21 @@
 //   rank --target D [options]       rank models for a target dataset
 //   sweep [options]                 evaluate every target (resumable via
 //                                   --checkpoint FILE; --no-degrade turns
-//                                   off the metadata-only failure fallback)
+//                                   off the metadata-only failure fallback).
+//                                   With --workdir DIR --worker-id K the
+//                                   process joins a distributed sweep: N
+//                                   such workers claim targets from DIR via
+//                                   atomic-rename leases, steal leases idle
+//                                   longer than --lease-sec (default 30),
+//                                   and survive each other's kill -9.
+//                                   SIGTERM/SIGINT drain gracefully: the
+//                                   in-flight target finishes, the lease is
+//                                   released, and the process exits 0.
+//   sweep-merge --workdir DIR       validate every shard of a distributed
+//                                   sweep (duplicates, missing, torn,
+//                                   stale-build) and write --out (default
+//                                   DIR/merged.json) bit-identical to a
+//                                   serial sweep's final checkpoint
 //   graph-stats [--modality M]      Table II-style graph statistics
 //   export-graph --out FILE         write the constructed graph as TSV
 //   export-history --out FILE       write the training history as CSV
@@ -54,6 +68,7 @@
 //                   heartbeat event to F as structured JSON lines
 //                   (TG_EVENT_LOG_RATE / TG_EVENT_LOG_SPAN_MS tune shedding)
 #include <cctype>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -61,6 +76,7 @@
 #include <vector>
 
 #include "core/baselines.h"
+#include "core/distributed_sweep.h"
 #include "core/graph_builder.h"
 #include "core/pipeline.h"
 #include "core/recommender.h"
@@ -104,12 +120,20 @@ struct CliArgs {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: tg_cli <catalog|rank|sweep|graph-stats|export-graph|"
-               "export-history|backend|profile> [--option value ...]\n"
+               "usage: tg_cli <catalog|rank|sweep|sweep-merge|graph-stats|"
+               "export-graph|export-history|backend|profile> "
+               "[--option value ...]\n"
                "  rank requires --target <dataset name | evaluation index>\n"
                "  sweep evaluates every target; --checkpoint FILE resumes an\n"
                "    interrupted sweep, --no-degrade disables the metadata-only\n"
                "    retry for failed targets (see docs/robustness.md)\n"
+               "  sweep --workdir DIR --worker-id K [--lease-sec S] joins a\n"
+               "    distributed sweep: workers claim targets via atomic-rename\n"
+               "    leases and reclaim leases idle longer than S (default 30);\n"
+               "    SIGTERM drains gracefully (finish in-flight, exit 0)\n"
+               "  sweep-merge --workdir DIR [--out FILE] validates every shard\n"
+               "    and writes the merged artifact (default DIR/merged.json),\n"
+               "    bit-identical to a serial sweep checkpoint\n"
                "  export-* require --out <path>\n"
                "  observability: --trace FILE (Chrome trace JSON), "
                "--metrics (stage table + counters after rank),\n"
@@ -125,6 +149,24 @@ int Usage() {
                "  profile runs rank (default --target 0) under the profiler "
                "and prints the report\n");
   return 2;
+}
+
+// SIGTERM/SIGINT request a graceful sweep drain instead of killing the
+// process mid-write: the handler is one async-signal-safe atomic store, the
+// sweep loops poll it between targets, and the process exits 0 with its
+// checkpoint/leases consistent. A second signal falls back to the default
+// disposition (the handler resets itself), so a stuck worker can still be
+// interrupted the hard way.
+void HandleDrainSignal(int /*signum*/) { core::RequestSweepDrain(); }
+
+void InstallDrainHandlers() {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleDrainSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESETHAND;  // second signal kills for real
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
 }
 
 Result<CliArgs> ParseArgs(int argc, char** argv) {
@@ -371,26 +413,122 @@ int RunRank(const CliArgs& args) {
   return 0;
 }
 
-// Leave-one-out sweep over every evaluation target of the modality, with
-// graceful degradation and optional --checkpoint resume. Exercised by the
-// chaos gate in tools/run_checks.sh; see docs/robustness.md.
-int RunSweep(const CliArgs& args) {
-  Result<zoo::Modality> modality = ParseModality(args.Get("modality",
-                                                          "image"));
+// Strategy flags shared by `sweep`, the distributed worker branch, and
+// `sweep-merge` -- the merger must resolve the exact same PipelineConfig
+// (and hence SweepFingerprint) as the workers whose shards it validates.
+Result<core::PipelineConfig> SweepConfigFrom(const CliArgs& args) {
   Result<core::GraphLearner> learner = ParseLearner(args.Get("learner",
                                                              "n2v"));
   Result<core::PredictorKind> predictor =
       ParsePredictor(args.Get("predictor", "xgb"));
   Result<core::FeatureSet> features = ParseFeatures(args.Get("features",
                                                              "all"));
-  if (!modality.ok() || !learner.ok() || !predictor.ok() || !features.ok()) {
-    return Usage();
-  }
-
+  if (!learner.ok()) return learner.status();
+  if (!predictor.ok()) return predictor.status();
+  if (!features.ok()) return features.status();
   core::PipelineConfig config;
   config.strategy.learner = learner.value();
   config.strategy.predictor = predictor.value();
   config.strategy.features = features.value();
+  return config;
+}
+
+// Distributed worker: claim/steal/evaluate/publish against a shared
+// --workdir until the whole sweep is resolved or a drain is requested.
+// Exercised by the distributed chaos gate in tools/run_checks.sh.
+int RunSweepWorkerCli(const CliArgs& args, const core::PipelineConfig& config,
+                      zoo::Modality modality) {
+  core::DistributedSweepOptions options;
+  options.workdir = args.Get("workdir", "");
+  options.worker_id = args.Get("worker-id", "");
+  options.lease_sec = std::stod(args.Get("lease-sec", "30"));
+  options.degrade_on_failure = !args.Flag("no-degrade");
+  if (options.worker_id.empty() || options.worker_id == "true") {
+    std::fprintf(stderr, "sweep --workdir requires --worker-id\n");
+    return Usage();
+  }
+
+  zoo::ModelZoo zoo(ZooConfigFrom(args));
+  core::Pipeline pipeline(&zoo, modality);
+  Result<core::WorkerReport> ran =
+      core::RunSweepWorker(&pipeline, config, options);
+  if (!ran.ok()) {
+    std::fprintf(stderr, "%s\n", ran.status().ToString().c_str());
+    return 1;
+  }
+  const core::WorkerReport& report = ran.value();
+  std::printf("worker %s: sweep %s, %zu/%zu targets evaluated here, "
+              "%zu claims, %zu steals, %zu lease expiries, %zu retried, "
+              "%zu degraded, %zu failed, %zu tmp reclaimed%s\n",
+              options.worker_id.c_str(),
+              report.complete ? "complete" : "incomplete", report.evaluated,
+              report.targets_total, report.claims, report.steals,
+              report.lease_expiries, report.retried, report.degraded,
+              report.failed, report.tmp_reclaimed,
+              report.drained ? " (drained)" : "");
+  for (const std::string& error : report.errors) {
+    std::fprintf(stderr, "worker %s: %s\n", options.worker_id.c_str(),
+                 error.c_str());
+  }
+  // A drain (SIGTERM/SIGINT) is a clean, orchestrated exit: the in-flight
+  // target finished, the lease pool is consistent, and a restarted worker
+  // resumes exactly where this one stopped.
+  if (report.drained) return 0;
+  if (!report.complete || report.failed > 0) return 1;
+  return 0;
+}
+
+int RunSweepMerge(const CliArgs& args) {
+  Result<zoo::Modality> modality = ParseModality(args.Get("modality",
+                                                          "image"));
+  if (!modality.ok()) return Usage();
+  Result<core::PipelineConfig> config = SweepConfigFrom(args);
+  if (!config.ok()) return Usage();
+  const std::string workdir = args.Get("workdir", "");
+  if (workdir.empty() || workdir == "true") {
+    std::fprintf(stderr, "sweep-merge requires --workdir\n");
+    return Usage();
+  }
+  std::string out = args.Get("out", "");
+  if (out.empty() || out == "true") out = workdir + "/merged.json";
+
+  zoo::ModelZoo zoo(ZooConfigFrom(args));
+  core::Pipeline pipeline(&zoo, modality.value());
+  Result<core::MergeReport> merged =
+      core::MergeSweepShards(&pipeline, config.value(), workdir, out);
+  if (!merged.ok()) {
+    std::fprintf(stderr, "%s\n", merged.status().ToString().c_str());
+    return 1;
+  }
+  const core::MergeReport& report = merged.value();
+  if (!report.ok()) {
+    std::fprintf(stderr, "sweep-merge: %zu/%zu shards unusable:\n",
+                 report.problems.size(), report.targets_total);
+    for (const std::string& problem : report.problems) {
+      std::fprintf(stderr, "  %s\n", problem.c_str());
+    }
+    return 1;
+  }
+  std::printf("merged %zu shards -> %s\n", report.merged,
+              report.artifact_path.c_str());
+  return 0;
+}
+
+// Leave-one-out sweep over every evaluation target of the modality, with
+// graceful degradation and optional --checkpoint resume. Exercised by the
+// chaos gate in tools/run_checks.sh; see docs/robustness.md.
+int RunSweep(const CliArgs& args) {
+  Result<zoo::Modality> modality = ParseModality(args.Get("modality",
+                                                          "image"));
+  if (!modality.ok()) return Usage();
+  Result<core::PipelineConfig> parsed_config = SweepConfigFrom(args);
+  if (!parsed_config.ok()) return Usage();
+  const core::PipelineConfig& config = parsed_config.value();
+
+  const std::string workdir = args.Get("workdir", "");
+  if (!workdir.empty() && workdir != "true") {
+    return RunSweepWorkerCli(args, config, modality.value());
+  }
 
   core::SweepOptions options;
   options.checkpoint_path = args.Get("checkpoint", "");
@@ -423,6 +561,14 @@ int RunSweep(const CliArgs& args) {
               scored, result.evaluations.size(),
               scored > 0 ? pearson_sum / static_cast<double>(scored) : 0.0,
               result.resumed, result.retried, result.degraded, result.failed);
+  if (result.drained) {
+    // SIGTERM/SIGINT drain: in-flight targets finished and were
+    // checkpointed; the rest are left for a resumed run. Exit 0 so
+    // orchestrators can tell a graceful drain from a failure.
+    std::printf("sweep drained; resume with the same --checkpoint to "
+                "finish\n");
+    return 0;
+  }
   if (!result.complete) {
     for (const std::string& error : result.errors) {
       std::fprintf(stderr, "target failed: %s\n", error.c_str());
@@ -512,6 +658,7 @@ int Dispatch(const CliArgs& args) {
     return RunRank(ranked);
   }
   if (args.command == "sweep") return RunSweep(args);
+  if (args.command == "sweep-merge") return RunSweepMerge(args);
   if (args.command == "graph-stats") return RunGraphStats(args);
   if (args.command == "export-graph") return RunExportGraph(args);
   if (args.command == "export-history") return RunExportHistory(args);
@@ -536,6 +683,10 @@ int Run(int argc, char** argv) {
   if (args.Flag("mem")) obs::SetMemoryTrackingEnabled(true);
   if (args.Flag("perf-counters")) obs::SetPerfCountersEnabled(true);
   obs::SetCurrentThreadName("main");
+
+  // Graceful shutdown for long sweeps (serial or distributed): SIGTERM and
+  // SIGINT drain instead of killing mid-write.
+  if (args.command == "sweep") InstallDrainHandlers();
 
   // Structured event log (TG_EVENT_LOG) and telemetry plane
   // (--telemetry-port / TG_TELEMETRY_PORT). Both degrade to a stderr
